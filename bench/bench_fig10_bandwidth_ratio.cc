@@ -1,0 +1,48 @@
+// Regenerates Figure 10: energy savings as a function of the ratio between
+// memory and I/O bus bandwidth (memory fixed at 3.2 GB/s; I/O bus at 0.5,
+// ~1.067, 1.6, 2.0, and 3.0 GB/s), for OLTP-St and Synthetic-St.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dmasim;
+  using namespace dmasim::bench;
+  PrintHeader(
+      "Figure 10: savings vs memory/I-O bandwidth ratio, 10% CP-Limit",
+      "Paper shapes to check: at ratio ~1 savings are small (~5%); they\n"
+      "grow quickly with the ratio as rate-mismatch waste starts to\n"
+      "dominate; DMA-TA-PL improves faster than DMA-TA.");
+
+  const std::vector<double> bus_gbps = {0.5, 8.0 / 7.5, 1.6, 2.0, 3.0};
+
+  for (int which = 0; which < 2; ++which) {
+    WorkloadSpec spec =
+        which == 0 ? OltpStorageSpec() : SyntheticStorageSpec();
+    spec.duration = Scaled(300 * kMillisecond);
+
+    TablePrinter table({"I/O bus GB/s", "ratio", "k", "DMA-TA",
+                        "DMA-TA-PL"});
+    for (double gbps : bus_gbps) {
+      SimulationOptions options;
+      options.memory.bus_bandwidth = gbps * 1e9;
+      const double ratio =
+          options.memory.MemoryBandwidth() / options.memory.bus_bandwidth;
+      const auto base = RunBaseline(spec, options);
+      const double mu = base.calibration.MuFor(0.10);
+      const SimulationResults ta = RunWorkload(spec, TaOptions(options, mu));
+      const SimulationResults tapl =
+          RunWorkload(spec, TaPlOptions(options, mu));
+      table.AddRow(
+          {TablePrinter::Num(gbps, 2), TablePrinter::Num(ratio, 2),
+           std::to_string(options.memory.AlignmentQuorum()),
+           TablePrinter::Percent(ta.EnergySavingsVs(base.baseline)),
+           TablePrinter::Percent(tapl.EnergySavingsVs(base.baseline))});
+    }
+    std::cout << "-- " << spec.name << " --\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Figure 2: (a) the rate-mismatch timeline numbers and (b) the
+// baseline memory energy breakdown for the two OLTP workloads.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dmasim;
+  bench::PrintHeader(
+      "Figure 2(a): DMA rate mismatch timeline",
+      "Paper: an 8-byte DMA-memory request is served in 4 memory cycles;\n"
+      "the next arrives 12 cycles later, so the chip idles 2/3 of the\n"
+      "time while a lone transfer is in flight.");
+
+  MemorySystemConfig config;
+  const Tick serve = config.power.ServiceTime(config.chunk_bytes);
+  const Tick slot = config.RequestTime();
+  TablePrinter timeline({"quantity", "model value", "paper value"});
+  timeline.AddRow({"request service (cycles per 8B-equivalent)",
+                   TablePrinter::Num(static_cast<double>(serve) * 8.0 /
+                                         static_cast<double>(
+                                             config.chunk_bytes) /
+                                         625.0,
+                                     0),
+                   "4"});
+  timeline.AddRow({"request interval (cycles per 8B-equivalent)",
+                   TablePrinter::Num(static_cast<double>(slot) * 8.0 /
+                                         static_cast<double>(
+                                             config.chunk_bytes) /
+                                         625.0,
+                                     0),
+                   "12"});
+  timeline.AddRow({"lone-transfer utilization",
+                   TablePrinter::Num(static_cast<double>(serve) /
+                                         static_cast<double>(slot),
+                                     3),
+                   "0.333"});
+  timeline.Print(std::cout);
+
+  bench::PrintHeader(
+      "\nFigure 2(b): baseline energy breakdown (3 PCI-X buses)",
+      "Paper: Active Idle DMA 48-51%, Active Serving 26-27%, Active Idle\n"
+      "Threshold 3-4%, remainder transitions + low-power modes.");
+
+  TablePrinter table({"workload", "ActiveServing", "ActiveIdleDma",
+                      "ActiveIdleThreshold", "Transition", "LowPowerModes"});
+  for (int which = 0; which < 2; ++which) {
+    WorkloadSpec spec = which == 0 ? OltpStorageSpec() : OltpDatabaseSpec();
+    spec.duration = bench::Scaled(which == 0 ? 400 * kMillisecond
+                                             : 150 * kMillisecond);
+    SimulationOptions options;
+    options.server.request_compute_time = spec.request_compute_time;
+    const SimulationResults baseline = RunWorkload(spec, options);
+    table.AddRow(
+        {spec.name,
+         TablePrinter::Percent(
+             baseline.energy.Fraction(EnergyBucket::kActiveServing)),
+         TablePrinter::Percent(
+             baseline.energy.Fraction(EnergyBucket::kActiveIdleDma)),
+         TablePrinter::Percent(
+             baseline.energy.Fraction(EnergyBucket::kActiveIdleThreshold)),
+         TablePrinter::Percent(
+             baseline.energy.Fraction(EnergyBucket::kTransition)),
+         TablePrinter::Percent(
+             baseline.energy.Fraction(EnergyBucket::kLowPower))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: Active Idle DMA is the dominant active\n"
+               "component and far exceeds the threshold idle and transition\n"
+               "energies, as in the paper. (Our reconstructed traces spend\n"
+               "more time in low-power modes than the originals; see\n"
+               "EXPERIMENTS.md.)\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Figure 4: CDF of page popularity for the OLTP storage DMA
+// workload ("around 20% of the pages account for 60% of the DMA
+// accesses").
+#include <iostream>
+
+#include "bench_util.h"
+#include "trace/trace.h"
+
+int main() {
+  using namespace dmasim;
+  bench::PrintHeader(
+      "Figure 4: CDF of page popularity (OLTP-St)",
+      "Paper: a point (x, y) means x% of the pages receive y% of the DMA\n"
+      "accesses; around (20%, 60%).");
+
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = bench::Scaled(200 * kMillisecond);
+  const Trace trace = GenerateWorkload(spec);
+  const auto cdf = PopularityCdf(trace);
+
+  TablePrinter table({"pages (top x%)", "accesses covered", "paper"});
+  const struct {
+    double x;
+    const char* paper;
+  } points[] = {{0.05, "-"},       {0.10, "~45%"}, {0.20, "~60%"},
+                {0.30, "~70%"},    {0.50, "~82%"}, {0.80, "~95%"},
+                {1.00, "100%"}};
+  for (const auto& point : points) {
+    table.AddRow({TablePrinter::Percent(point.x, 0),
+                  TablePrinter::Percent(AccessShareOfTopPages(cdf, point.x)),
+                  point.paper});
+  }
+  table.Print(std::cout);
+
+  const TraceSummary summary = Summarize(trace);
+  std::cout << "\ndistinct pages referenced: " << summary.distinct_pages
+            << " (of " << spec.pages << " logical pages), "
+            << summary.client_reads + summary.client_writes
+            << " client requests\n";
+  return 0;
+}

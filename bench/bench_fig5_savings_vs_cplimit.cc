@@ -1,0 +1,64 @@
+// Regenerates Figure 5: memory energy savings over the baseline dynamic
+// policy as a function of the client-perceived response-time degradation
+// limit (CP-Limit), for DMA-TA alone and DMA-TA-PL with 2/3/6 popularity
+// groups, on all four workloads.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dmasim;
+  using namespace dmasim::bench;
+  PrintHeader(
+      "Figure 5: energy savings vs CP-Limit",
+      "Paper shapes to check: savings rise quickly up to ~10% CP-Limit and\n"
+      "flatten beyond; DMA-TA-PL(2) beats DMA-TA; more groups do worse\n"
+      "(6 groups can go negative); database workloads save less than\n"
+      "storage workloads. Paper peak: 38.6% for OLTP-St at 10% CP-Limit\n"
+      "with 2 groups.");
+
+  const std::vector<double> cp_limits = {0.02, 0.05, 0.10, 0.20, 0.30};
+
+  std::vector<WorkloadSpec> specs = {OltpStorageSpec(), SyntheticStorageSpec(),
+                                     OltpDatabaseSpec(),
+                                     SyntheticDatabaseSpec()};
+  specs[0].duration = Scaled(500 * kMillisecond);
+  specs[1].duration = Scaled(500 * kMillisecond);
+  specs[2].duration = Scaled(150 * kMillisecond);
+  specs[3].duration = Scaled(200 * kMillisecond);
+
+  for (const WorkloadSpec& spec : specs) {
+    SimulationOptions options;
+    options.server.request_compute_time = spec.request_compute_time;
+    const auto base = RunBaseline(spec, options);
+
+    TablePrinter table({"CP-Limit", "DMA-TA", "DMA-TA-PL(2)", "DMA-TA-PL(3)",
+                        "DMA-TA-PL(6)", "degr(PL2)"});
+    for (double cp : cp_limits) {
+      const double mu = base.calibration.MuFor(cp);
+      const SimulationResults ta =
+          RunWorkload(spec, TaOptions(options, mu));
+      const SimulationResults pl2 =
+          RunWorkload(spec, TaPlOptions(options, mu, 2));
+      const SimulationResults pl3 =
+          RunWorkload(spec, TaPlOptions(options, mu, 3));
+      const SimulationResults pl6 =
+          RunWorkload(spec, TaPlOptions(options, mu, 6));
+      table.AddRow({TablePrinter::Percent(cp, 0),
+                    TablePrinter::Percent(ta.EnergySavingsVs(base.baseline)),
+                    TablePrinter::Percent(pl2.EnergySavingsVs(base.baseline)),
+                    TablePrinter::Percent(pl3.EnergySavingsVs(base.baseline)),
+                    TablePrinter::Percent(pl6.EnergySavingsVs(base.baseline)),
+                    TablePrinter::Percent(
+                        pl2.ResponseDegradationVs(base.baseline))});
+    }
+    std::cout << "-- " << spec.name << " (baseline "
+              << TablePrinter::Num(base.baseline.energy.Total() * 1e3, 1)
+              << " mJ, mu(10%) = "
+              << TablePrinter::Num(base.calibration.MuFor(0.10), 1) << ") --\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

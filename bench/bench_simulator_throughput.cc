@@ -1,0 +1,78 @@
+// Google-benchmark microbenchmarks for the simulator's hot paths: event
+// queue operations, chip request service, trace generation, and a full
+// end-to-end simulation (reported as simulated-milliseconds per second).
+#include <benchmark/benchmark.h>
+
+#include "core/memory_controller.h"
+#include "mem/power_policy.h"
+#include "server/simulation_driver.h"
+#include "sim/simulator.h"
+#include "trace/workloads.h"
+#include "util/random.h"
+
+namespace dmasim {
+namespace {
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator simulator;
+    Rng rng(1);
+    for (int i = 0; i < events; ++i) {
+      simulator.ScheduleAt(static_cast<Tick>(rng.NextBounded(1000000)),
+                           []() {});
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(simulator.Now());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1024)->Arg(16384);
+
+void BM_ChipServeRequests(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator simulator;
+    PowerModel model;
+    AlwaysActivePolicy policy;
+    MemoryChip chip(&simulator, &model, &policy, 0);
+    for (int i = 0; i < 1000; ++i) {
+      chip.Enqueue(ChipRequest{RequestKind::kDma, 512, {}});
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(chip.stats().dma_requests);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChipServeRequests);
+
+void BM_GenerateOltpTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkloadSpec spec = OltpStorageSpec();
+    spec.duration = 50 * kMillisecond;
+    benchmark::DoNotOptimize(GenerateWorkload(spec).size());
+  }
+}
+BENCHMARK(BM_GenerateOltpTrace);
+
+void BM_EndToEndStorageSimulation(benchmark::State& state) {
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = 50 * kMillisecond;
+  const Trace trace = GenerateWorkload(spec);
+  SimulationOptions options;
+  options.memory.dma.ta.enabled = true;
+  options.memory.dma.ta.mu = 20.0;
+  options.memory.dma.pl.enabled = true;
+  for (auto _ : state) {
+    const SimulationResults results =
+        RunTrace(trace, spec.miss_ratio, spec.duration, options, spec.name);
+    benchmark::DoNotOptimize(results.energy.Total());
+  }
+  state.counters["sim_ms_per_iter"] =
+      static_cast<double>(spec.duration) / kMillisecond;
+}
+BENCHMARK(BM_EndToEndStorageSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dmasim
+
+BENCHMARK_MAIN();

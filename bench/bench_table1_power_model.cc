@@ -1,0 +1,53 @@
+// Regenerates Table 1: RDRAM power states and transition costs.
+#include <iostream>
+
+#include "bench_util.h"
+#include "mem/power_model.h"
+
+int main() {
+  using namespace dmasim;
+  bench::PrintHeader(
+      "Table 1: power consumption and transition time",
+      "Paper: active 300mW, standby 180mW, nap 30mW, powerdown 3mW;\n"
+      "down transitions 240/160/15 mW at 1/8/8 cycles; up transitions\n"
+      "+6ns / +60ns / +6000ns.");
+
+  const PowerModel model;
+  TablePrinter table({"Power State/Transition", "Power", "Time"});
+  auto cycles = [&](Tick t) {
+    return TablePrinter::Num(static_cast<double>(t) /
+                                 static_cast<double>(model.cycle),
+                             0) +
+           " memory cycle(s)";
+  };
+  auto ns = [](Tick t) {
+    return "+" + TablePrinter::Num(static_cast<double>(t) / kNanosecond, 0) +
+           "ns";
+  };
+  auto mw = [](double value) { return TablePrinter::Num(value, 0) + "mW"; };
+
+  table.AddRow({"Active", mw(model.active_mw), "-"});
+  table.AddRow({"Standby", mw(model.standby_mw), "-"});
+  table.AddRow({"Nap", mw(model.nap_mw), "-"});
+  table.AddRow({"Powerdown", mw(model.powerdown_mw), "-"});
+  table.AddRow({"Active -> Standby", mw(model.to_standby.power_mw),
+                cycles(model.to_standby.duration)});
+  table.AddRow({"Active -> Nap", mw(model.to_nap.power_mw),
+                cycles(model.to_nap.duration)});
+  table.AddRow({"Active -> Powerdown", mw(model.to_powerdown.power_mw),
+                cycles(model.to_powerdown.duration)});
+  table.AddRow({"Standby -> Active", mw(model.from_standby.power_mw),
+                ns(model.from_standby.duration)});
+  table.AddRow({"Nap -> Active", mw(model.from_nap.power_mw),
+                ns(model.from_nap.duration)});
+  table.AddRow({"Powerdown -> Active", mw(model.from_powerdown.power_mw),
+                ns(model.from_powerdown.duration)});
+  table.Print(std::cout);
+
+  std::cout << "\nDerived: memory cycle = " << model.cycle
+            << " ps (1600 MHz), peak rate = "
+            << TablePrinter::Num(model.BandwidthBytesPerSecond() / 1e9, 2)
+            << " GB/s, 8-byte request service = "
+            << model.ServiceTime(8) / model.cycle << " cycles\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared support for the figure/table reproduction harnesses.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (Section 5) and prints it as an ASCII table, with the paper's
+// reported numbers alongside where applicable. Set DMASIM_FAST=1 to cut
+// simulated durations 4x for a quick smoke run.
+#ifndef DMASIM_BENCH_BENCH_UTIL_H_
+#define DMASIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/simulation_driver.h"
+#include "stats/table.h"
+#include "trace/workloads.h"
+
+namespace dmasim::bench {
+
+inline bool FastMode() {
+  const char* fast = std::getenv("DMASIM_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+// Scales a simulated duration down in fast mode.
+inline Tick Scaled(Tick duration) {
+  return FastMode() ? duration / 4 : duration;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::cout << "==== " << title << " ====\n" << paper << "\n\n";
+}
+
+// Runs the baseline for `spec` and returns it along with the CP-Limit
+// calibration (Section 5.1's offline transformation).
+struct BaselineAndCalibration {
+  SimulationResults baseline;
+  CpCalibration calibration;
+};
+
+inline BaselineAndCalibration RunBaseline(const WorkloadSpec& spec,
+                                          const SimulationOptions& options) {
+  BaselineAndCalibration result;
+  result.baseline = RunWorkload(spec, options);
+  result.calibration = Calibrate(result.baseline);
+  return result;
+}
+
+inline SimulationOptions TaOptions(const SimulationOptions& base, double mu) {
+  SimulationOptions options = base;
+  options.memory.dma.ta.enabled = true;
+  options.memory.dma.ta.mu = mu;
+  return options;
+}
+
+inline SimulationOptions TaPlOptions(const SimulationOptions& base, double mu,
+                                     int groups = 2) {
+  SimulationOptions options = TaOptions(base, mu);
+  options.memory.dma.pl.enabled = true;
+  options.memory.dma.pl.groups = groups;
+  return options;
+}
+
+}  // namespace dmasim::bench
+
+#endif  // DMASIM_BENCH_BENCH_UTIL_H_

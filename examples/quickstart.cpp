@@ -1,0 +1,65 @@
+// Quickstart: simulate a storage server for 50 ms under the baseline
+// dynamic policy and under DMA-TA-PL, and print the energy comparison.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "server/simulation_driver.h"
+#include "stats/table.h"
+#include "trace/workloads.h"
+
+int main() {
+  using namespace dmasim;
+
+  // 1. Describe the workload: the paper's OLTP storage-server trace
+  //    shape, shortened to 50 ms for a quick run.
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = 50 * kMillisecond;
+
+  // 2. Baseline: dynamic threshold policy only.
+  SimulationOptions baseline_options;
+  SimulationResults baseline = RunWorkload(spec, baseline_options);
+
+  // 3. Calibrate the DMA-TA slowdown budget from a 10% client-perceived
+  //    degradation limit, then enable DMA-TA + PL.
+  const CpCalibration calibration = Calibrate(baseline);
+  SimulationOptions dma_aware_options = baseline_options;
+  dma_aware_options.memory.dma.ta.enabled = true;
+  dma_aware_options.memory.dma.ta.mu = calibration.MuFor(0.10);
+  dma_aware_options.memory.dma.pl.enabled = true;
+  dma_aware_options.memory.dma.pl.groups = 2;
+  SimulationResults dma_aware = RunWorkload(spec, dma_aware_options);
+
+  // 4. Report.
+  TablePrinter table({"metric", "baseline", "DMA-TA-PL"});
+  table.AddRow({"total energy (mJ)",
+                TablePrinter::Num(baseline.energy.Total() * 1e3, 3),
+                TablePrinter::Num(dma_aware.energy.Total() * 1e3, 3)});
+  table.AddRow({"active-idle-DMA energy (mJ)",
+                TablePrinter::Num(
+                    baseline.energy.Of(EnergyBucket::kActiveIdleDma) * 1e3, 3),
+                TablePrinter::Num(
+                    dma_aware.energy.Of(EnergyBucket::kActiveIdleDma) * 1e3,
+                    3)});
+  table.AddRow({"utilization factor",
+                TablePrinter::Num(baseline.utilization_factor, 3),
+                TablePrinter::Num(dma_aware.utilization_factor, 3)});
+  table.AddRow(
+      {"avg client response (us)",
+       TablePrinter::Num(baseline.client_response.Mean() / kMicrosecond, 1),
+       TablePrinter::Num(dma_aware.client_response.Mean() / kMicrosecond, 1)});
+  table.AddRow({"transfers completed",
+                std::to_string(baseline.controller.transfers_completed),
+                std::to_string(dma_aware.controller.transfers_completed)});
+  table.Print(std::cout);
+
+  std::cout << "\nenergy savings vs baseline: "
+            << TablePrinter::Percent(dma_aware.EnergySavingsVs(baseline))
+            << "\nresponse-time degradation:  "
+            << TablePrinter::Percent(dma_aware.ResponseDegradationVs(baseline))
+            << "\n(mu calibrated to " << TablePrinter::Num(dma_aware_options.memory.dma.ta.mu, 2)
+            << " from CP-Limit 10%)\n";
+  return 0;
+}

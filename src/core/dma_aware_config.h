@@ -1,0 +1,89 @@
+// Configuration for the DMA-aware memory energy management techniques.
+#ifndef DMASIM_CORE_DMA_AWARE_CONFIG_H_
+#define DMASIM_CORE_DMA_AWARE_CONFIG_H_
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace dmasim {
+
+// DMA-TA (temporal alignment, Section 4.1) knobs.
+struct TemporalAlignmentConfig {
+  bool enabled = false;
+
+  // Acceptable average per-request slowdown: the average DMA-memory
+  // request service time may grow to (1 + mu) * T. Derived offline from a
+  // client-perceived limit by `CpLimitCalibrator`.
+  double mu = 0.0;
+
+  // Epoch used for the pessimistic slack debiting (Section 4.1.2). The
+  // paper reports insensitivity to this value as long as it is not too
+  // large.
+  Tick epoch_length = 50 * kMicrosecond;
+
+  // Minimum gathered batch size for a quorum release, expressed as a
+  // multiple of k (the bus count that saturates memory bandwidth). 1.0
+  // releases as soon as k distinct buses are gathered (the paper's rule);
+  // larger values gather deeper batches, trading extra (budgeted) delay
+  // for longer fully-aligned episodes and fewer wakeups. Studied by
+  // bench_ablation_gather.
+  double gather_depth_factor = 1.0;
+
+  // Cost-benefit guard (the paper's future-work "run-time cost-benefit
+  // analysis before migration/delay", applied to gating): if a transfer's
+  // whole delay budget is below this, it cannot plausibly gather
+  // companions before its deadline, so it is not delayed at all.
+  Tick min_gating_budget = 25 * kMicrosecond;
+
+  // Upper bound on accumulated slack, expressed in whole-request credits
+  // (i.e. max slack = cap * mu * T). The paper's account is uncapped; the
+  // cap bounds the worst-case delay of an isolated gated transfer without
+  // affecting the average-time guarantee. Set very large to disable.
+  double slack_cap_requests = 4096.0;
+};
+
+// PL (popularity-based layout, Section 4.2) knobs.
+struct PopularityLayoutConfig {
+  bool enabled = false;
+
+  // Number of popularity groups including the cold group. 2 (one hot, one
+  // cold) is the paper's recommended setting.
+  int groups = 2;
+
+  // The hot chips are sized so the pages placed there account for this
+  // fraction of DMA accesses in the last interval (the paper's p = 60%).
+  double hot_access_share = 0.60;
+
+  // Page-migration interval (multiple epochs).
+  Tick interval = 20 * kMillisecond;
+
+  // Cap on page migrations per interval (bounds the worst-case copy storm;
+  // remaining moves are deferred to the next interval).
+  int max_migrations_per_interval = 4096;
+
+  // Reference counters are aged by a right shift every
+  // `age_period_intervals` migration intervals (0 disables aging). The
+  // paper ages "periodically"; a period of several intervals gives the
+  // counters a window long enough to resolve the 60% access share of a
+  // Zipf-like popularity curve while still adapting to workload change.
+  int age_period_intervals = 8;
+
+  // Pages with fewer references than this in the current window are never
+  // targeted at hot chips: one-off references are noise, and migrating
+  // them costs more energy than their placement could ever save (the
+  // paper's "pages accessed 8 times are not necessarily hotter than pages
+  // accessed 10 times" argument, applied at the cold boundary).
+  // A single cache-missing client access already produces two DMA
+  // references (disk in + network out), so the floor sits above that.
+  std::uint32_t min_hot_count = 3;
+};
+
+struct DmaAwareConfig {
+  TemporalAlignmentConfig ta;
+  PopularityLayoutConfig pl;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_CORE_DMA_AWARE_CONFIG_H_

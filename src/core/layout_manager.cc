@@ -1,0 +1,214 @@
+#include "core/layout_manager.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dmasim {
+
+LayoutManager::LayoutManager(const PopularityLayoutConfig& config, int chips,
+                             int pages_per_chip)
+    : config_(config), chips_(chips), pages_per_chip_(pages_per_chip) {
+  DMASIM_EXPECTS(chips >= 2);  // Need at least one hot and one cold chip.
+  DMASIM_EXPECTS(pages_per_chip > 0);
+  DMASIM_EXPECTS(config.groups >= 2);
+  DMASIM_EXPECTS(config.hot_access_share > 0.0 &&
+                 config.hot_access_share <= 1.0);
+}
+
+std::vector<int> LayoutManager::HotGroupSizes(int hot_chips, int groups) {
+  DMASIM_EXPECTS(hot_chips >= 1);
+  DMASIM_EXPECTS(groups >= 2);
+  std::vector<int> sizes;
+  int remaining = hot_chips;
+  const int hot_groups = groups - 1;  // Last group is the cold group.
+  for (int g = 0; g < hot_groups && remaining > 0; ++g) {
+    int size = 1 << g;  // 1, 2, 4, ... (the paper's exponential sizing).
+    if (g == hot_groups - 1 || size > remaining) size = remaining;
+    sizes.push_back(size);
+    remaining -= size;
+  }
+  return sizes;
+}
+
+LayoutPlan LayoutManager::Plan(
+    const std::vector<std::uint32_t>& counts,
+    const std::vector<std::int32_t>& page_to_chip) const {
+  DMASIM_EXPECTS(counts.size() == page_to_chip.size());
+  const std::uint64_t pages = counts.size();
+  LayoutPlan plan;
+
+  // Rank referenced pages by popularity (count desc, page asc for
+  // determinism).
+  std::vector<std::uint32_t> ranked;
+  ranked.reserve(1024);
+  std::uint64_t total = 0;
+  for (std::uint64_t page = 0; page < pages; ++page) {
+    if (counts[page] > 0) {
+      ranked.push_back(static_cast<std::uint32_t>(page));
+      total += counts[page];
+    }
+  }
+  if (total == 0) return plan;
+  std::sort(ranked.begin(), ranked.end(),
+            [&counts](std::uint32_t a, std::uint32_t b) {
+              if (counts[a] != counts[b]) return counts[a] > counts[b];
+              return a < b;
+            });
+
+  // Size the hot set: the smallest prefix of ranked pages covering the
+  // target access share, rounded up to whole chips.
+  const double target = config_.hot_access_share * static_cast<double>(total);
+  std::uint64_t covered = 0;
+  std::uint64_t hot_pages = 0;
+  for (std::uint32_t page : ranked) {
+    if (counts[page] < config_.min_hot_count) break;  // Noise floor.
+    covered += counts[page];
+    ++hot_pages;
+    if (static_cast<double>(covered) >= target) break;
+  }
+  if (hot_pages == 0) return plan;
+  int hot_chips = static_cast<int>(
+      (hot_pages + static_cast<std::uint64_t>(pages_per_chip_) - 1) /
+      static_cast<std::uint64_t>(pages_per_chip_));
+  // The exponential group structure (1, 2, 4, ... chips) needs at least
+  // 2^(K-2) + ... + 1 hot chips to give every hot group its own chips;
+  // more groups therefore spread the hot pages over more chips. This is
+  // the structural cost of finer popularity ordering that makes 2 groups
+  // the paper's best setting.
+  const int min_chips_for_groups = (1 << (config_.groups - 1)) - 1;
+  hot_chips = std::clamp(std::max(hot_chips, min_chips_for_groups), 1,
+                         chips_ - 1);
+  plan.hot_chips = hot_chips;
+
+  // Chip -> group map: hot groups first (chips 0..hot_chips-1), then cold.
+  const std::vector<int> sizes = HotGroupSizes(hot_chips, config_.groups);
+  plan.group_of_chip.assign(static_cast<std::size_t>(chips_),
+                            static_cast<int>(sizes.size()));  // Cold id.
+  plan.group_count = static_cast<int>(sizes.size()) + 1;
+  {
+    int chip = 0;
+    for (std::size_t g = 0; g < sizes.size(); ++g) {
+      for (int i = 0; i < sizes[g]; ++i) {
+        plan.group_of_chip[static_cast<std::size_t>(chip++)] =
+            static_cast<int>(g);
+      }
+    }
+  }
+  const int cold_group = static_cast<int>(sizes.size());
+
+  // Only the prefix of pages that actually carries the p access share is
+  // placed deliberately; the remaining hot-chip capacity keeps whatever
+  // resides there (migrating unreferenced pages would cost energy for no
+  // benefit).
+  const std::uint64_t hot_capacity =
+      static_cast<std::uint64_t>(hot_chips) *
+      static_cast<std::uint64_t>(pages_per_chip_);
+  const std::uint64_t hot_ranks = std::min<std::uint64_t>(
+      {static_cast<std::uint64_t>(ranked.size()), hot_capacity, hot_pages});
+
+  // Partition the hot page ranks among the hot groups proportionally to
+  // each group's chip count (hottest pages into the smallest group), so
+  // the popularity ordering across groups matches the paper's scheme.
+  std::vector<std::uint64_t> group_rank_end(sizes.size(), 0);
+  {
+    std::uint64_t assigned = 0;
+    int chips_seen = 0;
+    for (std::size_t g = 0; g < sizes.size(); ++g) {
+      chips_seen += sizes[g];
+      std::uint64_t end = hot_ranks * static_cast<std::uint64_t>(chips_seen) /
+                          static_cast<std::uint64_t>(hot_chips);
+      // Never exceed the group's own capacity.
+      const std::uint64_t capacity_end =
+          assigned + static_cast<std::uint64_t>(sizes[g]) *
+                         static_cast<std::uint64_t>(pages_per_chip_);
+      end = std::min(end, capacity_end);
+      if (g + 1 == sizes.size()) end = std::min(hot_ranks, capacity_end);
+      group_rank_end[g] = std::max(end, assigned);
+      assigned = group_rank_end[g];
+    }
+  }
+  auto target_group_of_rank = [&](std::uint64_t rank) {
+    for (std::size_t g = 0; g < group_rank_end.size(); ++g) {
+      if (rank < group_rank_end[g]) return static_cast<int>(g);
+    }
+    return cold_group;
+  };
+
+  std::vector<int> target_group_of_page(pages, cold_group);
+  for (std::uint64_t rank = 0; rank < hot_ranks; ++rank) {
+    target_group_of_page[ranked[rank]] =
+        target_group_of_rank(rank);
+  }
+
+  std::vector<std::vector<std::uint32_t>> evictable(
+      static_cast<std::size_t>(chips_));
+  for (std::uint64_t page = 0; page < pages; ++page) {
+    const int chip = page_to_chip[page];
+    if (chip < hot_chips &&
+        target_group_of_page[page] !=
+            plan.group_of_chip[static_cast<std::size_t>(chip)]) {
+      evictable[static_cast<std::size_t>(chip)].push_back(
+          static_cast<std::uint32_t>(page));
+    }
+  }
+
+  // Greedy swap planning in rank order (hottest pages first), respecting
+  // the per-interval migration cap.
+  std::vector<bool> moved(pages, false);
+  std::vector<int> next_chip_in_group(static_cast<std::size_t>(sizes.size()),
+                                      0);
+  auto group_first_chip = [&sizes](int group) {
+    int first = 0;
+    for (int g = 0; g < group; ++g) first += sizes[static_cast<std::size_t>(g)];
+    return first;
+  };
+
+  for (std::uint64_t rank = 0; rank < hot_ranks; ++rank) {
+    const std::uint32_t page = ranked[rank];
+    if (moved[page]) continue;
+    const int group = target_group_of_rank(rank);
+    const int current_chip = page_to_chip[page];
+    if (plan.group_of_chip[static_cast<std::size_t>(current_chip)] == group) {
+      continue;  // Already in the right group: no migration needed.
+    }
+    if (static_cast<int>(plan.moves.size()) + 2 >
+        config_.max_migrations_per_interval) {
+      ++plan.deferred_moves;
+      continue;
+    }
+
+    // Find a chip of the target group with an evictable resident.
+    const int first = group_first_chip(group);
+    const int span = sizes[static_cast<std::size_t>(group)];
+    int destination = -1;
+    std::uint32_t victim = 0;
+    for (int probe = 0; probe < span; ++probe) {
+      int& cursor = next_chip_in_group[static_cast<std::size_t>(group)];
+      const int chip = first + (cursor % span);
+      cursor = (cursor + 1) % span;
+      auto& candidates = evictable[static_cast<std::size_t>(chip)];
+      while (!candidates.empty() && moved[candidates.back()]) {
+        candidates.pop_back();  // Skip stale entries.
+      }
+      if (!candidates.empty()) {
+        destination = chip;
+        victim = candidates.back();
+        candidates.pop_back();
+        break;
+      }
+    }
+    if (destination < 0) continue;  // Group saturated with hot pages.
+
+    // Swap `page` and `victim`.
+    plan.moves.push_back(PageMove{page, current_chip, destination});
+    plan.moves.push_back(PageMove{victim, destination, current_chip});
+    // Each page migrates at most once per interval; a bounced victim that
+    // itself deserves a hot slot is fixed in the next interval.
+    moved[page] = true;
+    moved[victim] = true;
+  }
+
+  return plan;
+}
+
+}  // namespace dmasim

@@ -1,0 +1,66 @@
+// PL: popularity-based page layout (Section 4.2).
+//
+// At the end of every interval the layout manager ranks logical pages by
+// DMA reference count, sizes the hot chip set N_hot so the pages placed
+// there cover a fraction p of the interval's accesses, partitions the hot
+// chips into exponentially sized groups (1, 2, 4, ... chips, the paper's
+// logarithmic ordering), and plans page *swaps* that bring every
+// misplaced page into a chip of its target group. Only group membership
+// matters -- pages within a group are interchangeable -- which is exactly
+// why fewer groups need fewer migrations.
+#ifndef DMASIM_CORE_LAYOUT_MANAGER_H_
+#define DMASIM_CORE_LAYOUT_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dma_aware_config.h"
+#include "util/check.h"
+
+namespace dmasim {
+
+struct PageMove {
+  std::uint64_t page = 0;
+  int from_chip = 0;
+  int to_chip = 0;
+};
+
+struct LayoutPlan {
+  // Swap-paired moves (occupancy preserving: moves come in pairs
+  // exchanging two pages between two chips).
+  std::vector<PageMove> moves;
+  int hot_chips = 0;
+  // Group index per chip: 0 is the hottest group, `group_count - 1` the
+  // cold group.
+  std::vector<int> group_of_chip;
+  int group_count = 0;
+  // Moves skipped because of the per-interval migration cap.
+  int deferred_moves = 0;
+};
+
+class LayoutManager {
+ public:
+  LayoutManager(const PopularityLayoutConfig& config, int chips,
+                int pages_per_chip);
+
+  // Plans migrations given per-logical-page reference counts and the
+  // current logical-page -> chip mapping.
+  LayoutPlan Plan(const std::vector<std::uint32_t>& counts,
+                  const std::vector<std::int32_t>& page_to_chip) const;
+
+  const PopularityLayoutConfig& config() const { return config_; }
+  int chips() const { return chips_; }
+  int pages_per_chip() const { return pages_per_chip_; }
+
+  // Hot-group chip counts (1, 2, 4, ..., clipped to `hot_chips` total).
+  static std::vector<int> HotGroupSizes(int hot_chips, int groups);
+
+ private:
+  PopularityLayoutConfig config_;
+  int chips_;
+  int pages_per_chip_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_CORE_LAYOUT_MANAGER_H_

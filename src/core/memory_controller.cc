@@ -1,0 +1,276 @@
+#include "core/memory_controller.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dmasim {
+
+int MemorySystemConfig::AlignmentQuorum() const {
+  const double ratio = MemoryBandwidth() / bus_bandwidth;
+  return static_cast<int>(std::ceil(ratio - 1e-9));
+}
+
+Tick MemorySystemConfig::RequestTime() const {
+  return TransferTime(chunk_bytes, bus_bandwidth);
+}
+
+MemoryController::MemoryController(Simulator* simulator,
+                                   const MemorySystemConfig& config,
+                                   const LowPowerPolicy* policy)
+    : simulator_(simulator),
+      config_(config),
+      popularity_(config.TotalPages()),
+      layout_(config.dma.pl, config.chips, config.pages_per_chip) {
+  DMASIM_EXPECTS(config.chips >= 2);
+  DMASIM_EXPECTS(config.bus_count >= 1);
+  DMASIM_EXPECTS(config.page_bytes > 0);
+  DMASIM_EXPECTS(config.chunk_bytes > 0 &&
+                 config.chunk_bytes <= config.page_bytes);
+
+  chips_.reserve(static_cast<std::size_t>(config.chips));
+  for (int i = 0; i < config.chips; ++i) {
+    chips_.push_back(
+        std::make_unique<MemoryChip>(simulator, &config_.power, policy, i));
+  }
+  buses_.reserve(static_cast<std::size_t>(config.bus_count));
+  for (int i = 0; i < config.bus_count; ++i) {
+    auto bus = std::make_unique<IoBus>(simulator, i, config.bus_bandwidth,
+                                       config.chunk_bytes);
+    bus->SetSink(this);
+    buses_.push_back(std::move(bus));
+  }
+
+  // Initial layout: logical pages striped across chips, which scatters the
+  // (hash-permuted) popular pages uniformly -- the unmanaged baseline.
+  page_to_chip_.resize(config.TotalPages());
+  for (std::uint64_t page = 0; page < page_to_chip_.size(); ++page) {
+    page_to_chip_[page] = static_cast<std::int32_t>(page %
+                                                    static_cast<std::uint64_t>(
+                                                        config.chips));
+  }
+
+  transfers_per_chip_.assign(static_cast<std::size_t>(config.chips), 0);
+  aligner_ = std::make_unique<TemporalAligner>(
+      config.dma.ta, config.chips, config.bus_count, config.AlignmentQuorum(),
+      config.RequestTime());
+  if (config.dma.ta.enabled) ScheduleEpoch();
+  if (config.dma.pl.enabled) ScheduleLayoutInterval();
+}
+
+MemoryController::~MemoryController() = default;
+
+std::uint64_t MemoryController::StartDmaTransfer(int bus,
+                                                 std::uint64_t logical_page,
+                                                 std::int64_t bytes,
+                                                 DmaKind kind,
+                                                 Callback on_complete) {
+  DMASIM_EXPECTS(bus >= 0 && bus < bus_count());
+  DMASIM_EXPECTS(logical_page < page_to_chip_.size());
+  DMASIM_EXPECTS(bytes > 0);
+
+  auto transfer = std::make_unique<DmaTransfer>();
+  transfer->id = next_transfer_id_++;
+  transfer->bus_id = bus;
+  transfer->chip_index = page_to_chip_[logical_page];
+  transfer->physical_page = logical_page;
+  transfer->kind = kind;
+  transfer->total_bytes = bytes;
+  transfer->start_time = simulator_->Now();
+  transfer->on_complete = std::move(on_complete);
+
+  popularity_.Record(logical_page);
+  ++stats_.transfers_started;
+  ++transfers_per_chip_[static_cast<std::size_t>(transfer->chip_index)];
+
+  DmaTransfer* raw = transfer.get();
+  transfers_.emplace(raw->id, std::move(transfer));
+  buses_[static_cast<std::size_t>(bus)]->StartTransfer(raw);
+  return raw->id;
+}
+
+void MemoryController::CpuAccess(std::uint64_t logical_page,
+                                 std::int64_t bytes, Callback on_complete) {
+  DMASIM_EXPECTS(logical_page < page_to_chip_.size());
+  const int chip_index = page_to_chip_[logical_page];
+  ++stats_.cpu_accesses;
+  if (aligner_->enabled()) {
+    aligner_->OnCpuAccess(chip_index, config_.power.ServiceTime(bytes));
+  }
+  chips_[static_cast<std::size_t>(chip_index)]->Enqueue(
+      ChipRequest{RequestKind::kCpu, bytes, std::move(on_complete)});
+  // The processor access activates the chip regardless (it has priority),
+  // so any gated DMA requests ride along for free: keeping them delayed
+  // would only force a second activation later.
+  if (aligner_->enabled() && aligner_->HasGated(chip_index)) {
+    ReleaseChip(chip_index);
+  }
+}
+
+void MemoryController::DeliverChunk(DmaTransfer* transfer,
+                                    std::int64_t chunk_bytes, bool first) {
+  const Tick now = simulator_->Now();
+  if (aligner_->enabled()) {
+    aligner_->slack().CreditArrival();
+    if (first) {
+      MemoryChip& chip =
+          *chips_[static_cast<std::size_t>(transfer->chip_index)];
+      if (chip.InLowPowerForGating() &&
+          aligner_->WorthGating(*transfer, chunk_bytes)) {
+        const int chip_index = transfer->chip_index;
+        const TemporalAligner::GateResult gate =
+            aligner_->Gate(chip_index, transfer, chunk_bytes, now);
+        if (gate.release_now) {
+          ReleaseChip(chip_index);
+        } else {
+          // Re-check when this request's delay budget runs out. The check
+          // is idempotent: if the chip was released earlier, nothing is
+          // gated any more and the event is a no-op.
+          simulator_->ScheduleAt(gate.deadline, [this, chip_index]() {
+            if (aligner_->HasGated(chip_index) &&
+                aligner_->ShouldRelease(chip_index, simulator_->Now())) {
+              ReleaseChip(chip_index);
+            }
+          });
+        }
+        return;
+      }
+    }
+  }
+  ForwardChunk(transfer, chunk_bytes, now, first);
+}
+
+void MemoryController::ForwardChunk(DmaTransfer* transfer,
+                                    std::int64_t chunk_bytes, Tick issue_time,
+                                    bool first) {
+  MemoryChip& chip = *chips_[static_cast<std::size_t>(transfer->chip_index)];
+  if (first) {
+    // First chunk actually reaching the chip: the transfer is now in
+    // flight for idle-energy attribution purposes.
+    chip.BeginTransfer();
+  }
+  const std::uint64_t id = transfer->id;
+  chip.Enqueue(ChipRequest{
+      RequestKind::kDma, chunk_bytes,
+      [this, id, chunk_bytes, issue_time](Tick completion) {
+        OnChunkComplete(id, chunk_bytes, issue_time, completion);
+      }});
+}
+
+void MemoryController::ReleaseChip(int chip_index) {
+  std::vector<GatedRequest> gated = aligner_->TakeGated(chip_index);
+  if (gated.empty()) return;
+  MemoryChip& chip = *chips_[static_cast<std::size_t>(chip_index)];
+  if (chip.power_state() != PowerState::kActive) {
+    const Tick wake = config_.power.UpTransition(chip.power_state()).duration;
+    aligner_->slack().DebitActivation(wake, static_cast<int>(gated.size()));
+  }
+  for (GatedRequest& request : gated) {
+    request.transfer->blocked = false;
+    const Tick issue = request.gated_at;
+    request.transfer->gated_at = -1;
+    ForwardChunk(request.transfer, request.chunk_bytes, issue, /*first=*/true);
+  }
+}
+
+void MemoryController::OnChunkComplete(std::uint64_t transfer_id,
+                                       std::int64_t chunk_bytes,
+                                       Tick issue_time, Tick completion) {
+  auto it = transfers_.find(transfer_id);
+  DMASIM_CHECK_MSG(it != transfers_.end(), "unknown transfer completed");
+  DmaTransfer* transfer = it->second.get();
+
+  chunk_service_.Add(static_cast<double>(completion - issue_time));
+  transfer->completed_bytes += chunk_bytes;
+
+  if (transfer->Complete()) {
+    chips_[static_cast<std::size_t>(transfer->chip_index)]->EndTransfer();
+    ++stats_.transfers_completed;
+    transfer_latency_.Add(
+        static_cast<double>(completion - transfer->start_time));
+    Callback on_complete = std::move(transfer->on_complete);
+    transfers_.erase(it);
+    if (on_complete) on_complete(completion);
+    return;
+  }
+  buses_[static_cast<std::size_t>(transfer->bus_id)]->MakeReady(transfer);
+}
+
+void MemoryController::ScheduleEpoch() {
+  simulator_->ScheduleAfter(config_.dma.ta.epoch_length, [this]() {
+    for (int chip_index : aligner_->OnEpoch(simulator_->Now())) {
+      ReleaseChip(chip_index);
+    }
+    ScheduleEpoch();
+  });
+}
+
+void MemoryController::ScheduleLayoutInterval() {
+  simulator_->ScheduleAfter(config_.dma.pl.interval,
+                            [this]() { RunLayoutInterval(); });
+}
+
+void MemoryController::RunLayoutInterval() {
+  const LayoutPlan plan = layout_.Plan(popularity_.counts(), page_to_chip_);
+  if (!plan.moves.empty()) ++stats_.migration_rounds;
+  stats_.deferred_migrations += static_cast<std::uint64_t>(plan.deferred_moves);
+  for (const PageMove& move : plan.moves) {
+    DMASIM_CHECK(page_to_chip_[move.page] == move.from_chip);
+    page_to_chip_[move.page] = move.to_chip;
+    ++stats_.migrations;
+    // Charge the copy: a read on the source chip and a write on the
+    // destination chip. Copies run at lowest priority and in small chunks
+    // (Section 4.2.2's "perform page migration in small chunks") so DMA
+    // and CPU requests are delayed by at most one chunk service.
+    for (std::int64_t offset = 0; offset < config_.page_bytes;
+         offset += config_.chunk_bytes) {
+      const std::int64_t chunk =
+          std::min(config_.chunk_bytes, config_.page_bytes - offset);
+      chips_[static_cast<std::size_t>(move.from_chip)]->Enqueue(
+          ChipRequest{RequestKind::kMigration, chunk, {}});
+      chips_[static_cast<std::size_t>(move.to_chip)]->Enqueue(
+          ChipRequest{RequestKind::kMigration, chunk, {}});
+    }
+  }
+  ++layout_intervals_run_;
+  if (config_.dma.pl.age_period_intervals > 0 &&
+      layout_intervals_run_ % config_.dma.pl.age_period_intervals == 0) {
+    popularity_.Age();
+  }
+  ScheduleLayoutInterval();
+}
+
+double MemoryController::HottestChipShare() const {
+  std::uint64_t total = 0;
+  std::uint64_t best = 0;
+  for (std::uint64_t count : transfers_per_chip_) {
+    total += count;
+    if (count > best) best = count;
+  }
+  return total > 0 ? static_cast<double>(best) / static_cast<double>(total)
+                   : 0.0;
+}
+
+EnergyBreakdown MemoryController::CollectEnergy() {
+  EnergyBreakdown total;
+  for (auto& chip : chips_) {
+    chip->SyncAccounting();
+    total += chip->energy();
+  }
+  return total;
+}
+
+double MemoryController::UtilizationFactor() {
+  Tick serving = 0;
+  Tick idle_dma = 0;
+  for (auto& chip : chips_) {
+    chip->SyncAccounting();
+    serving += chip->stats().dma_serving;
+    idle_dma += chip->stats().active_idle_dma;
+  }
+  const Tick active = serving + idle_dma;
+  return active > 0 ? static_cast<double>(serving) /
+                          static_cast<double>(active)
+                    : 0.0;
+}
+
+}  // namespace dmasim

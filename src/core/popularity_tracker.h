@@ -1,0 +1,56 @@
+// DMA reference-count tracking for popularity-based layout
+// (Section 4.2.1, "a few bits to keep track of the DMA reference counts").
+//
+// Counts are kept per *logical* page so that migrations do not disturb a
+// page's history. Aging (periodic right shift) adapts to workload change.
+#ifndef DMASIM_CORE_POPULARITY_TRACKER_H_
+#define DMASIM_CORE_POPULARITY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+class PopularityTracker {
+ public:
+  explicit PopularityTracker(std::uint64_t pages, std::uint32_t max_count = 0xFFFF)
+      : counts_(pages, 0), max_count_(max_count) {
+    DMASIM_EXPECTS(pages > 0);
+    DMASIM_EXPECTS(max_count > 0);
+  }
+
+  // Records one DMA transfer touching `page` (saturating).
+  void Record(std::uint64_t page) {
+    DMASIM_EXPECTS(page < counts_.size());
+    std::uint32_t& count = counts_[page];
+    if (count < max_count_) ++count;
+    ++total_;
+  }
+
+  // Right-shifts every counter by one bit (the paper's aging scheme).
+  void Age() {
+    for (std::uint32_t& count : counts_) count >>= 1;
+    total_ >>= 1;
+  }
+
+  std::uint32_t Count(std::uint64_t page) const {
+    DMASIM_EXPECTS(page < counts_.size());
+    return counts_[page];
+  }
+
+  const std::vector<std::uint32_t>& counts() const { return counts_; }
+  std::uint64_t pages() const { return counts_.size(); }
+  // Approximate total of all counters (aged alongside them).
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint32_t max_count_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_CORE_POPULARITY_TRACKER_H_

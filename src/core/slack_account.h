@@ -1,0 +1,80 @@
+// Slack bookkeeping for DMA-TA's soft performance guarantee
+// (Section 4.1.2 of the paper).
+//
+// Credits: every arriving DMA-memory request adds mu*T.
+// Debits:
+//   * at each epoch boundary, epoch_length * (number of pending gated
+//     requests) -- the paper's pessimistic assumption that every pending
+//     request waits the whole epoch;
+//   * on releasing a chip, its activation latency times the requests
+//     pending for it;
+//   * on a processor access to a chip with pending requests, the access
+//     service time times that pending count.
+// A negative balance means the guarantee is at risk, so gated requests
+// must be released.
+#ifndef DMASIM_CORE_SLACK_ACCOUNT_H_
+#define DMASIM_CORE_SLACK_ACCOUNT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+class SlackAccount {
+ public:
+  // `t_request` is T, the unaligned/unmanaged average DMA-memory request
+  // service time (one I/O-bus slot). `cap` limits the balance to
+  // cap * mu * T; pass a huge cap to emulate the paper's unbounded
+  // account.
+  SlackAccount(double mu, Tick t_request, double cap_requests)
+      : mu_(mu), t_request_(t_request) {
+    DMASIM_EXPECTS(mu >= 0.0);
+    DMASIM_EXPECTS(t_request > 0);
+    DMASIM_EXPECTS(cap_requests > 0.0);
+    cap_ = cap_requests * mu * static_cast<double>(t_request);
+  }
+
+  // A DMA-memory request arrived at the controller.
+  void CreditArrival() {
+    slack_ = std::min(cap_, slack_ + mu_ * static_cast<double>(t_request_));
+    ++arrivals_;
+  }
+
+  // Epoch boundary: pessimistically charge all pending requests.
+  void DebitEpoch(Tick epoch_length, int pending_requests) {
+    DMASIM_EXPECTS(pending_requests >= 0);
+    slack_ -= static_cast<double>(epoch_length) * pending_requests;
+  }
+
+  // A chip with `pending_requests` gated requests is being activated.
+  void DebitActivation(Tick activation_latency, int pending_requests) {
+    DMASIM_EXPECTS(pending_requests >= 0);
+    slack_ -= static_cast<double>(activation_latency) * pending_requests;
+  }
+
+  // A processor access is serviced by a chip with pending gated requests.
+  void DebitCpuService(Tick service_time, int pending_requests) {
+    DMASIM_EXPECTS(pending_requests >= 0);
+    slack_ -= static_cast<double>(service_time) * pending_requests;
+  }
+
+  double slack() const { return slack_; }
+  bool Exhausted() const { return slack_ <= 0.0; }
+  double mu() const { return mu_; }
+  Tick t_request() const { return t_request_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  double mu_;
+  Tick t_request_;
+  double cap_ = 0.0;
+  double slack_ = 0.0;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_CORE_SLACK_ACCOUNT_H_

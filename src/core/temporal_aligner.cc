@@ -1,0 +1,182 @@
+#include "core/temporal_aligner.h"
+
+#include <algorithm>
+
+namespace dmasim {
+
+TemporalAligner::TemporalAligner(const TemporalAlignmentConfig& config,
+                                 int chip_count, int bus_count, int k,
+                                 Tick t_request)
+    : config_(config),
+      bus_count_(bus_count),
+      k_(k),
+      gather_depth_(std::max(
+          k, static_cast<int>(config.gather_depth_factor * k + 0.5))),
+      slack_(std::max(config.mu, 0.0), t_request, config.slack_cap_requests),
+      gated_(static_cast<std::size_t>(chip_count)) {
+  DMASIM_EXPECTS(chip_count > 0);
+  DMASIM_EXPECTS(bus_count > 0);
+  DMASIM_EXPECTS(k > 0);
+  DMASIM_EXPECTS(config.gather_depth_factor >= 1.0);
+}
+
+namespace {
+
+// The transfer's own delay budget: it contributes one mu*T credit per
+// DMA-memory request, all of which may be spent delaying its first one.
+Tick TransferBudget(const DmaTransfer& transfer, std::int64_t chunk_bytes,
+                    double mu, Tick t_request) {
+  const std::int64_t requests =
+      (transfer.total_bytes + chunk_bytes - 1) / chunk_bytes;
+  return static_cast<Tick>(mu * static_cast<double>(t_request) *
+                           static_cast<double>(requests));
+}
+
+}  // namespace
+
+bool TemporalAligner::WorthGating(const DmaTransfer& transfer,
+                                  std::int64_t chunk_bytes) const {
+  return TransferBudget(transfer, chunk_bytes, slack_.mu(),
+                        slack_.t_request()) >= config_.min_gating_budget;
+}
+
+TemporalAligner::GateResult TemporalAligner::Gate(int chip,
+                                                  DmaTransfer* transfer,
+                                                  std::int64_t chunk_bytes,
+                                                  Tick now) {
+  DMASIM_EXPECTS(enabled());
+  DMASIM_EXPECTS(transfer != nullptr);
+  auto& list = gated_[static_cast<std::size_t>(chip)];
+  transfer->blocked = true;
+  transfer->gated_at = now;
+
+  const Tick budget =
+      TransferBudget(*transfer, chunk_bytes, slack_.mu(), slack_.t_request());
+
+  GatedRequest request{transfer, chunk_bytes, now, now + budget};
+  list.push_back(request);
+  ++total_pending_;
+  ++total_gated_;
+  buffered_bytes_ += chunk_bytes;
+  max_buffered_bytes_ = std::max(max_buffered_bytes_, buffered_bytes_);
+  return GateResult{ShouldRelease(chip, now), request.deadline};
+}
+
+int TemporalAligner::DistinctBuses(int chip) const {
+  const auto& list = gated_[static_cast<std::size_t>(chip)];
+  // Bus counts are small (a handful); a bitmask suffices.
+  std::uint64_t mask = 0;
+  for (const GatedRequest& request : list) {
+    mask |= 1ULL << (request.transfer->bus_id & 63);
+  }
+  int distinct = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++distinct;
+  }
+  return distinct;
+}
+
+double TemporalAligner::DrainBound(int chip) const {
+  const auto& list = gated_[static_cast<std::size_t>(chip)];
+  // m = max pending-per-bus for this chip.
+  int per_bus[64] = {};
+  int m = 0;
+  for (const GatedRequest& request : list) {
+    const int bus = request.transfer->bus_id & 63;
+    m = std::max(m, ++per_bus[bus]);
+  }
+  const int groups = (bus_count_ + k_ - 1) / k_;  // ceil(r / k)
+  return static_cast<double>(m) * static_cast<double>(slack_.t_request()) *
+         static_cast<double>(groups);
+}
+
+bool TemporalAligner::ShouldRelease(int chip, Tick now) const {
+  const auto& list = gated_[static_cast<std::size_t>(chip)];
+  if (list.empty()) return false;
+  // (a) Full utilization achievable: k distinct buses gathered.
+  if (DistinctBuses(chip) >= k_ &&
+      static_cast<int>(list.size()) >= gather_depth_) {
+    last_release_was_quorum_ = true;
+    return true;
+  }
+  // (b) Buffer cap: with fewer than k distinct buses, waiting can still
+  // upgrade the alignment, but not indefinitely -- beyond the configured
+  // depth plus k the marginal gain cannot justify further queueing.
+  if (static_cast<int>(list.size()) >= gather_depth_ + k_) {
+    last_release_was_quorum_ = true;
+    return true;
+  }
+  last_release_was_quorum_ = false;
+  // (c) A gated transfer exhausted its own delay budget.
+  for (const GatedRequest& request : list) {
+    if (request.deadline <= now) return true;
+  }
+  // (d) Global guarantee: slack exhausted, or expected queueing delay of
+  // the pending requests exceeds the remaining slack.
+  if (slack_.Exhausted()) return true;
+  const double n = static_cast<double>(list.size());
+  const double expected_delay = n * DrainBound(chip) / 2.0;
+  return expected_delay >= slack_.slack();
+}
+
+std::vector<GatedRequest> TemporalAligner::TakeGated(int chip) {
+  auto& list = gated_[static_cast<std::size_t>(chip)];
+  std::vector<GatedRequest> taken = std::move(list);
+  list.clear();
+  total_pending_ -= static_cast<int>(taken.size());
+  DMASIM_CHECK(total_pending_ >= 0);
+  for (const GatedRequest& request : taken) {
+    buffered_bytes_ -= request.chunk_bytes;
+  }
+  if (!taken.empty()) {
+    if (last_release_was_quorum_) {
+      ++released_quorum_;
+    } else {
+      ++released_slack_;
+    }
+  }
+  return taken;
+}
+
+std::vector<int> TemporalAligner::OnEpoch(Tick now) {
+  slack_.DebitEpoch(config_.epoch_length, total_pending_);
+  std::vector<int> to_release;
+  if (total_pending_ == 0) return to_release;
+
+  if (slack_.Exhausted()) {
+    // Safety valve: the per-transfer deadlines (rule c) already bound each
+    // request's delay, so on global exhaustion it suffices to drain the
+    // single chip holding the oldest request. Releasing *all* gated chips
+    // here would synchronize their transfers onto shared I/O buses and
+    // stretch every one of them (a convoy), wasting the energy the
+    // technique is meant to save.
+    int oldest_chip = -1;
+    Tick oldest = 0;
+    for (int chip = 0; chip < static_cast<int>(gated_.size()); ++chip) {
+      for (const GatedRequest& request : gated_[static_cast<std::size_t>(
+               chip)]) {
+        if (oldest_chip < 0 || request.gated_at < oldest) {
+          oldest = request.gated_at;
+          oldest_chip = chip;
+        }
+      }
+    }
+    if (oldest_chip >= 0) to_release.push_back(oldest_chip);
+    return to_release;
+  }
+
+  for (int chip = 0; chip < static_cast<int>(gated_.size()); ++chip) {
+    if (HasGated(chip) && ShouldRelease(chip, now)) {
+      to_release.push_back(chip);
+    }
+  }
+  return to_release;
+}
+
+void TemporalAligner::OnCpuAccess(int chip, Tick service_time) {
+  const int pending = PendingFor(chip);
+  if (pending > 0) slack_.DebitCpuService(service_time, pending);
+}
+
+}  // namespace dmasim

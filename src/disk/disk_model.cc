@@ -1,0 +1,66 @@
+#include "disk/disk_model.h"
+
+#include <memory>
+#include <utility>
+
+namespace dmasim {
+
+Disk::Disk(Simulator* simulator, const DiskParams& params, std::uint64_t seed)
+    : simulator_(simulator), params_(params), rng_(seed) {
+  DMASIM_EXPECTS(params.transfer_bytes_per_second > 0.0);
+  DMASIM_EXPECTS(params.rpm > 0.0);
+}
+
+void Disk::Submit(std::int64_t bytes, std::function<void(Tick)> on_complete) {
+  DMASIM_EXPECTS(bytes > 0);
+  queue_.push_back(Request{bytes, std::move(on_complete)});
+  if (!busy_) StartNext();
+}
+
+Tick Disk::ServiceTime(std::int64_t bytes) {
+  // Seek uniformly within +/-80% of the average; rotation uniform in one
+  // revolution; then a sequential media transfer.
+  const double seek_scale = 0.2 + 1.6 * rng_.NextDouble();
+  const Tick seek =
+      static_cast<Tick>(seek_scale * static_cast<double>(params_.average_seek));
+  const Tick rotation = static_cast<Tick>(
+      rng_.NextDouble() * static_cast<double>(params_.FullRotation()));
+  const Tick transfer = TransferTime(bytes, params_.transfer_bytes_per_second);
+  return params_.controller_overhead + seek + rotation + transfer;
+}
+
+void Disk::StartNext() {
+  DMASIM_CHECK(!busy_);
+  DMASIM_CHECK(!queue_.empty());
+  busy_ = true;
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+
+  const Tick service = ServiceTime(request.bytes);
+  busy_time_ += service;
+  simulator_->ScheduleAfter(
+      service, [this, request = std::move(request)]() mutable {
+        busy_ = false;
+        ++served_;
+        if (!queue_.empty()) StartNext();
+        if (request.on_complete) request.on_complete(simulator_->Now());
+      });
+}
+
+DiskArray::DiskArray(Simulator* simulator, const DiskParams& params, int disks,
+                     std::uint64_t seed) {
+  DMASIM_EXPECTS(disks > 0);
+  disks_.reserve(static_cast<std::size_t>(disks));
+  for (int i = 0; i < disks; ++i) {
+    disks_.push_back(std::make_unique<Disk>(simulator, params,
+                                            seed + static_cast<std::uint64_t>(i)));
+  }
+}
+
+void DiskArray::Read(std::uint64_t page, std::int64_t bytes,
+                     std::function<void(Tick)> on_complete) {
+  Disk& disk = *disks_[page % disks_.size()];
+  disk.Submit(bytes, std::move(on_complete));
+}
+
+}  // namespace dmasim

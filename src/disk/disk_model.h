@@ -1,0 +1,88 @@
+// Queued disk and disk-array models.
+//
+// Stand-in for DiskSim (see DESIGN.md substitutions): the experiments need
+// realistic multi-millisecond miss penalties and disk-DMA injection, not
+// head-scheduling fidelity. Each disk serves requests FIFO with
+//   service = controller overhead + seek + rotational latency + transfer,
+// where seek is drawn uniformly around the average seek time and
+// rotational latency uniformly in [0, one revolution).
+#ifndef DMASIM_DISK_DISK_MODEL_H_
+#define DMASIM_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+struct DiskParams {
+  Tick controller_overhead = 200 * kMicrosecond;
+  Tick average_seek = 4500 * kMicrosecond;  // ~4.5 ms (10k RPM class disk).
+  double rpm = 10000.0;
+  double transfer_bytes_per_second = 80.0e6;  // Media transfer rate.
+
+  Tick FullRotation() const {
+    return SecondsToTicks(60.0 / rpm);
+  }
+};
+
+// A single disk with a FIFO queue.
+class Disk {
+ public:
+  Disk(Simulator* simulator, const DiskParams& params, std::uint64_t seed);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Queues a read/write of `bytes`; `on_complete` runs at media completion.
+  void Submit(std::int64_t bytes, std::function<void(Tick)> on_complete);
+
+  std::uint64_t RequestsServed() const { return served_; }
+  std::size_t QueueDepth() const { return queue_.size(); }
+  Tick BusyTime() const { return busy_time_; }
+
+ private:
+  struct Request {
+    std::int64_t bytes;
+    std::function<void(Tick)> on_complete;
+  };
+
+  void StartNext();
+  Tick ServiceTime(std::int64_t bytes);
+
+  Simulator* simulator_;
+  DiskParams params_;
+  Rng rng_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  std::uint64_t served_ = 0;
+  Tick busy_time_ = 0;
+};
+
+// A striped array: request for page P goes to disk (P mod disk count).
+class DiskArray {
+ public:
+  DiskArray(Simulator* simulator, const DiskParams& params, int disks,
+            std::uint64_t seed);
+
+  // Reads `bytes` belonging to logical `page`.
+  void Read(std::uint64_t page, std::int64_t bytes,
+            std::function<void(Tick)> on_complete);
+
+  int DiskCount() const { return static_cast<int>(disks_.size()); }
+  const Disk& disk(int index) const { return *disks_[index]; }
+
+ private:
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_DISK_DISK_MODEL_H_

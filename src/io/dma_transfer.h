@@ -1,0 +1,52 @@
+// DMA transfer descriptor.
+//
+// A DMA transfer moves `total_bytes` between a device on one I/O bus and
+// one memory chip, as a sequence of DMA-memory requests of
+// `chunk_bytes` each (8 bytes on a 64-bit PCI-X bus; larger chunks can be
+// configured to coarsen event granularity without changing energy
+// fractions). The transfer is created by the memory controller, paced by
+// its `IoBus`, and completed when the last chunk has been served by the
+// chip.
+#ifndef DMASIM_IO_DMA_TRANSFER_H_
+#define DMASIM_IO_DMA_TRANSFER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/time.h"
+
+namespace dmasim {
+
+// Origin of a transfer, for statistics and trace bookkeeping.
+enum class DmaKind : int { kNetwork = 0, kDisk };
+
+struct DmaTransfer {
+  std::uint64_t id = 0;
+  int bus_id = 0;
+  int chip_index = 0;
+  std::uint64_t physical_page = 0;
+  DmaKind kind = DmaKind::kNetwork;
+
+  std::int64_t total_bytes = 0;
+  std::int64_t chunk_bytes = 8;
+  std::int64_t issued_bytes = 0;
+  std::int64_t completed_bytes = 0;
+
+  // True while the first DMA-memory request is buffered by DMA-TA and the
+  // DMA engine is therefore not issuing further requests.
+  bool blocked = false;
+
+  Tick start_time = 0;
+  Tick gated_at = -1;  // Time the first request was gated, or -1.
+
+  // Invoked once, when the final chunk completes.
+  std::function<void(Tick)> on_complete;
+
+  std::int64_t RemainingToIssue() const { return total_bytes - issued_bytes; }
+  bool Complete() const { return completed_bytes >= total_bytes; }
+  bool FirstChunk() const { return issued_bytes == 0; }
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_IO_DMA_TRANSFER_H_

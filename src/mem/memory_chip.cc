@@ -1,0 +1,251 @@
+#include "mem/memory_chip.h"
+
+#include <utility>
+
+namespace dmasim {
+
+MemoryChip::MemoryChip(Simulator* simulator, const PowerModel* model,
+                       const LowPowerPolicy* policy, int id)
+    : simulator_(simulator),
+      model_(model),
+      policy_(policy),
+      id_(id),
+      state_(RestingState(*policy)),
+      accounted_until_(simulator->Now()),
+      power_mw_(model->StatePowerMw(state_)) {
+  if (state_ == PowerState::kActive) {
+    bucket_ = EnergyBucket::kActiveIdleThreshold;
+    time_slot_ = &stats_.active_idle_threshold;
+    ArmPolicyTimer();
+  } else {
+    bucket_ = EnergyBucket::kLowPower;
+    time_slot_ = &stats_.low_power[static_cast<int>(state_)];
+    ArmPolicyTimer();
+  }
+}
+
+PowerState MemoryChip::RestingState(const LowPowerPolicy& policy) {
+  PowerState state = PowerState::kActive;
+  // Follow the policy's step-down chain to its terminal state.
+  for (int guard = 0; guard < kPowerStateCount; ++guard) {
+    const auto step = policy.NextStep(state);
+    if (!step.has_value()) break;
+    state = step->target;
+  }
+  return state;
+}
+
+void MemoryChip::SetAccounting(EnergyBucket bucket, double power_mw,
+                               Tick* time_slot) {
+  const Tick now = simulator_->Now();
+  DMASIM_CHECK(now >= accounted_until_);
+  const Tick elapsed = now - accounted_until_;
+  if (elapsed > 0) {
+    energy_.Add(bucket_, PowerModel::EnergyJoules(power_mw_, elapsed));
+    *time_slot_ += elapsed;
+  }
+  accounted_until_ = now;
+  bucket_ = bucket;
+  power_mw_ = power_mw;
+  time_slot_ = time_slot;
+}
+
+void MemoryChip::SyncAccounting() {
+  SetAccounting(bucket_, power_mw_, time_slot_);
+}
+
+void MemoryChip::Enqueue(ChipRequest request) {
+  DMASIM_EXPECTS(request.bytes > 0);
+  switch (request.kind) {
+    case RequestKind::kCpu:
+      cpu_queue_.push_back(std::move(request));
+      break;
+    case RequestKind::kDma:
+      dma_queue_.push_back(std::move(request));
+      break;
+    case RequestKind::kMigration:
+      migration_queue_.push_back(std::move(request));
+      break;
+  }
+  // Invalidate any pending idle timer: the chip is no longer idle.
+  ++timer_generation_;
+  if (serving_ || transitioning_) return;  // Picked up on completion.
+  if (state_ == PowerState::kActive) {
+    StartNextService();
+  } else {
+    StartWake();
+  }
+}
+
+void MemoryChip::BeginTransfer() {
+  ++in_flight_transfers_;
+  if (!serving_ && !transitioning_ && state_ == PowerState::kActive &&
+      in_flight_transfers_ == 1) {
+    // Re-attribute idle-active time. The idle-threshold timer is disarmed:
+    // in the real 8-byte-request system, gaps within an in-flight transfer
+    // (12 memory cycles) are always below the step-down threshold, so the
+    // policy never fires mid-transfer. Encoding that invariant directly
+    // keeps the model independent of the configured chunk granularity.
+    ++timer_generation_;
+    SetAccounting(EnergyBucket::kActiveIdleDma, model_->active_mw,
+                  &stats_.active_idle_dma);
+  }
+}
+
+void MemoryChip::EndTransfer() {
+  DMASIM_EXPECTS(in_flight_transfers_ > 0);
+  --in_flight_transfers_;
+  if (!serving_ && !transitioning_ && state_ == PowerState::kActive &&
+      in_flight_transfers_ == 0) {
+    SetAccounting(EnergyBucket::kActiveIdleThreshold, model_->active_mw,
+                  &stats_.active_idle_threshold);
+    ArmPolicyTimer();
+  }
+}
+
+void MemoryChip::StartNextService() {
+  DMASIM_CHECK(!serving_ && !transitioning_);
+  DMASIM_CHECK(state_ == PowerState::kActive);
+  DMASIM_CHECK(HasQueuedRequest());
+
+  std::deque<ChipRequest>* queue = nullptr;
+  if (!cpu_queue_.empty()) {
+    queue = &cpu_queue_;
+  } else if (!dma_queue_.empty()) {
+    queue = &dma_queue_;
+  } else {
+    queue = &migration_queue_;
+  }
+  ChipRequest request = std::move(queue->front());
+  queue->pop_front();
+
+  serving_ = true;
+  switch (request.kind) {
+    case RequestKind::kDma:
+      SetAccounting(EnergyBucket::kActiveServing, model_->active_mw,
+                    &stats_.dma_serving);
+      break;
+    case RequestKind::kCpu:
+      SetAccounting(EnergyBucket::kActiveServing, model_->active_mw,
+                    &stats_.cpu_serving);
+      break;
+    case RequestKind::kMigration:
+      SetAccounting(EnergyBucket::kMigration, model_->active_mw,
+                    &stats_.migration_serving);
+      break;
+  }
+
+  const Tick service = model_->ServiceTime(request.bytes);
+  simulator_->ScheduleAfter(
+      service, [this, request = std::move(request)]() mutable {
+        ServeDone(std::move(request));
+      });
+}
+
+void MemoryChip::ServeDone(ChipRequest request) {
+  DMASIM_CHECK(serving_);
+  serving_ = false;
+  switch (request.kind) {
+    case RequestKind::kDma:
+      ++stats_.dma_requests;
+      break;
+    case RequestKind::kCpu:
+      ++stats_.cpu_requests;
+      break;
+    case RequestKind::kMigration:
+      ++stats_.migration_requests;
+      break;
+  }
+
+  if (HasQueuedRequest()) {
+    StartNextService();
+  } else {
+    BecomeIdleActive();
+  }
+  // Run the completion callback last so that anything it enqueues sees a
+  // settled chip state.
+  if (request.on_complete) request.on_complete(simulator_->Now());
+}
+
+void MemoryChip::BecomeIdleActive() {
+  DMASIM_CHECK(!serving_ && !transitioning_);
+  DMASIM_CHECK(state_ == PowerState::kActive);
+  if (in_flight_transfers_ > 0) {
+    SetAccounting(EnergyBucket::kActiveIdleDma, model_->active_mw,
+                  &stats_.active_idle_dma);
+  } else {
+    SetAccounting(EnergyBucket::kActiveIdleThreshold, model_->active_mw,
+                  &stats_.active_idle_threshold);
+  }
+  ArmPolicyTimer();
+}
+
+void MemoryChip::ArmPolicyTimer() {
+  // See BeginTransfer: no step-down while a DMA transfer is in flight.
+  if (state_ == PowerState::kActive && in_flight_transfers_ > 0) return;
+  const auto step = policy_->NextStep(state_);
+  if (!step.has_value()) return;
+  const std::uint64_t generation = ++timer_generation_;
+  const PowerState expected_state = state_;
+  const PowerState target = step->target;
+  simulator_->ScheduleAfter(step->after_idle, [this, generation,
+                                               expected_state, target]() {
+    if (timer_generation_ != generation) return;  // Timer was cancelled.
+    if (serving_ || transitioning_ || HasQueuedRequest()) return;
+    if (state_ != expected_state) return;
+    StartStepDown(target);
+  });
+}
+
+void MemoryChip::StartWake() {
+  DMASIM_CHECK(!serving_ && !transitioning_);
+  DMASIM_CHECK(state_ != PowerState::kActive);
+  const Transition& transition = model_->UpTransition(state_);
+  transitioning_ = true;
+  transition_up_ = true;
+  transition_target_ = PowerState::kActive;
+  SetAccounting(EnergyBucket::kTransition, transition.power_mw,
+                &stats_.transition);
+  simulator_->ScheduleAfter(transition.duration, [this]() { TransitionDone(); });
+}
+
+void MemoryChip::StartStepDown(PowerState target) {
+  DMASIM_CHECK(!serving_ && !transitioning_);
+  DMASIM_CHECK(target != PowerState::kActive);
+  const Transition& transition = model_->DownTransition(target);
+  transitioning_ = true;
+  transition_up_ = false;
+  transition_target_ = target;
+  SetAccounting(EnergyBucket::kTransition, transition.power_mw,
+                &stats_.transition);
+  simulator_->ScheduleAfter(transition.duration, [this]() { TransitionDone(); });
+}
+
+void MemoryChip::TransitionDone() {
+  DMASIM_CHECK(transitioning_);
+  transitioning_ = false;
+  state_ = transition_target_;
+
+  if (transition_up_) {
+    ++stats_.wakeups;
+    DMASIM_CHECK(state_ == PowerState::kActive);
+    if (HasQueuedRequest()) {
+      StartNextService();
+    } else {
+      BecomeIdleActive();
+    }
+    return;
+  }
+
+  ++stats_.step_downs;
+  if (HasQueuedRequest()) {
+    // A request arrived while stepping down: wake immediately.
+    StartWake();
+    return;
+  }
+  SetAccounting(EnergyBucket::kLowPower, model_->StatePowerMw(state_),
+                &stats_.low_power[static_cast<int>(state_)]);
+  ArmPolicyTimer();
+}
+
+}  // namespace dmasim

@@ -1,0 +1,147 @@
+// RDRAM memory chip model: request service, power-state machine, and
+// per-bucket energy integration.
+//
+// The chip serves 8-byte DMA-memory requests in 4 memory cycles (at the
+// default 3.2 GB/s data rate) and 64-byte processor accesses in 32 cycles.
+// Between requests of an in-flight DMA transfer it is idle in active mode;
+// that time is attributed to the ActiveIdleDma energy bucket, which is the
+// waste DMA-TA attacks. A chip-local `LowPowerPolicy` decides when the
+// idle chip steps down; waking and stepping incur the Table 1 transition
+// costs.
+//
+// Requests are served in priority order: processor accesses first (the
+// paper's Section 4.1.3 "processors take priority" solution), then DMA,
+// then page-migration copies.
+#ifndef DMASIM_MEM_MEMORY_CHIP_H_
+#define DMASIM_MEM_MEMORY_CHIP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "mem/power_model.h"
+#include "mem/power_policy.h"
+#include "sim/simulator.h"
+#include "stats/energy.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+enum class RequestKind : int { kDma = 0, kCpu, kMigration };
+
+// One memory request as seen by a chip. `on_complete` runs when the last
+// byte has been transferred (may be empty).
+struct ChipRequest {
+  RequestKind kind = RequestKind::kDma;
+  std::int64_t bytes = 8;
+  std::function<void(Tick)> on_complete;
+};
+
+// Aggregate per-chip statistics (times in ticks).
+struct ChipStats {
+  Tick dma_serving = 0;
+  Tick cpu_serving = 0;
+  Tick migration_serving = 0;
+  Tick active_idle_dma = 0;
+  Tick active_idle_threshold = 0;
+  Tick transition = 0;
+  Tick low_power[kPowerStateCount] = {};  // Indexed by PowerState.
+  std::uint64_t dma_requests = 0;
+  std::uint64_t cpu_requests = 0;
+  std::uint64_t migration_requests = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t step_downs = 0;
+};
+
+class MemoryChip {
+ public:
+  // `simulator`, `model`, and `policy` must outlive the chip.
+  MemoryChip(Simulator* simulator, const PowerModel* model,
+             const LowPowerPolicy* policy, int id);
+
+  MemoryChip(const MemoryChip&) = delete;
+  MemoryChip& operator=(const MemoryChip&) = delete;
+
+  // Submits a request. If the chip is in (or stepping to) a low-power
+  // state it wakes first, paying the Table 1 transition cost.
+  void Enqueue(ChipRequest request);
+
+  // Registers / unregisters an in-flight DMA transfer targeting this chip.
+  // While at least one transfer is in flight, idle-active time counts as
+  // ActiveIdleDma; otherwise as ActiveIdleThreshold.
+  void BeginTransfer();
+  void EndTransfer();
+
+  // True when a newly arriving DMA-memory request would find the chip in a
+  // low-power mode (the condition under which DMA-TA may delay it).
+  bool InLowPowerForGating() const {
+    if (transitioning_) return !transition_up_;
+    return state_ != PowerState::kActive;
+  }
+
+  PowerState power_state() const { return state_; }
+  bool serving() const { return serving_; }
+  bool transitioning() const { return transitioning_; }
+  int in_flight_transfers() const { return in_flight_transfers_; }
+  int id() const { return id_; }
+  std::size_t QueuedRequests() const {
+    return cpu_queue_.size() + dma_queue_.size() + migration_queue_.size();
+  }
+
+  // Flushes accounting up to the current simulated time. Call before
+  // reading `energy()` or `stats()` at the end of a run.
+  void SyncAccounting();
+
+  const EnergyBreakdown& energy() const { return energy_; }
+  const ChipStats& stats() const { return stats_; }
+  const PowerModel& model() const { return *model_; }
+
+  // Deepest state a policy lets an idle chip settle into (the natural
+  // initial state for a freshly simulated chip).
+  static PowerState RestingState(const LowPowerPolicy& policy);
+
+ private:
+  void StartNextService();
+  void ServeDone(ChipRequest request);
+  void BecomeIdleActive();
+  void ArmPolicyTimer();
+  void StartWake();
+  void StartStepDown(PowerState target);
+  void TransitionDone();
+  bool HasQueuedRequest() const { return QueuedRequests() > 0; }
+
+  // Switches the energy/time accounting mode, integrating the elapsed
+  // interval into the previous mode.
+  void SetAccounting(EnergyBucket bucket, double power_mw, Tick* time_slot);
+
+  Simulator* simulator_;
+  const PowerModel* model_;
+  const LowPowerPolicy* policy_;
+  int id_;
+
+  PowerState state_ = PowerState::kActive;
+  bool serving_ = false;
+  bool transitioning_ = false;
+  bool transition_up_ = false;
+  PowerState transition_target_ = PowerState::kActive;
+  int in_flight_transfers_ = 0;
+  std::uint64_t timer_generation_ = 0;
+
+  std::deque<ChipRequest> cpu_queue_;
+  std::deque<ChipRequest> dma_queue_;
+  std::deque<ChipRequest> migration_queue_;
+
+  // Accounting mode.
+  Tick accounted_until_ = 0;
+  EnergyBucket bucket_ = EnergyBucket::kActiveIdleThreshold;
+  double power_mw_;
+  Tick* time_slot_;
+
+  EnergyBreakdown energy_;
+  ChipStats stats_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_MEM_MEMORY_CHIP_H_

@@ -1,0 +1,147 @@
+// RDRAM power and timing model (Table 1 of the paper).
+//
+// Numbers follow the 512-Mbit 1600 MHz RDRAM specification used by the
+// paper (and by Lebeck et al.): four power states with per-state power,
+// and per-transition power/latency. The memory bus moves 2 bytes per
+// 625 ps memory cycle (3.2 GB/s peak).
+#ifndef DMASIM_MEM_POWER_MODEL_H_
+#define DMASIM_MEM_POWER_MODEL_H_
+
+#include <string_view>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+enum class PowerState : int {
+  kActive = 0,
+  kStandby,
+  kNap,
+  kPowerdown,
+};
+
+inline constexpr int kPowerStateCount = 4;
+
+constexpr std::string_view PowerStateName(PowerState state) {
+  switch (state) {
+    case PowerState::kActive:
+      return "active";
+    case PowerState::kStandby:
+      return "standby";
+    case PowerState::kNap:
+      return "nap";
+    case PowerState::kPowerdown:
+      return "powerdown";
+  }
+  return "?";
+}
+
+// Returns the next lower-power state, or kPowerdown if already there.
+constexpr PowerState NextLowerState(PowerState state) {
+  switch (state) {
+    case PowerState::kActive:
+      return PowerState::kStandby;
+    case PowerState::kStandby:
+      return PowerState::kNap;
+    case PowerState::kNap:
+    case PowerState::kPowerdown:
+      return PowerState::kPowerdown;
+  }
+  return PowerState::kPowerdown;
+}
+
+// Power/latency pair describing one power-mode transition.
+struct Transition {
+  double power_mw = 0.0;
+  Tick duration = 0;
+};
+
+// Chip-level power/timing parameters. Defaults reproduce the paper's
+// Table 1 exactly; a memory cycle is 625 ps (1600 MHz).
+struct PowerModel {
+  Tick cycle = 625;              // One memory cycle in ticks.
+  double bytes_per_cycle = 2.0;  // Peak data rate: 3.2 GB/s.
+
+  double active_mw = 300.0;
+  double standby_mw = 180.0;
+  double nap_mw = 30.0;
+  double powerdown_mw = 3.0;
+
+  // Downward transitions (from active; also used as an approximation for
+  // chained steps, e.g. standby -> nap, which the spec does not list).
+  Transition to_standby{240.0, 1 * 625};   // 1 memory cycle.
+  Transition to_nap{160.0, 8 * 625};       // 8 memory cycles.
+  Transition to_powerdown{15.0, 8 * 625};  // 8 memory cycles.
+
+  // Upward transitions back to active ("+" latencies in Table 1).
+  Transition from_standby{240.0, 6 * kNanosecond};
+  Transition from_nap{160.0, 60 * kNanosecond};
+  Transition from_powerdown{15.0, 6000 * kNanosecond};
+
+  // Steady-state power of `state` in milliwatts.
+  double StatePowerMw(PowerState state) const {
+    switch (state) {
+      case PowerState::kActive:
+        return active_mw;
+      case PowerState::kStandby:
+        return standby_mw;
+      case PowerState::kNap:
+        return nap_mw;
+      case PowerState::kPowerdown:
+        return powerdown_mw;
+    }
+    DMASIM_CHECK_MSG(false, "invalid power state");
+  }
+
+  // Transition descriptor for entering `target` from a higher-power state.
+  const Transition& DownTransition(PowerState target) const {
+    switch (target) {
+      case PowerState::kStandby:
+        return to_standby;
+      case PowerState::kNap:
+        return to_nap;
+      case PowerState::kPowerdown:
+        return to_powerdown;
+      case PowerState::kActive:
+        break;
+    }
+    DMASIM_CHECK_MSG(false, "no down transition to active");
+  }
+
+  // Transition descriptor for waking to active from `source`.
+  const Transition& UpTransition(PowerState source) const {
+    switch (source) {
+      case PowerState::kStandby:
+        return from_standby;
+      case PowerState::kNap:
+        return from_nap;
+      case PowerState::kPowerdown:
+        return from_powerdown;
+      case PowerState::kActive:
+        break;
+    }
+    DMASIM_CHECK_MSG(false, "no up transition from active");
+  }
+
+  // Time to serve `bytes` at the chip's peak data rate.
+  Tick ServiceTime(std::int64_t bytes) const {
+    DMASIM_EXPECTS(bytes > 0);
+    const double cycles = static_cast<double>(bytes) / bytes_per_cycle;
+    return static_cast<Tick>(cycles * static_cast<double>(cycle) + 0.5);
+  }
+
+  // Sustained memory bandwidth in bytes/second.
+  double BandwidthBytesPerSecond() const {
+    return bytes_per_cycle / TicksToSeconds(cycle);
+  }
+
+  // Converts a (milliwatt, tick) product to joules.
+  static double EnergyJoules(double power_mw, Tick duration) {
+    return power_mw * 1e-3 * TicksToSeconds(duration);
+  }
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_MEM_POWER_MODEL_H_

@@ -1,0 +1,117 @@
+// Low-level memory power-management policies.
+//
+// These are the policies the paper builds on (Section 2.2): a chip-local
+// rule deciding when an idle chip steps down to a lower power state.
+//   * StaticPolicy: always drop to one fixed low-power mode immediately
+//     after servicing (Lebeck et al.'s "static" schemes).
+//   * DynamicThresholdPolicy: step to the next lower mode after a
+//     per-mode idle threshold expires (Lebeck et al.'s "dynamic" scheme;
+//     the paper's baseline).
+// DMA-TA / PL sit *above* these: they shape the request stream, while the
+// low-level policy still owns the power-state decisions.
+#ifndef DMASIM_MEM_POWER_POLICY_H_
+#define DMASIM_MEM_POWER_POLICY_H_
+
+#include <optional>
+#include <string>
+
+#include "mem/power_model.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+// One pending step-down decision: after `after_idle` ticks of idleness in
+// the current state, move to `target`.
+struct PolicyStep {
+  Tick after_idle = 0;
+  PowerState target = PowerState::kStandby;
+};
+
+// Interface for chip-local power management policies.
+class LowPowerPolicy {
+ public:
+  virtual ~LowPowerPolicy() = default;
+
+  // Returns the next step-down from `current`, or nullopt to stay put.
+  virtual std::optional<PolicyStep> NextStep(PowerState current) const = 0;
+
+  // Human-readable policy name for reports.
+  virtual std::string Name() const = 0;
+};
+
+// Drops straight to a fixed target state as soon as the chip idles.
+class StaticPolicy final : public LowPowerPolicy {
+ public:
+  explicit StaticPolicy(PowerState target) : target_(target) {
+    DMASIM_EXPECTS(target != PowerState::kActive);
+  }
+
+  std::optional<PolicyStep> NextStep(PowerState current) const override {
+    if (current == PowerState::kActive) return PolicyStep{0, target_};
+    return std::nullopt;
+  }
+
+  std::string Name() const override {
+    return std::string("static-") + std::string(PowerStateName(target_));
+  }
+
+  PowerState target() const { return target_; }
+
+ private:
+  PowerState target_;
+};
+
+// Per-state idle thresholds; after `threshold[s]` idle ticks in state `s`
+// the chip steps to the next lower state. The defaults follow the paper's
+// observation that the best active->lower threshold is around 20-30 memory
+// cycles, with progressively longer thresholds for the deeper states
+// (roughly break-even times for the Table 1 transition costs).
+struct DynamicThresholdConfig {
+  Tick active_to_standby = 24 * 625;        // 24 memory cycles (15 ns).
+  Tick standby_to_nap = 160 * kNanosecond;  // ~0.16 us.
+  Tick nap_to_powerdown = 16 * kMicrosecond;
+};
+
+class DynamicThresholdPolicy final : public LowPowerPolicy {
+ public:
+  explicit DynamicThresholdPolicy(DynamicThresholdConfig config = {})
+      : config_(config) {
+    DMASIM_EXPECTS(config.active_to_standby >= 0);
+    DMASIM_EXPECTS(config.standby_to_nap >= 0);
+    DMASIM_EXPECTS(config.nap_to_powerdown >= 0);
+  }
+
+  std::optional<PolicyStep> NextStep(PowerState current) const override {
+    switch (current) {
+      case PowerState::kActive:
+        return PolicyStep{config_.active_to_standby, PowerState::kStandby};
+      case PowerState::kStandby:
+        return PolicyStep{config_.standby_to_nap, PowerState::kNap};
+      case PowerState::kNap:
+        return PolicyStep{config_.nap_to_powerdown, PowerState::kPowerdown};
+      case PowerState::kPowerdown:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::string Name() const override { return "dynamic-threshold"; }
+
+  const DynamicThresholdConfig& config() const { return config_; }
+
+ private:
+  DynamicThresholdConfig config_;
+};
+
+// Never leaves active mode; useful as an energy-unaware reference point.
+class AlwaysActivePolicy final : public LowPowerPolicy {
+ public:
+  std::optional<PolicyStep> NextStep(PowerState) const override {
+    return std::nullopt;
+  }
+  std::string Name() const override { return "always-active"; }
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_MEM_POWER_POLICY_H_

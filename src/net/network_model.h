@@ -1,0 +1,46 @@
+// Storage-area-network link model.
+//
+// Client requests arrive over a SAN (Fig. 1 of the paper). For
+// client-perceived response time accounting we only need a per-message
+// latency: a fixed overhead plus serialization at the link rate. Energy
+// on the network side is out of scope (the paper's techniques operate at
+// time scales far below network/disk power-management granularity, so they
+// do not change network energy; Section 4 notes).
+#ifndef DMASIM_NET_NETWORK_MODEL_H_
+#define DMASIM_NET_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+struct NetworkParams {
+  Tick per_message_overhead = 20 * kMicrosecond;  // Protocol + NIC overhead.
+  double link_bytes_per_second = 1.0e9;           // ~1 GB/s SAN link.
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkParams& params = {}) : params_(params) {
+    DMASIM_EXPECTS(params.link_bytes_per_second > 0.0);
+    DMASIM_EXPECTS(params.per_message_overhead >= 0);
+  }
+
+  // One-way latency of a `bytes`-sized message.
+  Tick MessageTime(std::int64_t bytes) const {
+    DMASIM_EXPECTS(bytes >= 0);
+    return params_.per_message_overhead +
+           TransferTime(bytes, params_.link_bytes_per_second);
+  }
+
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  NetworkParams params_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_NET_NETWORK_MODEL_H_

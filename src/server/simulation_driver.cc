@@ -1,0 +1,142 @@
+#include "server/simulation_driver.h"
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace dmasim {
+
+std::string PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDynamic:
+      return "dynamic";
+    case PolicyKind::kStaticStandby:
+      return "static-standby";
+    case PolicyKind::kStaticNap:
+      return "static-nap";
+    case PolicyKind::kStaticPowerdown:
+      return "static-powerdown";
+    case PolicyKind::kAlwaysActive:
+      return "always-active";
+  }
+  return "?";
+}
+
+std::unique_ptr<LowPowerPolicy> MakePolicy(
+    PolicyKind kind, const DynamicThresholdConfig& thresholds) {
+  switch (kind) {
+    case PolicyKind::kDynamic:
+      return std::make_unique<DynamicThresholdPolicy>(thresholds);
+    case PolicyKind::kStaticStandby:
+      return std::make_unique<StaticPolicy>(PowerState::kStandby);
+    case PolicyKind::kStaticNap:
+      return std::make_unique<StaticPolicy>(PowerState::kNap);
+    case PolicyKind::kStaticPowerdown:
+      return std::make_unique<StaticPolicy>(PowerState::kPowerdown);
+    case PolicyKind::kAlwaysActive:
+      return std::make_unique<AlwaysActivePolicy>();
+  }
+  DMASIM_CHECK_MSG(false, "invalid policy kind");
+}
+
+std::string SchemeName(const MemorySystemConfig& config) {
+  if (!config.dma.ta.enabled) return "baseline";
+  if (!config.dma.pl.enabled) return "DMA-TA";
+  return "DMA-TA-PL(" + std::to_string(config.dma.pl.groups) + ")";
+}
+
+double SimulationResults::EnergySavingsVs(
+    const SimulationResults& baseline) const {
+  const double base = baseline.energy.Total();
+  return base > 0.0 ? 1.0 - energy.Total() / base : 0.0;
+}
+
+double SimulationResults::ResponseDegradationVs(
+    const SimulationResults& baseline) const {
+  const double base = baseline.client_response.Mean();
+  return base > 0.0 ? client_response.Mean() / base - 1.0 : 0.0;
+}
+
+double SimulationResults::MemoryTimePerRequest() const {
+  const std::uint64_t requests = server.reads + server.writes;
+  if (requests == 0) return 0.0;
+  return transfer_latency.Sum() / static_cast<double>(requests);
+}
+
+SimulationResults RunTrace(const Trace& trace, double miss_ratio,
+                           Tick duration, const SimulationOptions& options,
+                           const std::string& workload_name) {
+  DMASIM_EXPECTS(IsTimeSorted(trace));
+
+  Simulator simulator;
+  std::unique_ptr<LowPowerPolicy> policy =
+      MakePolicy(options.policy, options.thresholds);
+  MemoryController controller(&simulator, options.memory, policy.get());
+  ServerConfig server_config = options.server;
+  server_config.forced_miss_ratio = miss_ratio;
+  DataServer server(&simulator, &controller, server_config);
+
+  // Cursor-based feeder: keeps the event heap small even for CPU-access
+  // heavy database traces.
+  std::size_t cursor = 0;
+  std::function<void()> feed = [&]() {
+    while (cursor < trace.size() && trace[cursor].time <= simulator.Now()) {
+      const TraceRecord& record = trace[cursor++];
+      switch (record.kind) {
+        case TraceEventKind::kClientRead:
+          server.ClientRead(record.page, record.bytes);
+          break;
+        case TraceEventKind::kClientWrite:
+          server.ClientWrite(record.page, record.bytes);
+          break;
+        case TraceEventKind::kCpuAccess:
+          server.CpuAccess(record.page, record.bytes);
+          break;
+      }
+    }
+    if (cursor < trace.size()) {
+      simulator.ScheduleAt(trace[cursor].time, feed);
+    }
+  };
+  if (!trace.empty()) simulator.ScheduleAt(trace[0].time, feed);
+
+  simulator.RunUntil(duration + options.drain);
+
+  SimulationResults results;
+  results.workload = workload_name;
+  results.scheme = SchemeName(options.memory) + "/" +
+                   PolicyKindName(options.policy);
+  results.duration = simulator.Now();
+  results.energy = controller.CollectEnergy();
+  results.utilization_factor = controller.UtilizationFactor();
+  results.client_response = server.ResponseTime();
+  results.chunk_service = controller.ChunkServiceTime();
+  results.transfer_latency = controller.TransferLatency();
+  results.controller = controller.stats();
+  results.server = server.stats();
+  results.gated_requests = controller.aligner().TotalGated();
+  results.releases_by_quorum = controller.aligner().ReleasedByQuorum();
+  results.releases_by_slack = controller.aligner().ReleasedBySlack();
+  results.max_gated_buffer_bytes = controller.aligner().MaxBufferedBytes();
+  results.executed_events = simulator.ExecutedEvents();
+  results.hottest_chip_share = controller.HottestChipShare();
+  return results;
+}
+
+SimulationResults RunWorkload(const WorkloadSpec& spec,
+                              const SimulationOptions& options) {
+  const Trace trace = GenerateWorkload(spec);
+  SimulationOptions effective = options;
+  effective.server.request_compute_time = spec.request_compute_time;
+  return RunTrace(trace, spec.miss_ratio, spec.duration, effective, spec.name);
+}
+
+CpCalibration Calibrate(const SimulationResults& baseline) {
+  CpCalibration calibration;
+  calibration.r0 = baseline.client_response.Mean();
+  calibration.m0 = baseline.MemoryTimePerRequest();
+  return calibration;
+}
+
+}  // namespace dmasim

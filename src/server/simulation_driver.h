@@ -1,0 +1,107 @@
+// End-to-end simulation driver: wires trace -> data server -> memory
+// controller -> chips, runs to completion, and collects the metrics the
+// paper reports (energy breakdown, savings, client response time,
+// utilization factor).
+//
+// Also home of the CP-Limit calibration: the paper's DMA-TA takes the
+// per-request slowdown mu, derived offline from a client-perceived
+// response-time degradation limit. `Calibrate` measures the baseline
+// response time R0 and the average memory-transfer time per client
+// request M0; mu(cp) = cp * R0 / M0 then converts a client-perceived
+// limit into the controller parameter (Section 5.1).
+#ifndef DMASIM_SERVER_SIMULATION_DRIVER_H_
+#define DMASIM_SERVER_SIMULATION_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/memory_controller.h"
+#include "mem/power_policy.h"
+#include "server/data_server.h"
+#include "stats/energy.h"
+#include "trace/trace.h"
+#include "trace/workloads.h"
+
+namespace dmasim {
+
+enum class PolicyKind : int {
+  kDynamic = 0,     // Lebeck et al. dynamic thresholds (the baseline).
+  kStaticStandby,
+  kStaticNap,
+  kStaticPowerdown,
+  kAlwaysActive,
+};
+
+std::string PolicyKindName(PolicyKind kind);
+std::unique_ptr<LowPowerPolicy> MakePolicy(PolicyKind kind,
+                                           const DynamicThresholdConfig&
+                                               thresholds);
+
+struct SimulationOptions {
+  MemorySystemConfig memory;
+  ServerConfig server;
+  PolicyKind policy = PolicyKind::kDynamic;
+  DynamicThresholdConfig thresholds;
+  // Extra simulated time after the last trace record, letting in-flight
+  // transfers, gated requests, and migrations finish.
+  Tick drain = 10 * kMillisecond;
+};
+
+struct SimulationResults {
+  std::string workload;
+  std::string scheme;
+  Tick duration = 0;
+
+  EnergyBreakdown energy;
+  double utilization_factor = 0.0;
+  RunningMean client_response;   // Ticks.
+  RunningMean chunk_service;     // Ticks.
+  RunningMean transfer_latency;  // Ticks.
+
+  ControllerStats controller;
+  ServerStats server;
+
+  std::uint64_t gated_requests = 0;
+  std::uint64_t releases_by_quorum = 0;
+  std::uint64_t releases_by_slack = 0;
+  std::int64_t max_gated_buffer_bytes = 0;
+  std::uint64_t executed_events = 0;
+  double hottest_chip_share = 0.0;
+
+  // Fractional energy saving relative to `baseline` (positive = better).
+  double EnergySavingsVs(const SimulationResults& baseline) const;
+  // Fractional client-perceived response-time degradation vs `baseline`.
+  double ResponseDegradationVs(const SimulationResults& baseline) const;
+  // Average memory time spent on DMA transfers per client request.
+  double MemoryTimePerRequest() const;
+};
+
+// Human-readable scheme label for a memory config ("baseline", "DMA-TA",
+// "DMA-TA-PL(2)").
+std::string SchemeName(const MemorySystemConfig& config);
+
+// Runs `trace` (with the given forced miss ratio, < 0 for cache-driven
+// misses) against `options` for `duration` + drain.
+SimulationResults RunTrace(const Trace& trace, double miss_ratio,
+                           Tick duration, const SimulationOptions& options,
+                           const std::string& workload_name);
+
+// Generates the workload and runs it.
+SimulationResults RunWorkload(const WorkloadSpec& spec,
+                              const SimulationOptions& options);
+
+// CP-Limit -> mu transformation (calibrated on a baseline run).
+struct CpCalibration {
+  double r0 = 0.0;  // Baseline average client response time (ticks).
+  double m0 = 0.0;  // Average DMA memory time per client request (ticks).
+
+  double MuFor(double cp_limit) const {
+    return m0 > 0.0 ? cp_limit * r0 / m0 : 0.0;
+  }
+};
+
+CpCalibration Calibrate(const SimulationResults& baseline);
+
+}  // namespace dmasim
+
+#endif  // DMASIM_SERVER_SIMULATION_DRIVER_H_

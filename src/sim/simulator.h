@@ -1,0 +1,107 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is a min-heap of (time, sequence, callback) events. Sequence
+// numbers make event ordering at equal timestamps deterministic (FIFO),
+// which keeps every experiment bit-for-bit reproducible.
+//
+// Components that need to cancel timers (e.g. idle-threshold timers in
+// `MemoryChip`) use generation counters: the callback captures the
+// generation it was armed with and returns immediately if the component
+// has since moved on. This avoids an explicit (and error-prone)
+// cancellation API.
+#ifndef DMASIM_SIM_SIMULATOR_H_
+#define DMASIM_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+
+  // Not copyable: events capture component pointers tied to one instance.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  Tick Now() const { return now_; }
+
+  // Schedules `callback` at absolute time `when` (>= Now()).
+  void ScheduleAt(Tick when, Callback callback) {
+    DMASIM_EXPECTS(when >= now_);
+    queue_.push(Event{when, next_sequence_++, std::move(callback)});
+  }
+
+  // Schedules `callback` `delay` ticks from now (delay >= 0).
+  void ScheduleAfter(Tick delay, Callback callback) {
+    ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  // Executes the earliest pending event. Returns false if none remain.
+  bool Step() {
+    if (queue_.empty()) return false;
+    // The callback may schedule new events, so detach it first.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    DMASIM_CHECK(event.when >= now_);
+    now_ = event.when;
+    ++executed_;
+    event.callback();
+    return true;
+  }
+
+  // Runs until the event queue is drained.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs events with timestamps <= `until`, then advances the clock to
+  // exactly `until` (even if no event lands there).
+  void RunUntil(Tick until) {
+    DMASIM_EXPECTS(until >= now_);
+    while (!queue_.empty() && queue_.top().when <= until) {
+      Step();
+    }
+    now_ = until;
+  }
+
+  // Number of events not yet executed.
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+  // Total number of events executed so far (useful for budget checks).
+  std::uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_SIM_SIMULATOR_H_

@@ -1,0 +1,80 @@
+// Small statistics accumulators used throughout the simulator.
+#ifndef DMASIM_STATS_ACCUMULATORS_H_
+#define DMASIM_STATS_ACCUMULATORS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+// Running mean / min / max over double-valued samples.
+class RunningMean {
+ public:
+  void Add(double sample) {
+    ++count_;
+    sum_ += sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+
+  void Merge(const RunningMean& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Tracks total time spent in each of a small set of states, given
+// timestamped state changes. Template parameter is the number of states.
+template <int kStates>
+class StateTimeTracker {
+ public:
+  explicit StateTimeTracker(int initial_state = 0, std::int64_t start = 0)
+      : state_(initial_state), since_(start) {
+    DMASIM_EXPECTS(initial_state >= 0 && initial_state < kStates);
+  }
+
+  // Switches to `state` at time `now`, accounting elapsed time to the
+  // previous state. `now` must be monotonically non-decreasing.
+  void Switch(int state, std::int64_t now) {
+    DMASIM_EXPECTS(state >= 0 && state < kStates);
+    DMASIM_EXPECTS(now >= since_);
+    time_in_[state_] += now - since_;
+    state_ = state;
+    since_ = now;
+  }
+
+  // Flushes elapsed time into the current state without changing it.
+  void Sync(std::int64_t now) { Switch(state_, now); }
+
+  int CurrentState() const { return state_; }
+  std::int64_t TimeIn(int state) const {
+    DMASIM_EXPECTS(state >= 0 && state < kStates);
+    return time_in_[state];
+  }
+
+ private:
+  int state_;
+  std::int64_t since_;
+  std::int64_t time_in_[kStates] = {};
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_STATS_ACCUMULATORS_H_

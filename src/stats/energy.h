@@ -1,0 +1,96 @@
+// Memory energy bookkeeping.
+//
+// Energy is attributed to the same buckets the paper's Figures 2(b) and 6
+// report:
+//   * ActiveServing      -- chip actively transferring data.
+//   * ActiveIdleDma      -- chip active but idle between DMA-memory
+//                           requests of in-flight transfers (the waste the
+//                           paper's techniques attack).
+//   * ActiveIdleThreshold-- chip active and idle with no in-flight
+//                           transfer, waiting for the idle threshold of the
+//                           low-level policy to expire.
+//   * Transition         -- power-mode transition energy.
+//   * LowPower           -- standby / nap / powerdown residency.
+//   * Migration          -- page-migration copies (DMA-TA-PL only).
+#ifndef DMASIM_STATS_ENERGY_H_
+#define DMASIM_STATS_ENERGY_H_
+
+#include <array>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+enum class EnergyBucket : int {
+  kActiveServing = 0,
+  kActiveIdleDma,
+  kActiveIdleThreshold,
+  kTransition,
+  kLowPower,
+  kMigration,
+};
+
+inline constexpr int kEnergyBucketCount = 6;
+
+constexpr std::string_view EnergyBucketName(EnergyBucket bucket) {
+  switch (bucket) {
+    case EnergyBucket::kActiveServing:
+      return "ActiveServing";
+    case EnergyBucket::kActiveIdleDma:
+      return "ActiveIdleDma";
+    case EnergyBucket::kActiveIdleThreshold:
+      return "ActiveIdleThreshold";
+    case EnergyBucket::kTransition:
+      return "Transition";
+    case EnergyBucket::kLowPower:
+      return "LowPowerModes";
+    case EnergyBucket::kMigration:
+      return "Migration";
+  }
+  return "?";
+}
+
+// Per-bucket energy in joules. Value type; aggregates across chips by +=.
+class EnergyBreakdown {
+ public:
+  void Add(EnergyBucket bucket, double joules) {
+    DMASIM_EXPECTS(joules >= 0.0);
+    joules_[static_cast<int>(bucket)] += joules;
+  }
+
+  double Of(EnergyBucket bucket) const {
+    return joules_[static_cast<int>(bucket)];
+  }
+
+  double Total() const {
+    double total = 0.0;
+    for (double j : joules_) total += j;
+    return total;
+  }
+
+  // Fraction of total energy in `bucket`; 0 for an empty breakdown.
+  double Fraction(EnergyBucket bucket) const {
+    const double total = Total();
+    return total > 0.0 ? Of(bucket) / total : 0.0;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other) {
+    for (int i = 0; i < kEnergyBucketCount; ++i) {
+      joules_[i] += other.joules_[i];
+    }
+    return *this;
+  }
+
+ private:
+  std::array<double, kEnergyBucketCount> joules_ = {};
+};
+
+inline EnergyBreakdown operator+(EnergyBreakdown a, const EnergyBreakdown& b) {
+  a += b;
+  return a;
+}
+
+}  // namespace dmasim
+
+#endif  // DMASIM_STATS_ENERGY_H_

@@ -1,0 +1,69 @@
+// Fixed-bin histogram with quantile queries.
+#ifndef DMASIM_STATS_HISTOGRAM_H_
+#define DMASIM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+// Histogram over [lo, hi) with uniform bins; samples outside the range are
+// clamped into the first/last bin. Suitable for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi), counts_(bins) {
+    DMASIM_EXPECTS(bins > 0);
+    DMASIM_EXPECTS(hi > lo);
+  }
+
+  void Add(double sample) {
+    int bin = static_cast<int>((sample - lo_) / (hi_ - lo_) *
+                               static_cast<double>(counts_.size()));
+    if (bin < 0) bin = 0;
+    if (bin >= static_cast<int>(counts_.size())) {
+      bin = static_cast<int>(counts_.size()) - 1;
+    }
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+  }
+
+  std::uint64_t TotalCount() const { return total_; }
+  int BinCount() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t BinValue(int bin) const {
+    DMASIM_EXPECTS(bin >= 0 && bin < BinCount());
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+
+  // Midpoint of a bin.
+  double BinCenter(int bin) const {
+    const double width = (hi_ - lo_) / BinCount();
+    return lo_ + (bin + 0.5) * width;
+  }
+
+  // Approximate quantile (q in [0, 1]) by bin midpoint. Returns lo_ for an
+  // empty histogram.
+  double Quantile(double q) const {
+    DMASIM_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return lo_;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (int bin = 0; bin < BinCount(); ++bin) {
+      seen += counts_[static_cast<std::size_t>(bin)];
+      if (seen > target) return BinCenter(bin);
+    }
+    return BinCenter(BinCount() - 1);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_STATS_HISTOGRAM_H_

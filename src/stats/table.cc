@@ -1,0 +1,60 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DMASIM_EXPECTS(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DMASIM_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << row[i];
+      os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << (i == 0 ? "|-" : "-|-") << std::string(widths[i], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string TablePrinter::Percent(double fraction, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace dmasim

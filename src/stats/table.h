@@ -1,0 +1,38 @@
+// ASCII table printing for benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as a
+// plain-text table; this class keeps the output format uniform.
+#ifndef DMASIM_STATS_TABLE_H_
+#define DMASIM_STATS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmasim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  int RowCount() const { return static_cast<int>(rows_.size()); }
+
+  // Formats a double with `digits` decimal places.
+  static std::string Num(double value, int digits = 2);
+  // Formats a fraction as a percentage string, e.g. "38.6%".
+  static std::string Percent(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_STATS_TABLE_H_

@@ -1,0 +1,93 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+bool IsTimeSorted(const Trace& trace) {
+  return std::is_sorted(trace.begin(), trace.end(),
+                        [](const TraceRecord& a, const TraceRecord& b) {
+                          return a.time < b.time;
+                        });
+}
+
+TraceSummary Summarize(const Trace& trace) {
+  TraceSummary summary;
+  std::unordered_map<std::uint64_t, bool> pages;
+  for (const TraceRecord& record : trace) {
+    switch (record.kind) {
+      case TraceEventKind::kClientRead:
+        ++summary.client_reads;
+        pages[record.page] = true;
+        break;
+      case TraceEventKind::kClientWrite:
+        ++summary.client_writes;
+        pages[record.page] = true;
+        break;
+      case TraceEventKind::kCpuAccess:
+        ++summary.cpu_accesses;
+        break;
+    }
+    summary.duration = std::max(summary.duration, record.time);
+  }
+  summary.distinct_pages = pages.size();
+  return summary;
+}
+
+std::vector<CdfPoint> PopularityCdf(const Trace& trace) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const TraceRecord& record : trace) {
+    if (record.kind == TraceEventKind::kCpuAccess) continue;
+    ++counts[record.page];
+    ++total;
+  }
+
+  std::vector<CdfPoint> cdf;
+  cdf.push_back(CdfPoint{0.0, 0.0});
+  if (total == 0) return cdf;
+
+  std::vector<std::uint64_t> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [page, count] : counts) sorted.push_back(count);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  const double pages = static_cast<double>(sorted.size());
+  std::uint64_t running = 0;
+  std::size_t index = 0;
+  for (int percent = 1; percent <= 100; ++percent) {
+    const std::size_t target = static_cast<std::size_t>(
+        pages * static_cast<double>(percent) / 100.0 + 0.5);
+    while (index < sorted.size() && index < target) {
+      running += sorted[index];
+      ++index;
+    }
+    cdf.push_back(CdfPoint{static_cast<double>(percent) / 100.0,
+                           static_cast<double>(running) /
+                               static_cast<double>(total)});
+  }
+  return cdf;
+}
+
+double AccessShareOfTopPages(const std::vector<CdfPoint>& cdf,
+                             double page_fraction) {
+  DMASIM_EXPECTS(!cdf.empty());
+  DMASIM_EXPECTS(page_fraction >= 0.0 && page_fraction <= 1.0);
+  // Linear interpolation between bracketing points.
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    if (cdf[i].page_fraction >= page_fraction) {
+      const CdfPoint& lo = cdf[i - 1];
+      const CdfPoint& hi = cdf[i];
+      const double span = hi.page_fraction - lo.page_fraction;
+      if (span <= 0.0) return hi.access_fraction;
+      const double w = (page_fraction - lo.page_fraction) / span;
+      return lo.access_fraction + w * (hi.access_fraction - lo.access_fraction);
+    }
+  }
+  return cdf.back().access_fraction;
+}
+
+}  // namespace dmasim

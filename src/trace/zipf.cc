@@ -1,0 +1,58 @@
+#include "trace/zipf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+double ZipfTopShare(std::uint64_t n, double alpha, double top_fraction) {
+  DMASIM_EXPECTS(n > 0);
+  DMASIM_EXPECTS(top_fraction >= 0.0 && top_fraction <= 1.0);
+  const std::uint64_t top =
+      static_cast<std::uint64_t>(top_fraction * static_cast<double>(n) + 0.5);
+  double top_sum = 0.0;
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    const double w = std::pow(static_cast<double>(k), -alpha);
+    total += w;
+    if (k <= top) top_sum += w;
+  }
+  return total > 0.0 ? top_sum / total : 0.0;
+}
+
+double FitZipfAlpha(std::uint64_t n, double top_fraction,
+                    double target_share) {
+  DMASIM_EXPECTS(target_share >= top_fraction);  // alpha >= 0 territory.
+  DMASIM_EXPECTS(target_share <= 1.0);
+  double lo = 0.0;
+  double hi = 4.0;
+  for (int iteration = 0; iteration < 48; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (ZipfTopShare(n, mid, top_fraction) < target_share) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ZipfPagePicker::ZipfPagePicker(std::uint64_t pages, double alpha)
+    : pages_(pages), alpha_(alpha) {
+  DMASIM_EXPECTS(pages > 0);
+  DMASIM_EXPECTS((pages & (pages - 1)) == 0);  // Power of two.
+  DMASIM_EXPECTS(alpha >= 0.0);
+}
+
+std::uint64_t ZipfPagePicker::PageForRank(std::uint64_t rank) const {
+  DMASIM_EXPECTS(rank < pages_);
+  // Multiplication by an odd constant is a bijection mod 2^k.
+  return (rank * 0x9E3779B97F4A7C15ULL) & (pages_ - 1);
+}
+
+std::uint64_t ZipfPagePicker::Pick(Rng& rng) const {
+  return PageForRank(rng.NextZipf(pages_, alpha_));
+}
+
+}  // namespace dmasim

@@ -1,0 +1,48 @@
+// Zipf popularity helpers.
+//
+// The paper's synthetic traces use Zipf(alpha = 1) page popularity, and
+// its real OLTP storage trace follows a "20% of pages receive 60% of the
+// accesses" curve (Fig. 4). `FitZipfAlpha` inverts that: it finds the
+// alpha whose top-x fraction of ranks carries a y fraction of accesses.
+#ifndef DMASIM_TRACE_ZIPF_H_
+#define DMASIM_TRACE_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace dmasim {
+
+// Share of total Zipf(alpha) probability mass held by the most popular
+// `top_fraction` of `n` ranks.
+double ZipfTopShare(std::uint64_t n, double alpha, double top_fraction);
+
+// Finds alpha in [0, 4] such that the top `top_fraction` of `n` ranks
+// carries `target_share` of accesses (binary search; share is monotonic
+// in alpha).
+double FitZipfAlpha(std::uint64_t n, double top_fraction, double target_share);
+
+// Draws logical pages with Zipf(alpha) popularity. Ranks are scattered
+// over the logical page space by a bijective multiplicative permutation so
+// that popular pages are not clustered in consecutive addresses (matching
+// an unmanaged real layout). Requires `pages` to be a power of two.
+class ZipfPagePicker {
+ public:
+  ZipfPagePicker(std::uint64_t pages, double alpha);
+
+  std::uint64_t Pick(Rng& rng) const;
+
+  // The logical page holding popularity rank `rank` (0 = most popular).
+  std::uint64_t PageForRank(std::uint64_t rank) const;
+
+  std::uint64_t pages() const { return pages_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::uint64_t pages_;
+  double alpha_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_TRACE_ZIPF_H_

@@ -1,0 +1,47 @@
+// Lightweight runtime checking for library invariants and preconditions.
+//
+// The library does not use exceptions; violated invariants are programming
+// errors and abort the process with a diagnostic (Core Guidelines I.5/I.6
+// in spirit, Google style in mechanism).
+#ifndef DMASIM_UTIL_CHECK_H_
+#define DMASIM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmasim {
+
+// Prints a fatal diagnostic and aborts. Used by the DMASIM_CHECK macros.
+[[noreturn]] inline void FatalCheckFailure(const char* file, int line,
+                                           const char* condition,
+                                           const char* message) {
+  std::fprintf(stderr, "dmasim: check failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] != '\0' ? " -- " : "", message);
+  std::abort();
+}
+
+}  // namespace dmasim
+
+// Always-on invariant check (cheap comparisons only on hot paths).
+#define DMASIM_CHECK(cond)                                             \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dmasim::FatalCheckFailure(__FILE__, __LINE__, #cond, "");      \
+    }                                                                  \
+  } while (false)
+
+// Invariant check with an explanatory message.
+#define DMASIM_CHECK_MSG(cond, msg)                                    \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dmasim::FatalCheckFailure(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                  \
+  } while (false)
+
+// Precondition check for public API boundaries.
+#define DMASIM_EXPECTS(cond) DMASIM_CHECK_MSG(cond, "precondition violated")
+
+// Postcondition check.
+#define DMASIM_ENSURES(cond) DMASIM_CHECK_MSG(cond, "postcondition violated")
+
+#endif  // DMASIM_UTIL_CHECK_H_

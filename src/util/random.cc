@@ -1,0 +1,79 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace dmasim {
+
+double Rng::NextExponential(double mean) {
+  DMASIM_EXPECTS(mean > 0.0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller transform; one sample per call keeps the generator state
+  // trivially serializable.
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return radius * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint64_t Rng::NextPoisson(double mean) {
+  DMASIM_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint64_t count = 0;
+    do {
+      ++count;
+      product *= NextDouble();
+    } while (product > limit);
+    return count - 1;
+  }
+  // Normal approximation for large means.
+  const double sample = mean + std::sqrt(mean) * NextGaussian();
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+std::uint64_t Rng::NextZipf(std::uint64_t n, double alpha) {
+  DMASIM_EXPECTS(n > 0);
+  DMASIM_EXPECTS(alpha >= 0.0);
+  if (n == 1) return 0;
+  if (alpha == 0.0) return NextBounded(n);
+
+  // Rejection-inversion sampling (Hormann & Derflinger 1996) for the
+  // unnormalized weights (k+1)^-alpha, k in [0, n).
+  const double nd = static_cast<double>(n);
+  auto h = [alpha](double x) {
+    // Integral of t^-alpha: handles alpha == 1 separately.
+    if (alpha == 1.0) return std::log(x);
+    return std::pow(x, 1.0 - alpha) / (1.0 - alpha);
+  };
+  auto h_inverse = [alpha](double x) {
+    if (alpha == 1.0) return std::exp(x);
+    return std::pow(x * (1.0 - alpha), 1.0 / (1.0 - alpha));
+  };
+
+  const double h_x0 = h(0.5) - std::pow(1.0, -alpha);
+  const double h_n = h(nd + 0.5);
+  const double s = 1.0 - h_inverse(h(1.5) - std::pow(2.0, -alpha));
+
+  for (;;) {
+    const double u = h_x0 + NextDouble() * (h_n - h_x0);
+    const double x = h_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > nd) k = nd;
+    if (k - x <= s || u >= h(k + 0.5) - std::pow(k, -alpha)) {
+      return static_cast<std::uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace dmasim

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// A small xoshiro256** generator seeded via SplitMix64. Deterministic
+// across platforms (unlike std::mt19937 distributions), which keeps trace
+// generation and therefore experiment results reproducible bit-for-bit.
+#ifndef DMASIM_UTIL_RANDOM_H_
+#define DMASIM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+// Stateless 64-bit mix used for seeding.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic random source. Copyable value type.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Returns a uniformly distributed 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Returns a double uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns an integer uniform in [0, bound). `bound` must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    DMASIM_EXPECTS(bound > 0);
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used in workload generation (< 2^32).
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(NextU64()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  // Returns an exponentially distributed value with the given mean.
+  double NextExponential(double mean);
+
+  // Returns a standard-normal sample (Box-Muller).
+  double NextGaussian();
+
+  // Returns a Poisson-distributed count with the given mean (Knuth's
+  // method for small means, normal approximation for large ones).
+  std::uint64_t NextPoisson(double mean);
+
+  // Returns a value from Zipf(alpha) over {0, ..., n-1} using the
+  // rejection-inversion method of Hormann and Derflinger. alpha >= 0;
+  // alpha == 0 degenerates to uniform.
+  std::uint64_t NextZipf(std::uint64_t n, double alpha);
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_UTIL_RANDOM_H_

@@ -1,0 +1,39 @@
+// Simulation time base.
+//
+// All simulated time is integer picoseconds (`Tick`). A 1600 MHz RDRAM
+// memory cycle is exactly 625 ps, so memory-cycle arithmetic is exact;
+// disk latencies in milliseconds still fit comfortably in 64 bits
+// (int64 picoseconds covers ~106 days).
+#ifndef DMASIM_UTIL_TIME_H_
+#define DMASIM_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace dmasim {
+
+using Tick = std::int64_t;
+
+inline constexpr Tick kPicosecond = 1;
+inline constexpr Tick kNanosecond = 1000;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+// Converts picoseconds to seconds as a double (for energy integration).
+constexpr double TicksToSeconds(Tick t) {
+  return static_cast<double>(t) * 1e-12;
+}
+
+// Converts seconds to the nearest tick.
+constexpr Tick SecondsToTicks(double seconds) {
+  return static_cast<Tick>(seconds * 1e12 + 0.5);
+}
+
+// Converts a byte count and a bandwidth in bytes/second to a duration.
+constexpr Tick TransferTime(std::int64_t bytes, double bytes_per_second) {
+  return SecondsToTicks(static_cast<double>(bytes) / bytes_per_second);
+}
+
+}  // namespace dmasim
+
+#endif  // DMASIM_UTIL_TIME_H_

@@ -1,0 +1,74 @@
+// Tests for the DMA-TA slack account (Section 4.1.2).
+#include "core/slack_account.h"
+
+#include <gtest/gtest.h>
+
+namespace dmasim {
+namespace {
+
+TEST(SlackAccountTest, StartsEmptyAndExhausted) {
+  SlackAccount slack(/*mu=*/1.0, /*t_request=*/100, /*cap_requests=*/1000);
+  EXPECT_DOUBLE_EQ(slack.slack(), 0.0);
+  EXPECT_TRUE(slack.Exhausted());
+}
+
+TEST(SlackAccountTest, ArrivalCreditsMuT) {
+  SlackAccount slack(2.0, 100, 1000);
+  slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), 200.0);
+  slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), 400.0);
+  EXPECT_EQ(slack.arrivals(), 2u);
+  EXPECT_FALSE(slack.Exhausted());
+}
+
+TEST(SlackAccountTest, EpochDebitScalesWithPending) {
+  SlackAccount slack(1.0, 100, 1000);
+  for (int i = 0; i < 10; ++i) slack.CreditArrival();  // 1000.
+  slack.DebitEpoch(/*epoch_length=*/50, /*pending_requests=*/4);
+  EXPECT_DOUBLE_EQ(slack.slack(), 1000.0 - 200.0);
+}
+
+TEST(SlackAccountTest, ActivationDebit) {
+  SlackAccount slack(1.0, 100, 1000);
+  for (int i = 0; i < 10; ++i) slack.CreditArrival();
+  slack.DebitActivation(/*activation_latency=*/300, /*pending_requests=*/2);
+  EXPECT_DOUBLE_EQ(slack.slack(), 1000.0 - 600.0);
+}
+
+TEST(SlackAccountTest, CpuServiceDebit) {
+  SlackAccount slack(1.0, 100, 1000);
+  for (int i = 0; i < 10; ++i) slack.CreditArrival();
+  slack.DebitCpuService(/*service_time=*/20, /*pending_requests=*/3);
+  EXPECT_DOUBLE_EQ(slack.slack(), 1000.0 - 60.0);
+}
+
+TEST(SlackAccountTest, CanGoNegative) {
+  SlackAccount slack(1.0, 100, 1000);
+  slack.CreditArrival();
+  slack.DebitEpoch(1000, 5);
+  EXPECT_LT(slack.slack(), 0.0);
+  EXPECT_TRUE(slack.Exhausted());
+}
+
+TEST(SlackAccountTest, CapLimitsAccumulation) {
+  SlackAccount slack(1.0, 100, /*cap_requests=*/5.0);  // Cap = 500.
+  for (int i = 0; i < 100; ++i) slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), 500.0);
+}
+
+TEST(SlackAccountTest, ZeroMuNeverAccumulates) {
+  SlackAccount slack(0.0, 100, 1000);
+  for (int i = 0; i < 10; ++i) slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), 0.0);
+  EXPECT_TRUE(slack.Exhausted());
+}
+
+TEST(SlackAccountTest, ExposesParameters) {
+  SlackAccount slack(2.5, 480, 64);
+  EXPECT_DOUBLE_EQ(slack.mu(), 2.5);
+  EXPECT_EQ(slack.t_request(), 480);
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -1,0 +1,128 @@
+// Tests for the disk array substitute and the network link model.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_model.h"
+#include "net/network_model.h"
+#include "sim/simulator.h"
+
+namespace dmasim {
+namespace {
+
+TEST(DiskTest, ServiceTimeWithinPhysicalBounds) {
+  Simulator simulator;
+  DiskParams params;
+  Disk disk(&simulator, params, 1);
+  std::vector<Tick> completions;
+  const int requests = 50;
+  Tick previous = 0;
+  for (int i = 0; i < requests; ++i) {
+    disk.Submit(8192, [&](Tick when) { completions.push_back(when); });
+  }
+  simulator.Run();
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(requests));
+  for (Tick when : completions) {
+    EXPECT_GT(when, previous);  // FIFO and strictly increasing.
+    previous = when;
+  }
+  // Every service is at least overhead + minimum seek + transfer and at
+  // most overhead + max seek + full rotation + transfer.
+  const Tick transfer = TransferTime(8192, params.transfer_bytes_per_second);
+  const Tick min_service = params.controller_overhead +
+                           static_cast<Tick>(0.2 * params.average_seek) +
+                           transfer;
+  const Tick max_service = params.controller_overhead +
+                           static_cast<Tick>(1.8 * params.average_seek) +
+                           params.FullRotation() + transfer;
+  Tick last = 0;
+  for (Tick when : completions) {
+    const Tick service = when - last;
+    EXPECT_GE(service, min_service);
+    EXPECT_LE(service, max_service);
+    last = when;
+  }
+}
+
+TEST(DiskTest, QueuesAreFifo) {
+  Simulator simulator;
+  Disk disk(&simulator, DiskParams{}, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    disk.Submit(512, [&order, i](Tick) { order.push_back(i); });
+  }
+  EXPECT_EQ(disk.QueueDepth(), 4u);  // First one is already in service.
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(disk.RequestsServed(), 5u);
+}
+
+TEST(DiskTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator simulator;
+    Disk disk(&simulator, DiskParams{}, seed);
+    Tick last = 0;
+    for (int i = 0; i < 10; ++i) {
+      disk.Submit(4096, [&](Tick when) { last = when; });
+    }
+    simulator.Run();
+    return last;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(DiskTest, BusyTimeAccumulates) {
+  Simulator simulator;
+  Disk disk(&simulator, DiskParams{}, 3);
+  disk.Submit(8192, {});
+  simulator.Run();
+  EXPECT_GT(disk.BusyTime(), 0);
+  EXPECT_EQ(disk.BusyTime(), simulator.Now());
+}
+
+TEST(DiskArrayTest, StripesByPage) {
+  Simulator simulator;
+  DiskArray array(&simulator, DiskParams{}, 4, 1);
+  // Pages 0..7 hit disks 0..3 twice.
+  for (std::uint64_t page = 0; page < 8; ++page) {
+    array.Read(page, 8192, {});
+  }
+  simulator.Run();
+  for (int disk = 0; disk < 4; ++disk) {
+    EXPECT_EQ(array.disk(disk).RequestsServed(), 2u);
+  }
+}
+
+TEST(DiskArrayTest, ParallelDisksOverlap) {
+  Simulator simulator;
+  DiskArray array(&simulator, DiskParams{}, 8, 1);
+  int completed = 0;
+  for (std::uint64_t page = 0; page < 8; ++page) {
+    array.Read(page, 8192, [&](Tick) { ++completed; });
+  }
+  simulator.Run();
+  EXPECT_EQ(completed, 8);
+  // Eight disks in parallel: total elapsed must be far below 8 serial
+  // services (~8 * 7 ms).
+  EXPECT_LT(simulator.Now(), 20 * kMillisecond);
+}
+
+TEST(NetworkTest, MessageTimeIsOverheadPlusSerialization) {
+  NetworkParams params;
+  params.per_message_overhead = 10 * kMicrosecond;
+  params.link_bytes_per_second = 1.0e9;
+  NetworkModel network(params);
+  EXPECT_EQ(network.MessageTime(0), 10 * kMicrosecond);
+  EXPECT_EQ(network.MessageTime(8192),
+            10 * kMicrosecond + TransferTime(8192, 1.0e9));
+}
+
+TEST(NetworkTest, DefaultsAreSane) {
+  NetworkModel network;
+  EXPECT_GT(network.MessageTime(8192), 0);
+  EXPECT_LT(network.MessageTime(8192), kMillisecond);
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -1,0 +1,116 @@
+// Property tests for modeling invariants that must hold across
+// configuration granularity:
+//  * the DMA-memory request (chunk) size changes event granularity but
+//    must not change energy *fractions* or the utilization factor;
+//  * total energy must equal the per-bucket sum;
+//  * chip count and bus bandwidth scaling behave sanely.
+#include <gtest/gtest.h>
+
+#include "server/simulation_driver.h"
+#include "trace/workloads.h"
+
+namespace dmasim {
+namespace {
+
+WorkloadSpec TestSpec() {
+  WorkloadSpec spec = SyntheticStorageSpec();
+  spec.duration = 60 * kMillisecond;
+  return spec;
+}
+
+class ChunkGranularityTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ChunkGranularityTest, EnergyFractionsAreGranularityInvariant) {
+  const WorkloadSpec spec = TestSpec();
+  SimulationOptions reference;
+  reference.memory.chunk_bytes = 512;
+  SimulationOptions variant = reference;
+  variant.memory.chunk_bytes = GetParam();
+
+  const SimulationResults a = RunWorkload(spec, reference);
+  const SimulationResults b = RunWorkload(spec, variant);
+
+  // A transfer's active window is (chunks - 1) * slot + service, so
+  // coarsening the chunk compresses it by up to (slot - service) ~= 2/3
+  // of one chunk slot; for chunks <= 1/8 of a page that bounds the
+  // total-energy deviation at ~8%. Fractions track within a few points.
+  EXPECT_NEAR(b.energy.Total() / a.energy.Total(), 1.0, 0.08);
+  for (EnergyBucket bucket :
+       {EnergyBucket::kActiveServing, EnergyBucket::kActiveIdleDma,
+        EnergyBucket::kLowPower}) {
+    EXPECT_NEAR(b.energy.Fraction(bucket), a.energy.Fraction(bucket), 0.04)
+        << EnergyBucketName(bucket);
+  }
+  EXPECT_NEAR(b.utilization_factor, a.utilization_factor, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkGranularityTest,
+                         ::testing::Values<std::int64_t>(128, 256, 1024));
+
+TEST(EnergyConsistencyTest, TotalEqualsSumOfBuckets) {
+  const SimulationResults results =
+      RunWorkload(TestSpec(), SimulationOptions{});
+  double sum = 0.0;
+  for (int bucket = 0; bucket < kEnergyBucketCount; ++bucket) {
+    sum += results.energy.Of(static_cast<EnergyBucket>(bucket));
+  }
+  EXPECT_NEAR(results.energy.Total(), sum, 1e-12);
+}
+
+TEST(EnergyConsistencyTest, IdleSystemEnergyIsPurePowerdown) {
+  // An empty trace: all 32 chips rest in powerdown for the whole run.
+  Trace empty;
+  SimulationOptions options;
+  const SimulationResults results =
+      RunTrace(empty, 0.0, 10 * kMillisecond, options, "idle");
+  const double expected =
+      32.0 * PowerModel::EnergyJoules(3.0, 10 * kMillisecond +
+                                               options.drain);
+  EXPECT_NEAR(results.energy.Total(), expected, expected * 1e-9);
+  EXPECT_DOUBLE_EQ(results.energy.Fraction(EnergyBucket::kLowPower), 1.0);
+}
+
+TEST(ScalingTest, FasterBusRaisesBaselineUtilization) {
+  // Fig. 10 mechanism: as the I/O bus approaches memory speed the lone
+  // transfer utilization approaches 1.
+  WorkloadSpec spec = TestSpec();
+  spec = WithIntensity(spec, 30.0);
+  SimulationOptions slow;
+  slow.memory.bus_bandwidth = 0.5e9;
+  SimulationOptions fast;
+  fast.memory.bus_bandwidth = 3.2e9;
+  const SimulationResults slow_run = RunWorkload(spec, slow);
+  const SimulationResults fast_run = RunWorkload(spec, fast);
+  EXPECT_LT(slow_run.utilization_factor, 0.25);
+  EXPECT_GT(fast_run.utilization_factor, 0.9);
+}
+
+TEST(ScalingTest, MoreChipsMoreLowPowerEnergy) {
+  WorkloadSpec spec = TestSpec();
+  SimulationOptions small;
+  small.memory.chips = 8;
+  small.memory.pages_per_chip = 4096;
+  // Shrink the page universe to fit the smaller memory.
+  spec.pages = 8ULL * 4096ULL / 2;  // Power of two: 16384.
+  const SimulationResults small_run = RunWorkload(spec, small);
+
+  SimulationOptions big;
+  big.memory.chips = 32;
+  const WorkloadSpec big_spec = TestSpec();
+  const SimulationResults big_run = RunWorkload(big_spec, big);
+
+  EXPECT_GT(big_run.energy.Of(EnergyBucket::kLowPower),
+            small_run.energy.Of(EnergyBucket::kLowPower));
+}
+
+TEST(DrainTest, DrainLetsTransfersFinish) {
+  WorkloadSpec spec = TestSpec();
+  SimulationOptions options;
+  options.drain = 20 * kMillisecond;
+  const SimulationResults results = RunWorkload(spec, options);
+  EXPECT_EQ(results.controller.transfers_completed,
+            results.controller.transfers_started);
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -1,0 +1,260 @@
+// End-to-end tests: full simulations asserting the paper's qualitative
+// claims (who wins, guarantees respected, trends in the right direction).
+#include <gtest/gtest.h>
+
+#include "server/simulation_driver.h"
+#include "trace/workloads.h"
+
+namespace dmasim {
+namespace {
+
+WorkloadSpec ShortOltpStorage(Tick duration = 150 * kMillisecond) {
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = duration;
+  return spec;
+}
+
+SimulationOptions WithTa(const SimulationOptions& base, double mu) {
+  SimulationOptions options = base;
+  options.memory.dma.ta.enabled = true;
+  options.memory.dma.ta.mu = mu;
+  return options;
+}
+
+SimulationOptions WithTaPl(const SimulationOptions& base, double mu,
+                           int groups = 2) {
+  SimulationOptions options = WithTa(base, mu);
+  options.memory.dma.pl.enabled = true;
+  options.memory.dma.pl.groups = groups;
+  return options;
+}
+
+TEST(IntegrationTest, RunsAreDeterministic) {
+  const WorkloadSpec spec = ShortOltpStorage(40 * kMillisecond);
+  SimulationOptions options;
+  const SimulationResults a = RunWorkload(spec, options);
+  const SimulationResults b = RunWorkload(spec, options);
+  EXPECT_DOUBLE_EQ(a.energy.Total(), b.energy.Total());
+  EXPECT_DOUBLE_EQ(a.client_response.Mean(), b.client_response.Mean());
+  EXPECT_EQ(a.controller.transfers_completed, b.controller.transfers_completed);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+}
+
+TEST(IntegrationTest, BaselineUtilizationIsAboutOneThird) {
+  // Fig. 2(a): with lone transfers, two thirds of active cycles are idle.
+  WorkloadSpec spec = SyntheticStorageSpec();
+  spec.duration = 80 * kMillisecond;
+  spec = WithIntensity(spec, 30.0);  // Sparse: transfers rarely overlap.
+  SimulationOptions options;
+  const SimulationResults baseline = RunWorkload(spec, options);
+  EXPECT_NEAR(baseline.utilization_factor, 1.0 / 3.0, 0.04);
+}
+
+TEST(IntegrationTest, BaselineEnergyBreakdownShape) {
+  // Fig. 2(b): ActiveIdleDma dominates ActiveServing (roughly 2:1) and
+  // dwarfs ActiveIdleThreshold and Transition.
+  const SimulationResults baseline =
+      RunWorkload(ShortOltpStorage(), SimulationOptions{});
+  const double idle_dma =
+      baseline.energy.Fraction(EnergyBucket::kActiveIdleDma);
+  const double serving =
+      baseline.energy.Fraction(EnergyBucket::kActiveServing);
+  EXPECT_GT(idle_dma, serving);
+  EXPECT_GT(idle_dma,
+            5.0 * baseline.energy.Fraction(EnergyBucket::kActiveIdleThreshold));
+  EXPECT_GT(idle_dma, 5.0 * baseline.energy.Fraction(EnergyBucket::kTransition));
+}
+
+TEST(IntegrationTest, DmaAwareTechniquesSaveEnergyUnderCpLimit) {
+  const WorkloadSpec spec = ShortOltpStorage();
+  SimulationOptions options;
+  const SimulationResults baseline = RunWorkload(spec, options);
+  const CpCalibration calibration = Calibrate(baseline);
+  const double mu = calibration.MuFor(0.10);
+
+  const SimulationResults ta = RunWorkload(spec, WithTa(options, mu));
+  const SimulationResults tapl = RunWorkload(spec, WithTaPl(options, mu));
+
+  // Both techniques save energy; PL does not hurt TA.
+  EXPECT_GT(ta.EnergySavingsVs(baseline), 0.05);
+  EXPECT_GT(tapl.EnergySavingsVs(baseline), 0.05);
+  EXPECT_GT(tapl.EnergySavingsVs(baseline),
+            ta.EnergySavingsVs(baseline) - 0.03);
+
+  // The soft performance guarantee holds (with a small measurement
+  // tolerance; the paper reports it never observed a violation).
+  EXPECT_LE(ta.ResponseDegradationVs(baseline), 0.10 + 0.02);
+  EXPECT_LE(tapl.ResponseDegradationVs(baseline), 0.10 + 0.02);
+
+  // Utilization factor improves (Fig. 7 direction).
+  EXPECT_GT(tapl.utilization_factor, baseline.utilization_factor + 0.05);
+}
+
+TEST(IntegrationTest, PerRequestServiceTimeGuarantee) {
+  // Average DMA-memory request service time stays within (1 + mu) * T.
+  const WorkloadSpec spec = ShortOltpStorage(100 * kMillisecond);
+  SimulationOptions options;
+  const SimulationResults baseline = RunWorkload(spec, options);
+  const double mu = Calibrate(baseline).MuFor(0.10);
+  const SimulationResults ta = RunWorkload(spec, WithTa(options, mu));
+  const double t_request =
+      static_cast<double>(options.memory.RequestTime());
+  EXPECT_LE(ta.chunk_service.Mean(), (1.0 + mu) * t_request);
+}
+
+TEST(IntegrationTest, ZeroCpLimitMatchesBaselineEnergyClosely) {
+  const WorkloadSpec spec = ShortOltpStorage(60 * kMillisecond);
+  SimulationOptions options;
+  const SimulationResults baseline = RunWorkload(spec, options);
+  const SimulationResults ta = RunWorkload(spec, WithTa(options, 0.0));
+  EXPECT_NEAR(ta.EnergySavingsVs(baseline), 0.0, 0.02);
+  EXPECT_NEAR(ta.ResponseDegradationVs(baseline), 0.0, 0.02);
+}
+
+TEST(IntegrationTest, SavingsGrowWithCpLimitAndSaturate) {
+  // Fig. 5 shape: monotone-ish growth, fast up to ~10%, slower beyond.
+  const WorkloadSpec spec = ShortOltpStorage();
+  SimulationOptions options;
+  const SimulationResults baseline = RunWorkload(spec, options);
+  const CpCalibration calibration = Calibrate(baseline);
+
+  const double s2 =
+      RunWorkload(spec, WithTaPl(options, calibration.MuFor(0.02)))
+          .EnergySavingsVs(baseline);
+  const double s10 =
+      RunWorkload(spec, WithTaPl(options, calibration.MuFor(0.10)))
+          .EnergySavingsVs(baseline);
+  const double s30 =
+      RunWorkload(spec, WithTaPl(options, calibration.MuFor(0.30)))
+          .EnergySavingsVs(baseline);
+  EXPECT_GT(s10, s2);
+  EXPECT_GE(s30, s10 - 0.02);  // Beyond 10% the curve flattens.
+  EXPECT_LT(s30 - s10, s10 - s2 + 0.05);
+}
+
+TEST(IntegrationTest, SavingsGrowWithWorkloadIntensity) {
+  // Fig. 8 shape.
+  SimulationOptions options;
+  auto savings_at = [&](double transfers_per_ms) {
+    WorkloadSpec spec = SyntheticStorageSpec();
+    spec.duration = 100 * kMillisecond;
+    spec = WithIntensity(spec, transfers_per_ms);
+    const SimulationResults baseline = RunWorkload(spec, options);
+    const double mu = Calibrate(baseline).MuFor(0.10);
+    return RunWorkload(spec, WithTaPl(options, mu))
+        .EnergySavingsVs(baseline);
+  };
+  const double low = savings_at(25.0);
+  const double high = savings_at(200.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(IntegrationTest, CpuAccessesReduceSavings) {
+  // Fig. 9 shape.
+  SimulationOptions options;
+  auto savings_with_cpu = [&](double accesses) {
+    WorkloadSpec spec = SyntheticDatabaseSpec();
+    spec.duration = 200 * kMillisecond;
+    spec = WithCpuAccessesPerTransfer(spec, accesses);
+    const SimulationResults baseline = RunWorkload(spec, options);
+    const double mu = Calibrate(baseline).MuFor(0.10);
+    return RunWorkload(spec, WithTaPl(options, mu))
+        .EnergySavingsVs(baseline);
+  };
+  const double no_cpu = savings_with_cpu(0.0);
+  const double heavy_cpu = savings_with_cpu(250.0);
+  EXPECT_GT(no_cpu, heavy_cpu);
+}
+
+TEST(IntegrationTest, EqualBandwidthRatioYieldsLittleSaving) {
+  // Fig. 10: with the I/O bus as fast as memory there is no
+  // rate-mismatch waste to recover.
+  WorkloadSpec spec = SyntheticStorageSpec();
+  spec.duration = 80 * kMillisecond;
+  SimulationOptions options;
+  options.memory.bus_bandwidth = options.memory.MemoryBandwidth();
+  const SimulationResults baseline = RunWorkload(spec, options);
+  const double mu = Calibrate(baseline).MuFor(0.10);
+  const SimulationResults tapl = RunWorkload(spec, WithTaPl(options, mu));
+  EXPECT_NEAR(tapl.EnergySavingsVs(baseline), 0.0, 0.06);
+}
+
+TEST(IntegrationTest, ControllerBufferStaysTiny) {
+  // Section 4.1.4: the gating buffer is a few hundred bytes per paper
+  // configuration; our cap is (gather_depth + k) chunks per chip.
+  const WorkloadSpec spec = ShortOltpStorage();
+  SimulationOptions options;
+  const SimulationResults baseline = RunWorkload(spec, options);
+  const double mu = Calibrate(baseline).MuFor(0.10);
+  const SimulationResults tapl = RunWorkload(spec, WithTaPl(options, mu));
+  const std::int64_t cap = static_cast<std::int64_t>(options.memory.chips) *
+                           6 * options.memory.chunk_bytes;
+  EXPECT_LE(tapl.max_gated_buffer_bytes, cap);
+}
+
+TEST(IntegrationTest, SchemeNames) {
+  MemorySystemConfig config;
+  EXPECT_EQ(SchemeName(config), "baseline");
+  config.dma.ta.enabled = true;
+  EXPECT_EQ(SchemeName(config), "DMA-TA");
+  config.dma.pl.enabled = true;
+  config.dma.pl.groups = 6;
+  EXPECT_EQ(SchemeName(config), "DMA-TA-PL(6)");
+}
+
+TEST(IntegrationTest, PolicyFactoryProducesAllKinds) {
+  DynamicThresholdConfig thresholds;
+  EXPECT_EQ(MakePolicy(PolicyKind::kDynamic, thresholds)->Name(),
+            "dynamic-threshold");
+  EXPECT_EQ(MakePolicy(PolicyKind::kStaticNap, thresholds)->Name(),
+            "static-nap");
+  EXPECT_EQ(MakePolicy(PolicyKind::kStaticPowerdown, thresholds)->Name(),
+            "static-powerdown");
+  EXPECT_EQ(MakePolicy(PolicyKind::kStaticStandby, thresholds)->Name(),
+            "static-standby");
+  EXPECT_EQ(MakePolicy(PolicyKind::kAlwaysActive, thresholds)->Name(),
+            "always-active");
+}
+
+TEST(IntegrationTest, AlwaysActiveCostsFarMoreThanDynamic) {
+  // Section 2.2: dynamic low-level management is the sane baseline.
+  WorkloadSpec spec = ShortOltpStorage(40 * kMillisecond);
+  SimulationOptions dynamic_options;
+  SimulationOptions active_options;
+  active_options.policy = PolicyKind::kAlwaysActive;
+  const SimulationResults dynamic_run = RunWorkload(spec, dynamic_options);
+  const SimulationResults active_run = RunWorkload(spec, active_options);
+  EXPECT_GT(active_run.energy.Total(), 5.0 * dynamic_run.energy.Total());
+}
+
+TEST(IntegrationTest, CalibrationProducesSensibleMu) {
+  const SimulationResults baseline =
+      RunWorkload(ShortOltpStorage(60 * kMillisecond), SimulationOptions{});
+  const CpCalibration calibration = Calibrate(baseline);
+  EXPECT_GT(calibration.r0, 0.0);
+  EXPECT_GT(calibration.m0, 0.0);
+  EXPECT_GT(calibration.r0, calibration.m0);  // Disk dominates memory.
+  EXPECT_DOUBLE_EQ(calibration.MuFor(0.0), 0.0);
+  EXPECT_GT(calibration.MuFor(0.2), calibration.MuFor(0.1));
+}
+
+TEST(IntegrationTest, ResultsCarryWorkloadAndSchemeLabels) {
+  const WorkloadSpec spec = ShortOltpStorage(30 * kMillisecond);
+  SimulationOptions options;
+  options.memory.dma.ta.enabled = true;
+  const SimulationResults results = RunWorkload(spec, options);
+  EXPECT_EQ(results.workload, "OLTP-St");
+  EXPECT_EQ(results.scheme, "DMA-TA/dynamic");
+  EXPECT_GT(results.duration, spec.duration);  // Includes the drain.
+}
+
+TEST(IntegrationTest, MostTransfersCompleteWithinRun) {
+  const WorkloadSpec spec = ShortOltpStorage(80 * kMillisecond);
+  const SimulationResults results =
+      RunWorkload(spec, SimulationOptions{});
+  EXPECT_GT(results.controller.transfers_completed,
+            results.controller.transfers_started * 95 / 100);
+}
+
+}  // namespace
+}  // namespace dmasim

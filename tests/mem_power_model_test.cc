@@ -1,0 +1,113 @@
+// Tests for the RDRAM power/timing model (Table 1 of the paper).
+#include "mem/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dmasim {
+namespace {
+
+TEST(PowerModelTest, Table1StatePowers) {
+  const PowerModel model;
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive), 300.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby), 180.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kNap), 30.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPowerdown), 3.0);
+}
+
+TEST(PowerModelTest, Table1DownTransitions) {
+  const PowerModel model;
+  EXPECT_DOUBLE_EQ(model.DownTransition(PowerState::kStandby).power_mw, 240.0);
+  EXPECT_EQ(model.DownTransition(PowerState::kStandby).duration, 625);
+  EXPECT_DOUBLE_EQ(model.DownTransition(PowerState::kNap).power_mw, 160.0);
+  EXPECT_EQ(model.DownTransition(PowerState::kNap).duration, 8 * 625);
+  EXPECT_DOUBLE_EQ(model.DownTransition(PowerState::kPowerdown).power_mw,
+                   15.0);
+  EXPECT_EQ(model.DownTransition(PowerState::kPowerdown).duration, 8 * 625);
+}
+
+TEST(PowerModelTest, Table1UpTransitions) {
+  const PowerModel model;
+  EXPECT_EQ(model.UpTransition(PowerState::kStandby).duration,
+            6 * kNanosecond);
+  EXPECT_EQ(model.UpTransition(PowerState::kNap).duration, 60 * kNanosecond);
+  EXPECT_EQ(model.UpTransition(PowerState::kPowerdown).duration,
+            6000 * kNanosecond);
+  EXPECT_DOUBLE_EQ(model.UpTransition(PowerState::kPowerdown).power_mw, 15.0);
+}
+
+TEST(PowerModelTest, MemoryCycleIs625Picoseconds) {
+  // 1600 MHz RDRAM.
+  const PowerModel model;
+  EXPECT_EQ(model.cycle, 625);
+}
+
+TEST(PowerModelTest, EightBytesServedInFourCycles) {
+  // Fig. 2(a): an 8-byte DMA-memory request occupies 4 memory cycles.
+  const PowerModel model;
+  EXPECT_EQ(model.ServiceTime(8), 4 * 625);
+}
+
+TEST(PowerModelTest, CacheLineServedIn32Cycles) {
+  const PowerModel model;
+  EXPECT_EQ(model.ServiceTime(64), 32 * 625);
+}
+
+TEST(PowerModelTest, PeakBandwidthIs3Point2GBps) {
+  const PowerModel model;
+  EXPECT_NEAR(model.BandwidthBytesPerSecond(), 3.2e9, 1e6);
+}
+
+TEST(PowerModelTest, EnergyJoules) {
+  // 300 mW for 1 second = 0.3 J.
+  EXPECT_NEAR(PowerModel::EnergyJoules(300.0, kSecond), 0.3, 1e-12);
+  // 3 mW for 1 ms = 3 uJ.
+  EXPECT_NEAR(PowerModel::EnergyJoules(3.0, kMillisecond), 3e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(PowerModel::EnergyJoules(300.0, 0), 0.0);
+}
+
+TEST(PowerModelTest, NextLowerStateChain) {
+  EXPECT_EQ(NextLowerState(PowerState::kActive), PowerState::kStandby);
+  EXPECT_EQ(NextLowerState(PowerState::kStandby), PowerState::kNap);
+  EXPECT_EQ(NextLowerState(PowerState::kNap), PowerState::kPowerdown);
+  EXPECT_EQ(NextLowerState(PowerState::kPowerdown), PowerState::kPowerdown);
+}
+
+TEST(PowerModelTest, StateNames) {
+  EXPECT_EQ(PowerStateName(PowerState::kActive), "active");
+  EXPECT_EQ(PowerStateName(PowerState::kStandby), "standby");
+  EXPECT_EQ(PowerStateName(PowerState::kNap), "nap");
+  EXPECT_EQ(PowerStateName(PowerState::kPowerdown), "powerdown");
+}
+
+TEST(PowerModelTest, ServiceTimeScalesLinearly) {
+  const PowerModel model;
+  EXPECT_EQ(model.ServiceTime(512), 64 * model.ServiceTime(8));
+  EXPECT_EQ(model.ServiceTime(8192), 4096 * model.cycle);
+}
+
+TEST(TimeHelpersTest, UnitConversions) {
+  EXPECT_EQ(kNanosecond, 1000);
+  EXPECT_EQ(kMicrosecond, 1000000);
+  EXPECT_EQ(kMillisecond, 1000000000);
+  EXPECT_DOUBLE_EQ(TicksToSeconds(kSecond), 1.0);
+  EXPECT_EQ(SecondsToTicks(1.0), kSecond);
+  EXPECT_EQ(SecondsToTicks(0.5e-3), 500 * kMicrosecond);
+}
+
+TEST(TimeHelpersTest, TransferTime) {
+  // 8 bytes at 1 GB/s = 8 ns.
+  EXPECT_EQ(TransferTime(8, 1.0e9), 8 * kNanosecond);
+  // 8 KB at 3.2 GB/s = 2.56 us.
+  EXPECT_EQ(TransferTime(8192, 3.2e9), 2560 * kNanosecond);
+}
+
+TEST(TimeHelpersTest, PciXSlotIsTwelveMemoryCycles) {
+  // The paper's Fig. 2(a) arithmetic: the next 8-byte request arrives 12
+  // memory cycles after the previous one on a bus with 1/3 the memory
+  // bandwidth.
+  const double bus_bandwidth = 8.0 / (12.0 * 625.0e-12);
+  EXPECT_EQ(TransferTime(8, bus_bandwidth), 12 * 625);
+}
+
+}  // namespace
+}  // namespace dmasim

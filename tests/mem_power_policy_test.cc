@@ -1,0 +1,80 @@
+// Tests for the chip-local low-power policies.
+#include "mem/power_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_chip.h"
+
+namespace dmasim {
+namespace {
+
+TEST(StaticPolicyTest, DropsStraightToTarget) {
+  const StaticPolicy policy(PowerState::kNap);
+  const auto step = policy.NextStep(PowerState::kActive);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->after_idle, 0);
+  EXPECT_EQ(step->target, PowerState::kNap);
+}
+
+TEST(StaticPolicyTest, StaysInTarget) {
+  const StaticPolicy policy(PowerState::kNap);
+  EXPECT_FALSE(policy.NextStep(PowerState::kNap).has_value());
+  EXPECT_FALSE(policy.NextStep(PowerState::kStandby).has_value());
+  EXPECT_FALSE(policy.NextStep(PowerState::kPowerdown).has_value());
+}
+
+TEST(StaticPolicyTest, Name) {
+  EXPECT_EQ(StaticPolicy(PowerState::kPowerdown).Name(), "static-powerdown");
+  EXPECT_EQ(StaticPolicy(PowerState::kStandby).Name(), "static-standby");
+}
+
+TEST(DynamicPolicyTest, StepsThroughAllStates) {
+  const DynamicThresholdPolicy policy;
+  const auto from_active = policy.NextStep(PowerState::kActive);
+  ASSERT_TRUE(from_active.has_value());
+  EXPECT_EQ(from_active->target, PowerState::kStandby);
+  const auto from_standby = policy.NextStep(PowerState::kStandby);
+  ASSERT_TRUE(from_standby.has_value());
+  EXPECT_EQ(from_standby->target, PowerState::kNap);
+  const auto from_nap = policy.NextStep(PowerState::kNap);
+  ASSERT_TRUE(from_nap.has_value());
+  EXPECT_EQ(from_nap->target, PowerState::kPowerdown);
+  EXPECT_FALSE(policy.NextStep(PowerState::kPowerdown).has_value());
+}
+
+TEST(DynamicPolicyTest, UsesConfiguredThresholds) {
+  DynamicThresholdConfig config;
+  config.active_to_standby = 111;
+  config.standby_to_nap = 222;
+  config.nap_to_powerdown = 333;
+  const DynamicThresholdPolicy policy(config);
+  EXPECT_EQ(policy.NextStep(PowerState::kActive)->after_idle, 111);
+  EXPECT_EQ(policy.NextStep(PowerState::kStandby)->after_idle, 222);
+  EXPECT_EQ(policy.NextStep(PowerState::kNap)->after_idle, 333);
+}
+
+TEST(DynamicPolicyTest, DefaultActiveThresholdMatchesPaperRange) {
+  // "the best setting ... is usually around 20-30 memory cycles".
+  const DynamicThresholdPolicy policy;
+  const Tick threshold = policy.NextStep(PowerState::kActive)->after_idle;
+  EXPECT_GE(threshold, 20 * 625);
+  EXPECT_LE(threshold, 30 * 625);
+}
+
+TEST(AlwaysActivePolicyTest, NeverSteps) {
+  const AlwaysActivePolicy policy;
+  EXPECT_FALSE(policy.NextStep(PowerState::kActive).has_value());
+  EXPECT_EQ(policy.Name(), "always-active");
+}
+
+TEST(RestingStateTest, FollowsPolicyChain) {
+  const DynamicThresholdPolicy dynamic;
+  EXPECT_EQ(MemoryChip::RestingState(dynamic), PowerState::kPowerdown);
+  const StaticPolicy nap(PowerState::kNap);
+  EXPECT_EQ(MemoryChip::RestingState(nap), PowerState::kNap);
+  const AlwaysActivePolicy active;
+  EXPECT_EQ(MemoryChip::RestingState(active), PowerState::kActive);
+}
+
+}  // namespace
+}  // namespace dmasim

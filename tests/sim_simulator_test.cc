@@ -1,0 +1,156 @@
+// Tests for the discrete-event simulation kernel.
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+
+namespace dmasim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.Now(), 0);
+  EXPECT_EQ(simulator.PendingEvents(), 0u);
+  EXPECT_EQ(simulator.ExecutedEvents(), 0u);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.Step());
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(30, [&]() { order.push_back(3); });
+  simulator.ScheduleAt(10, [&]() { order.push_back(1); });
+  simulator.ScheduleAt(20, [&]() { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.Now(), 30);
+}
+
+TEST(SimulatorTest, FifoAtEqualTimestamps) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    simulator.ScheduleAt(100, [&order, i]() { order.push_back(i); });
+  }
+  simulator.Run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesDuringEvent) {
+  Simulator simulator;
+  Tick observed = -1;
+  simulator.ScheduleAt(55, [&]() { observed = simulator.Now(); });
+  simulator.Run();
+  EXPECT_EQ(observed, 55);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator simulator;
+  Tick observed = -1;
+  simulator.ScheduleAt(40, [&]() {
+    simulator.ScheduleAfter(5, [&]() { observed = simulator.Now(); });
+  });
+  simulator.Run();
+  EXPECT_EQ(observed, 45);
+}
+
+TEST(SimulatorTest, EventsCanScheduleAtSameTime) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(10, [&]() {
+    order.push_back(1);
+    simulator.ScheduleAt(10, [&]() { order.push_back(2); });
+  });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(simulator.Now(), 10);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator simulator;
+  std::vector<int> fired;
+  simulator.ScheduleAt(10, [&]() { fired.push_back(10); });
+  simulator.ScheduleAt(20, [&]() { fired.push_back(20); });
+  simulator.ScheduleAt(30, [&]() { fired.push_back(30); });
+  simulator.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(simulator.Now(), 20);
+  EXPECT_EQ(simulator.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator simulator;
+  simulator.RunUntil(1000);
+  EXPECT_EQ(simulator.Now(), 1000);
+}
+
+TEST(SimulatorTest, RunUntilHandlesSelfRescheduling) {
+  // A periodic event must not prevent RunUntil from returning.
+  Simulator simulator;
+  int fires = 0;
+  std::function<void()> periodic = [&]() {
+    ++fires;
+    simulator.ScheduleAfter(10, periodic);
+  };
+  simulator.ScheduleAt(10, periodic);
+  simulator.RunUntil(100);
+  EXPECT_EQ(fires, 10);
+  EXPECT_EQ(simulator.Now(), 100);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator simulator;
+  for (int i = 0; i < 5; ++i) {
+    simulator.ScheduleAt(i, []() {});
+  }
+  simulator.RunUntil(2);
+  EXPECT_EQ(simulator.ExecutedEvents(), 3u);  // t = 0, 1, 2.
+  simulator.Run();
+  EXPECT_EQ(simulator.ExecutedEvents(), 5u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(1, [&]() { ++fired; });
+  simulator.ScheduleAt(2, [&]() { ++fired; });
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(simulator.Step());
+}
+
+TEST(SimulatorTest, InterleavedSchedulingKeepsDeterministicOrder) {
+  // Two "components" scheduling against each other must interleave in a
+  // reproducible way.
+  Simulator simulator;
+  std::vector<std::string> log;
+  std::function<void(int)> ping = [&](int round) {
+    log.push_back("ping" + std::to_string(round));
+    if (round < 3) {
+      simulator.ScheduleAfter(2, [&, round]() { ping(round + 1); });
+    }
+  };
+  std::function<void(int)> pong = [&](int round) {
+    log.push_back("pong" + std::to_string(round));
+    if (round < 3) {
+      simulator.ScheduleAfter(2, [&, round]() { pong(round + 1); });
+    }
+  };
+  simulator.ScheduleAt(0, [&]() { ping(1); });
+  simulator.ScheduleAt(1, [&]() { pong(1); });
+  simulator.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"ping1", "pong1", "ping2", "pong2",
+                                           "ping3", "pong3"}));
+}
+
+}  // namespace
+}  // namespace dmasim

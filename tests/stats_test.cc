@@ -1,0 +1,151 @@
+// Tests for statistics accumulators, histograms, energy bookkeeping, and
+// table formatting.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/accumulators.h"
+#include "stats/energy.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace dmasim {
+namespace {
+
+TEST(RunningMeanTest, EmptyIsZero) {
+  RunningMean mean;
+  EXPECT_EQ(mean.Count(), 0u);
+  EXPECT_EQ(mean.Mean(), 0.0);
+  EXPECT_EQ(mean.Min(), 0.0);
+  EXPECT_EQ(mean.Max(), 0.0);
+}
+
+TEST(RunningMeanTest, TracksMoments) {
+  RunningMean mean;
+  mean.Add(1.0);
+  mean.Add(2.0);
+  mean.Add(6.0);
+  EXPECT_EQ(mean.Count(), 3u);
+  EXPECT_DOUBLE_EQ(mean.Sum(), 9.0);
+  EXPECT_DOUBLE_EQ(mean.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(mean.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(mean.Max(), 6.0);
+}
+
+TEST(RunningMeanTest, MergeCombines) {
+  RunningMean a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningMean b;
+  b.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 5.0);
+}
+
+TEST(StateTimeTrackerTest, AccountsElapsedTime) {
+  StateTimeTracker<3> tracker(0, 100);
+  tracker.Switch(1, 150);
+  tracker.Switch(2, 175);
+  tracker.Switch(0, 300);
+  tracker.Sync(400);
+  EXPECT_EQ(tracker.TimeIn(0), 50 + 100);
+  EXPECT_EQ(tracker.TimeIn(1), 25);
+  EXPECT_EQ(tracker.TimeIn(2), 125);
+  EXPECT_EQ(tracker.CurrentState(), 0);
+}
+
+TEST(StateTimeTrackerTest, SyncIsIdempotent) {
+  StateTimeTracker<2> tracker;
+  tracker.Sync(10);
+  tracker.Sync(10);
+  EXPECT_EQ(tracker.TimeIn(0), 10);
+}
+
+TEST(HistogramTest, CountsAndQuantiles) {
+  Histogram histogram(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) histogram.Add(static_cast<double>(i));
+  EXPECT_EQ(histogram.TotalCount(), 100u);
+  EXPECT_NEAR(histogram.Quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(histogram.Quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(histogram.Quantile(0.0), 5.0, 5.0);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(-5.0);
+  histogram.Add(50.0);
+  EXPECT_EQ(histogram.BinValue(0), 1u);
+  EXPECT_EQ(histogram.BinValue(9), 1u);
+}
+
+TEST(HistogramTest, EmptyQuantileReturnsLow) {
+  Histogram histogram(3.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 3.0);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram histogram(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(histogram.BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.BinCenter(9), 9.5);
+}
+
+TEST(EnergyBreakdownTest, StartsEmpty) {
+  EnergyBreakdown energy;
+  EXPECT_DOUBLE_EQ(energy.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(energy.Fraction(EnergyBucket::kActiveServing), 0.0);
+}
+
+TEST(EnergyBreakdownTest, AddAndTotal) {
+  EnergyBreakdown energy;
+  energy.Add(EnergyBucket::kActiveServing, 1.0);
+  energy.Add(EnergyBucket::kActiveIdleDma, 2.0);
+  energy.Add(EnergyBucket::kLowPower, 1.0);
+  EXPECT_DOUBLE_EQ(energy.Total(), 4.0);
+  EXPECT_DOUBLE_EQ(energy.Of(EnergyBucket::kActiveIdleDma), 2.0);
+  EXPECT_DOUBLE_EQ(energy.Fraction(EnergyBucket::kActiveIdleDma), 0.5);
+}
+
+TEST(EnergyBreakdownTest, Accumulates) {
+  EnergyBreakdown a;
+  a.Add(EnergyBucket::kTransition, 1.0);
+  EnergyBreakdown b;
+  b.Add(EnergyBucket::kTransition, 2.0);
+  b.Add(EnergyBucket::kMigration, 3.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.Of(EnergyBucket::kTransition), 3.0);
+  EXPECT_DOUBLE_EQ(a.Of(EnergyBucket::kMigration), 3.0);
+  const EnergyBreakdown c = a + b;
+  EXPECT_DOUBLE_EQ(c.Of(EnergyBucket::kTransition), 5.0);
+}
+
+TEST(EnergyBreakdownTest, BucketNames) {
+  EXPECT_EQ(EnergyBucketName(EnergyBucket::kActiveServing), "ActiveServing");
+  EXPECT_EQ(EnergyBucketName(EnergyBucket::kActiveIdleDma), "ActiveIdleDma");
+  EXPECT_EQ(EnergyBucketName(EnergyBucket::kLowPower), "LowPowerModes");
+  EXPECT_EQ(EnergyBucketName(EnergyBucket::kMigration), "Migration");
+}
+
+TEST(TablePrinterTest, FormatsAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"bb", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| bb    | 22    |"), std::string::npos);
+  EXPECT_EQ(table.RowCount(), 2);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Percent(0.386, 1), "38.6%");
+  EXPECT_EQ(TablePrinter::Percent(-0.05, 0), "-5%");
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -1,0 +1,104 @@
+// Tests for Zipf popularity helpers.
+#include "trace/zipf.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dmasim {
+namespace {
+
+TEST(ZipfTopShareTest, UniformWhenAlphaZero) {
+  EXPECT_NEAR(ZipfTopShare(1000, 0.0, 0.2), 0.2, 1e-9);
+}
+
+TEST(ZipfTopShareTest, MonotonicInAlpha) {
+  const std::uint64_t n = 10000;
+  double previous = 0.0;
+  for (double alpha : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    const double share = ZipfTopShare(n, alpha, 0.2);
+    EXPECT_GE(share, previous);
+    previous = share;
+  }
+}
+
+TEST(ZipfTopShareTest, FullFractionIsOne) {
+  EXPECT_NEAR(ZipfTopShare(100, 1.0, 1.0), 1.0, 1e-9);
+}
+
+TEST(ZipfTopShareTest, HarmonicLawAtAlphaOne) {
+  // Top-20% share for Zipf(1) over n items ~= ln(0.2 n) / ln(n) + gamma
+  // corrections; just verify against a directly computed small case.
+  const double share = ZipfTopShare(10, 1.0, 0.2);
+  // Weights: 1, 1/2, ..., 1/10; top 2 = 1.5 of H(10) = 2.9290.
+  EXPECT_NEAR(share, 1.5 / 2.9289682539682538, 1e-9);
+}
+
+TEST(FitZipfAlphaTest, RecoversKnownAlpha) {
+  const std::uint64_t n = 5000;
+  for (double alpha : {0.5, 0.8, 1.0, 1.3}) {
+    const double share = ZipfTopShare(n, alpha, 0.2);
+    const double fitted = FitZipfAlpha(n, 0.2, share);
+    EXPECT_NEAR(fitted, alpha, 0.01);
+  }
+}
+
+TEST(FitZipfAlphaTest, PaperFigure4Target) {
+  // 20% of pages -> 60% of accesses is achievable with a sub-linear alpha.
+  const double alpha = FitZipfAlpha(1ULL << 17, 0.20, 0.60);
+  EXPECT_GT(alpha, 0.5);
+  EXPECT_LT(alpha, 1.0);
+  EXPECT_NEAR(ZipfTopShare(1ULL << 17, alpha, 0.20), 0.60, 0.005);
+}
+
+TEST(ZipfPagePickerTest, PermutationIsBijective) {
+  const std::uint64_t pages = 1 << 12;
+  ZipfPagePicker picker(pages, 1.0);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t rank = 0; rank < pages; ++rank) {
+    const std::uint64_t page = picker.PageForRank(rank);
+    EXPECT_LT(page, pages);
+    seen.insert(page);
+  }
+  EXPECT_EQ(seen.size(), pages);
+}
+
+TEST(ZipfPagePickerTest, PermutationScattersNeighbours) {
+  // Consecutive ranks must not map to consecutive pages (otherwise the
+  // popular pages would cluster on few chips even without PL).
+  ZipfPagePicker picker(1 << 12, 1.0);
+  int adjacent = 0;
+  for (std::uint64_t rank = 0; rank + 1 < 100; ++rank) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(picker.PageForRank(rank + 1)) -
+        static_cast<std::int64_t>(picker.PageForRank(rank));
+    if (delta == 1 || delta == -1) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 5);
+}
+
+TEST(ZipfPagePickerTest, MostPopularPageIsRankZero) {
+  const std::uint64_t pages = 1 << 10;
+  ZipfPagePicker picker(pages, 1.2);
+  Rng rng(77);
+  std::vector<int> counts(pages, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[picker.Pick(rng)];
+  const std::uint64_t hottest = picker.PageForRank(0);
+  for (std::uint64_t page = 0; page < pages; ++page) {
+    EXPECT_LE(counts[page], counts[hottest]);
+  }
+}
+
+TEST(ZipfPagePickerTest, DeterministicGivenRngState) {
+  ZipfPagePicker picker(1 << 10, 1.0);
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(picker.Pick(a), picker.Pick(b));
+  }
+}
+
+}  // namespace
+}  // namespace dmasim

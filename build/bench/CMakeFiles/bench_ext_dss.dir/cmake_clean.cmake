@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dss.dir/bench_ext_dss.cc.o"
+  "CMakeFiles/bench_ext_dss.dir/bench_ext_dss.cc.o.d"
+  "bench_ext_dss"
+  "bench_ext_dss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

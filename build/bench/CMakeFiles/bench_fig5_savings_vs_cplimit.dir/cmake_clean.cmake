@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_savings_vs_cplimit.dir/bench_fig5_savings_vs_cplimit.cc.o"
+  "CMakeFiles/bench_fig5_savings_vs_cplimit.dir/bench_fig5_savings_vs_cplimit.cc.o.d"
+  "bench_fig5_savings_vs_cplimit"
+  "bench_fig5_savings_vs_cplimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_savings_vs_cplimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

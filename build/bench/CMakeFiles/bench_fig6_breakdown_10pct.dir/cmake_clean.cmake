@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_breakdown_10pct.dir/bench_fig6_breakdown_10pct.cc.o"
+  "CMakeFiles/bench_fig6_breakdown_10pct.dir/bench_fig6_breakdown_10pct.cc.o.d"
+  "bench_fig6_breakdown_10pct"
+  "bench_fig6_breakdown_10pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_breakdown_10pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_intensity.dir/bench_fig8_intensity.cc.o"
+  "CMakeFiles/bench_fig8_intensity.dir/bench_fig8_intensity.cc.o.d"
+  "bench_fig8_intensity"
+  "bench_fig8_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cpu_accesses.dir/bench_fig9_cpu_accesses.cc.o"
+  "CMakeFiles/bench_fig9_cpu_accesses.dir/bench_fig9_cpu_accesses.cc.o.d"
+  "bench_fig9_cpu_accesses"
+  "bench_fig9_cpu_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cpu_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/layout_manager.cc" "src/CMakeFiles/dmasim.dir/core/layout_manager.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/core/layout_manager.cc.o.d"
+  "/root/repo/src/core/memory_controller.cc" "src/CMakeFiles/dmasim.dir/core/memory_controller.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/core/memory_controller.cc.o.d"
+  "/root/repo/src/core/temporal_aligner.cc" "src/CMakeFiles/dmasim.dir/core/temporal_aligner.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/core/temporal_aligner.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/CMakeFiles/dmasim.dir/disk/disk_model.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/disk/disk_model.cc.o.d"
+  "/root/repo/src/io/io_bus.cc" "src/CMakeFiles/dmasim.dir/io/io_bus.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/io/io_bus.cc.o.d"
+  "/root/repo/src/mem/memory_chip.cc" "src/CMakeFiles/dmasim.dir/mem/memory_chip.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/mem/memory_chip.cc.o.d"
+  "/root/repo/src/server/data_server.cc" "src/CMakeFiles/dmasim.dir/server/data_server.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/server/data_server.cc.o.d"
+  "/root/repo/src/server/simulation_driver.cc" "src/CMakeFiles/dmasim.dir/server/simulation_driver.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/server/simulation_driver.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/dmasim.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/dmasim.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/dmasim.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/dmasim.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/trace/zipf.cc" "src/CMakeFiles/dmasim.dir/trace/zipf.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/trace/zipf.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/dmasim.dir/util/random.cc.o" "gcc" "src/CMakeFiles/dmasim.dir/util/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

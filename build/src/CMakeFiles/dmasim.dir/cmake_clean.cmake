@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmasim.dir/core/layout_manager.cc.o"
+  "CMakeFiles/dmasim.dir/core/layout_manager.cc.o.d"
+  "CMakeFiles/dmasim.dir/core/memory_controller.cc.o"
+  "CMakeFiles/dmasim.dir/core/memory_controller.cc.o.d"
+  "CMakeFiles/dmasim.dir/core/temporal_aligner.cc.o"
+  "CMakeFiles/dmasim.dir/core/temporal_aligner.cc.o.d"
+  "CMakeFiles/dmasim.dir/disk/disk_model.cc.o"
+  "CMakeFiles/dmasim.dir/disk/disk_model.cc.o.d"
+  "CMakeFiles/dmasim.dir/io/io_bus.cc.o"
+  "CMakeFiles/dmasim.dir/io/io_bus.cc.o.d"
+  "CMakeFiles/dmasim.dir/mem/memory_chip.cc.o"
+  "CMakeFiles/dmasim.dir/mem/memory_chip.cc.o.d"
+  "CMakeFiles/dmasim.dir/server/data_server.cc.o"
+  "CMakeFiles/dmasim.dir/server/data_server.cc.o.d"
+  "CMakeFiles/dmasim.dir/server/simulation_driver.cc.o"
+  "CMakeFiles/dmasim.dir/server/simulation_driver.cc.o.d"
+  "CMakeFiles/dmasim.dir/stats/table.cc.o"
+  "CMakeFiles/dmasim.dir/stats/table.cc.o.d"
+  "CMakeFiles/dmasim.dir/trace/trace.cc.o"
+  "CMakeFiles/dmasim.dir/trace/trace.cc.o.d"
+  "CMakeFiles/dmasim.dir/trace/trace_io.cc.o"
+  "CMakeFiles/dmasim.dir/trace/trace_io.cc.o.d"
+  "CMakeFiles/dmasim.dir/trace/workloads.cc.o"
+  "CMakeFiles/dmasim.dir/trace/workloads.cc.o.d"
+  "CMakeFiles/dmasim.dir/trace/zipf.cc.o"
+  "CMakeFiles/dmasim.dir/trace/zipf.cc.o.d"
+  "CMakeFiles/dmasim.dir/util/random.cc.o"
+  "CMakeFiles/dmasim.dir/util/random.cc.o.d"
+  "libdmasim.a"
+  "libdmasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_aligner_test.cc" "tests/CMakeFiles/dmasim_tests.dir/core_aligner_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/core_aligner_test.cc.o.d"
+  "/root/repo/tests/core_controller_test.cc" "tests/CMakeFiles/dmasim_tests.dir/core_controller_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/core_controller_test.cc.o.d"
+  "/root/repo/tests/core_layout_test.cc" "tests/CMakeFiles/dmasim_tests.dir/core_layout_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/core_layout_test.cc.o.d"
+  "/root/repo/tests/core_slack_test.cc" "tests/CMakeFiles/dmasim_tests.dir/core_slack_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/core_slack_test.cc.o.d"
+  "/root/repo/tests/disk_net_test.cc" "tests/CMakeFiles/dmasim_tests.dir/disk_net_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/disk_net_test.cc.o.d"
+  "/root/repo/tests/granularity_test.cc" "tests/CMakeFiles/dmasim_tests.dir/granularity_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/granularity_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dmasim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_bus_test.cc" "tests/CMakeFiles/dmasim_tests.dir/io_bus_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/io_bus_test.cc.o.d"
+  "/root/repo/tests/mem_memory_chip_test.cc" "tests/CMakeFiles/dmasim_tests.dir/mem_memory_chip_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/mem_memory_chip_test.cc.o.d"
+  "/root/repo/tests/mem_power_model_test.cc" "tests/CMakeFiles/dmasim_tests.dir/mem_power_model_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/mem_power_model_test.cc.o.d"
+  "/root/repo/tests/mem_power_policy_test.cc" "tests/CMakeFiles/dmasim_tests.dir/mem_power_policy_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/mem_power_policy_test.cc.o.d"
+  "/root/repo/tests/server_test.cc" "tests/CMakeFiles/dmasim_tests.dir/server_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/server_test.cc.o.d"
+  "/root/repo/tests/sim_simulator_test.cc" "tests/CMakeFiles/dmasim_tests.dir/sim_simulator_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/sim_simulator_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/dmasim_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/dmasim_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/trace_workloads_test.cc" "tests/CMakeFiles/dmasim_tests.dir/trace_workloads_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/trace_workloads_test.cc.o.d"
+  "/root/repo/tests/trace_zipf_test.cc" "tests/CMakeFiles/dmasim_tests.dir/trace_zipf_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/trace_zipf_test.cc.o.d"
+  "/root/repo/tests/util_random_test.cc" "tests/CMakeFiles/dmasim_tests.dir/util_random_test.cc.o" "gcc" "tests/CMakeFiles/dmasim_tests.dir/util_random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

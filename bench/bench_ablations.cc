@@ -1,4 +1,5 @@
-// Ablation studies called out in DESIGN.md:
+// Ablation studies called out in DESIGN.md, expressed as four small
+// declarative sweeps on the experiment engine:
 //  * low-level policy comparison (static vs dynamic, Section 2.2);
 //  * epoch-length insensitivity (Section 4.1.2);
 //  * gather-depth factor (release at k distinct buses vs deeper batches);
@@ -7,83 +8,130 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 int main() {
   using namespace dmasim;
   using namespace dmasim::bench;
 
-  WorkloadSpec spec = OltpStorageSpec();
-  spec.duration = Scaled(300 * kMillisecond);
-  SimulationOptions options;
-  const auto base = RunBaseline(spec, options);
-  const double mu = base.calibration.MuFor(0.10);
+  WorkloadSpec workload = OltpStorageSpec();
+  workload.duration = Scaled(300 * kMillisecond);
 
   PrintHeader("Ablation A: low-level power policies (OLTP-St)",
               "Paper (Section 2.2): dynamic threshold management beats the\n"
               "static schemes, which is why it is the baseline.");
-  TablePrinter policies({"policy", "total mJ", "vs dynamic"});
-  for (PolicyKind kind :
-       {PolicyKind::kDynamic, PolicyKind::kStaticStandby,
-        PolicyKind::kStaticNap, PolicyKind::kStaticPowerdown,
-        PolicyKind::kAlwaysActive}) {
-    SimulationOptions policy_options = options;
-    policy_options.policy = kind;
-    const SimulationResults results = RunWorkload(spec, policy_options);
-    policies.AddRow(
-        {PolicyKindName(kind),
-         TablePrinter::Num(results.energy.Total() * 1e3, 1),
-         TablePrinter::Percent(results.EnergySavingsVs(base.baseline))});
+  {
+    ExperimentSpec spec;
+    spec.name = "ablation-policies";
+    spec.workloads = {workload};
+    spec.schemes = {BaselineScheme()};
+    spec.policies = {PolicyKind::kDynamic, PolicyKind::kStaticStandby,
+                     PolicyKind::kStaticNap, PolicyKind::kStaticPowerdown,
+                     PolicyKind::kAlwaysActive};
+    SweepRunner runner;
+    const SweepResults sweep = runner.Run(spec);
+
+    const RunRecord* dynamic_base = sweep.Find(
+        [](const RunPlan& plan) { return plan.policy == PolicyKind::kDynamic; });
+    TablePrinter policies({"policy", "total mJ", "vs dynamic"});
+    for (PolicyKind kind : spec.policies) {
+      const RunRecord* record = sweep.Find(
+          [kind](const RunPlan& plan) { return plan.policy == kind; });
+      if (record == nullptr || !record->ok() || dynamic_base == nullptr) {
+        continue;
+      }
+      policies.AddRow(
+          {PolicyKindName(kind),
+           TablePrinter::Num(record->results.energy.Total() * 1e3, 1),
+           TablePrinter::Percent(
+               record->results.EnergySavingsVs(dynamic_base->results))});
+    }
+    policies.Print(std::cout);
   }
-  policies.Print(std::cout);
 
   PrintHeader("\nAblation B: epoch length (DMA-TA, OLTP-St, 10% CP-Limit)",
               "Paper (Section 4.1.2): results are insensitive to the epoch\n"
               "length as long as it is not too large.");
-  TablePrinter epochs({"epoch", "savings", "degradation"});
-  for (Tick epoch : std::vector<Tick>{10 * kMicrosecond, 50 * kMicrosecond,
-                                      200 * kMicrosecond, kMillisecond}) {
-    SimulationOptions ta = TaOptions(options, mu);
-    ta.memory.dma.ta.epoch_length = epoch;
-    const SimulationResults results = RunWorkload(spec, ta);
-    epochs.AddRow(
-        {TablePrinter::Num(static_cast<double>(epoch) / kMicrosecond, 0) +
-             " us",
-         TablePrinter::Percent(results.EnergySavingsVs(base.baseline)),
-         TablePrinter::Percent(results.ResponseDegradationVs(base.baseline))});
+  {
+    ExperimentSpec spec;
+    spec.name = "ablation-epochs";
+    spec.workloads = {workload};
+    spec.schemes = {TaScheme()};
+    spec.cp_limits = {0.10};
+    spec.epoch_lengths = {10 * kMicrosecond, 50 * kMicrosecond,
+                          200 * kMicrosecond, kMillisecond};
+    SweepRunner runner;
+    const SweepResults sweep = runner.Run(spec);
+
+    TablePrinter epochs({"epoch", "savings", "degradation"});
+    for (Tick epoch : spec.epoch_lengths) {
+      const RunRecord* record = sweep.Find([epoch](const RunPlan& plan) {
+        return !plan.is_baseline && plan.epoch_length == epoch;
+      });
+      if (record == nullptr || !record->ok()) continue;
+      epochs.AddRow(
+          {TablePrinter::Num(static_cast<double>(epoch) / kMicrosecond, 0) +
+               " us",
+           TablePrinter::Percent(record->energy_savings),
+           TablePrinter::Percent(record->response_degradation)});
+    }
+    epochs.Print(std::cout);
   }
-  epochs.Print(std::cout);
 
   PrintHeader("\nAblation C: gather depth (DMA-TA-PL, OLTP-St, 10% CP-Limit)",
               "Releasing at the first k-distinct-bus quorum (factor 1, the\n"
               "paper's rule) vs waiting for deeper batches.");
-  TablePrinter depth({"gather depth factor", "savings", "degradation"});
-  for (double factor : std::vector<double>{1.0, 2.0, 3.0}) {
-    SimulationOptions tapl = TaPlOptions(options, mu);
-    tapl.memory.dma.ta.gather_depth_factor = factor;
-    const SimulationResults results = RunWorkload(spec, tapl);
-    depth.AddRow(
-        {TablePrinter::Num(factor, 1),
-         TablePrinter::Percent(results.EnergySavingsVs(base.baseline)),
-         TablePrinter::Percent(results.ResponseDegradationVs(base.baseline))});
+  {
+    ExperimentSpec spec;
+    spec.name = "ablation-gather";
+    spec.workloads = {workload};
+    spec.schemes = {TaPlScheme(2)};
+    spec.cp_limits = {0.10};
+    spec.gather_depth_factors = {1.0, 2.0, 3.0};
+    SweepRunner runner;
+    const SweepResults sweep = runner.Run(spec);
+
+    TablePrinter depth({"gather depth factor", "savings", "degradation"});
+    for (double factor : spec.gather_depth_factors) {
+      const RunRecord* record = sweep.Find([factor](const RunPlan& plan) {
+        return !plan.is_baseline && plan.gather_depth_factor == factor;
+      });
+      if (record == nullptr || !record->ok()) continue;
+      depth.AddRow({TablePrinter::Num(factor, 1),
+                    TablePrinter::Percent(record->energy_savings),
+                    TablePrinter::Percent(record->response_degradation)});
+    }
+    depth.Print(std::cout);
   }
-  depth.Print(std::cout);
 
   PrintHeader("\nAblation D: controller buffer occupancy (Section 4.1.4)",
               "Paper: at most 3 * 8 * 32 = 768 bytes of buffered requests\n"
               "for the 8-byte-request configuration.");
   {
-    const SimulationResults tapl = RunWorkload(spec, TaPlOptions(options, mu));
-    TablePrinter buffer({"quantity", "value"});
-    buffer.AddRow({"chunk size (bytes)",
-                   std::to_string(options.memory.chunk_bytes)});
-    buffer.AddRow({"max buffered bytes observed",
-                   std::to_string(tapl.max_gated_buffer_bytes)});
-    buffer.AddRow(
-        {"max buffered 8B-request equivalents",
-         std::to_string(tapl.max_gated_buffer_bytes /
-                        options.memory.chunk_bytes)});
-    buffer.AddRow({"paper bound (requests)", "96 (= 3 per chip x 32 chips)"});
-    buffer.Print(std::cout);
+    ExperimentSpec spec;
+    spec.name = "ablation-buffer";
+    spec.workloads = {workload};
+    spec.schemes = {TaPlScheme(2)};
+    spec.cp_limits = {0.10};
+    SweepRunner runner;
+    const SweepResults sweep = runner.Run(spec);
+
+    const RunRecord* tapl =
+        sweep.Find(workload.name, TaPlScheme(2), 0.10);
+    if (tapl != nullptr && tapl->ok()) {
+      TablePrinter buffer({"quantity", "value"});
+      buffer.AddRow({"chunk size (bytes)",
+                     std::to_string(spec.base.memory.chunk_bytes)});
+      buffer.AddRow({"max buffered bytes observed",
+                     std::to_string(tapl->results.max_gated_buffer_bytes)});
+      buffer.AddRow(
+          {"max buffered 8B-request equivalents",
+           std::to_string(tapl->results.max_gated_buffer_bytes /
+                          spec.base.memory.chunk_bytes)});
+      buffer.AddRow(
+          {"paper bound (requests)", "96 (= 3 per chip x 32 chips)"});
+      buffer.Print(std::cout);
+    }
   }
   return 0;
 }

@@ -2,10 +2,15 @@
 // policy as a function of the client-perceived response-time degradation
 // limit (CP-Limit), for DMA-TA alone and DMA-TA-PL with 2/3/6 popularity
 // groups, on all four workloads.
+//
+// The whole figure is one declarative sweep: {4 workloads} x {DMA-TA,
+// DMA-TA-PL(2/3/6)} x {5 CP-Limits}, executed in parallel by the
+// experiment engine (baselines and mu calibration included).
 #include <iostream>
 #include <vector>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 int main() {
   using namespace dmasim;
@@ -20,43 +25,50 @@ int main() {
 
   const std::vector<double> cp_limits = {0.02, 0.05, 0.10, 0.20, 0.30};
 
-  std::vector<WorkloadSpec> specs = {OltpStorageSpec(), SyntheticStorageSpec(),
-                                     OltpDatabaseSpec(),
-                                     SyntheticDatabaseSpec()};
-  specs[0].duration = Scaled(500 * kMillisecond);
-  specs[1].duration = Scaled(500 * kMillisecond);
-  specs[2].duration = Scaled(150 * kMillisecond);
-  specs[3].duration = Scaled(200 * kMillisecond);
+  ExperimentSpec spec;
+  spec.name = "fig5";
+  spec.workloads = {OltpStorageSpec(), SyntheticStorageSpec(),
+                    OltpDatabaseSpec(), SyntheticDatabaseSpec()};
+  spec.workloads[0].duration = Scaled(500 * kMillisecond);
+  spec.workloads[1].duration = Scaled(500 * kMillisecond);
+  spec.workloads[2].duration = Scaled(150 * kMillisecond);
+  spec.workloads[3].duration = Scaled(200 * kMillisecond);
+  spec.schemes = {TaScheme(), TaPlScheme(2), TaPlScheme(3), TaPlScheme(6)};
+  spec.cp_limits = cp_limits;
 
-  for (const WorkloadSpec& spec : specs) {
-    SimulationOptions options;
-    options.server.request_compute_time = spec.request_compute_time;
-    const auto base = RunBaseline(spec, options);
+  SweepRunner runner;
+  const SweepResults sweep = runner.Run(spec);
+
+  const auto savings = [&](const WorkloadSpec& workload,
+                           const SchemeSpec& scheme, double cp) {
+    const RunRecord* record = sweep.Find(workload.name, scheme, cp);
+    return record != nullptr && record->ok() ? record->energy_savings : 0.0;
+  };
+
+  for (const WorkloadSpec& workload : spec.workloads) {
+    const RunRecord* base =
+        sweep.Find(workload.name, BaselineScheme(), -1.0);
+    if (base == nullptr || !base->ok()) continue;
+    const CpCalibration calibration = Calibrate(base->results);
 
     TablePrinter table({"CP-Limit", "DMA-TA", "DMA-TA-PL(2)", "DMA-TA-PL(3)",
                         "DMA-TA-PL(6)", "degr(PL2)"});
     for (double cp : cp_limits) {
-      const double mu = base.calibration.MuFor(cp);
-      const SimulationResults ta =
-          RunWorkload(spec, TaOptions(options, mu));
-      const SimulationResults pl2 =
-          RunWorkload(spec, TaPlOptions(options, mu, 2));
-      const SimulationResults pl3 =
-          RunWorkload(spec, TaPlOptions(options, mu, 3));
-      const SimulationResults pl6 =
-          RunWorkload(spec, TaPlOptions(options, mu, 6));
+      const RunRecord* pl2 = sweep.Find(workload.name, TaPlScheme(2), cp);
       table.AddRow({TablePrinter::Percent(cp, 0),
-                    TablePrinter::Percent(ta.EnergySavingsVs(base.baseline)),
-                    TablePrinter::Percent(pl2.EnergySavingsVs(base.baseline)),
-                    TablePrinter::Percent(pl3.EnergySavingsVs(base.baseline)),
-                    TablePrinter::Percent(pl6.EnergySavingsVs(base.baseline)),
+                    TablePrinter::Percent(savings(workload, TaScheme(), cp)),
+                    TablePrinter::Percent(savings(workload, TaPlScheme(2), cp)),
+                    TablePrinter::Percent(savings(workload, TaPlScheme(3), cp)),
+                    TablePrinter::Percent(savings(workload, TaPlScheme(6), cp)),
                     TablePrinter::Percent(
-                        pl2.ResponseDegradationVs(base.baseline))});
+                        pl2 != nullptr && pl2->ok()
+                            ? pl2->response_degradation
+                            : 0.0)});
     }
-    std::cout << "-- " << spec.name << " (baseline "
-              << TablePrinter::Num(base.baseline.energy.Total() * 1e3, 1)
+    std::cout << "-- " << workload.name << " (baseline "
+              << TablePrinter::Num(base->results.energy.Total() * 1e3, 1)
               << " mJ, mu(10%) = "
-              << TablePrinter::Num(base.calibration.MuFor(0.10), 1) << ") --\n";
+              << TablePrinter::Num(calibration.MuFor(0.10), 1) << ") --\n";
     table.Print(std::cout);
     std::cout << '\n';
   }

@@ -1,9 +1,14 @@
 // Regenerates Figure 8: energy savings as a function of workload
 // intensity (average DMA transfer arrival rate) for Synthetic-St.
+//
+// One engine sweep: the intensity variants enter as separate workloads
+// (distinct names so records stay addressable) and the engine supplies
+// baselines, calibration, and parallel execution.
 #include <iostream>
 #include <vector>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 int main() {
   using namespace dmasim;
@@ -14,21 +19,36 @@ int main() {
       "alignment opportunity); the benefit grows more slowly at high\n"
       "intensities where transfers already overlap naturally.");
 
+  const std::vector<double> intensities = {25, 50, 100, 200, 400};
+
+  ExperimentSpec spec;
+  spec.name = "fig8";
+  for (double intensity : intensities) {
+    WorkloadSpec workload = WithIntensity(SyntheticStorageSpec(), intensity);
+    workload.name += "@" + TablePrinter::Num(intensity, 0) + "/ms";
+    workload.duration = Scaled(300 * kMillisecond);
+    spec.workloads.push_back(std::move(workload));
+  }
+  spec.schemes = {TaScheme(), TaPlScheme(2)};
+  spec.cp_limits = {0.10};
+
+  SweepRunner runner;
+  const SweepResults sweep = runner.Run(spec);
+
   TablePrinter table({"transfers/ms", "DMA-TA", "DMA-TA-PL", "baseline uf",
                       "DMA-TA-PL uf"});
-  for (double intensity : std::vector<double>{25, 50, 100, 200, 400}) {
-    WorkloadSpec spec = WithIntensity(SyntheticStorageSpec(), intensity);
-    spec.duration = Scaled(300 * kMillisecond);
-    SimulationOptions options;
-    const auto base = RunBaseline(spec, options);
-    const double mu = base.calibration.MuFor(0.10);
-    const SimulationResults ta = RunWorkload(spec, TaOptions(options, mu));
-    const SimulationResults tapl = RunWorkload(spec, TaPlOptions(options, mu));
-    table.AddRow({TablePrinter::Num(intensity, 0),
-                  TablePrinter::Percent(ta.EnergySavingsVs(base.baseline)),
-                  TablePrinter::Percent(tapl.EnergySavingsVs(base.baseline)),
-                  TablePrinter::Num(base.baseline.utilization_factor, 3),
-                  TablePrinter::Num(tapl.utilization_factor, 3)});
+  for (std::size_t i = 0; i < intensities.size(); ++i) {
+    const std::string& name = spec.workloads[i].name;
+    const RunRecord* base = sweep.Find(name, BaselineScheme(), -1.0);
+    const RunRecord* ta = sweep.Find(name, TaScheme(), 0.10);
+    const RunRecord* tapl = sweep.Find(name, TaPlScheme(2), 0.10);
+    if (base == nullptr || ta == nullptr || tapl == nullptr) continue;
+    table.AddRow(
+        {TablePrinter::Num(intensities[i], 0),
+         TablePrinter::Percent(ta->energy_savings),
+         TablePrinter::Percent(tapl->energy_savings),
+         TablePrinter::Num(base->results.utilization_factor, 3),
+         TablePrinter::Num(tapl->results.utilization_factor, 3)});
   }
   table.Print(std::cout);
   return 0;

@@ -1,0 +1,150 @@
+#include "exp/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dmasim {
+namespace {
+
+void AppendIndent(std::string* out, int depth) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null keeps the artifact parseable.
+    out->append("null");
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+void Json::Set(const std::string& key, Json value) {
+  kind_ = Kind::kObject;
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string Json::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  return out;
+}
+
+void Json::DumpTo(std::string* out, bool pretty, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kInt:
+      out->append(std::to_string(int_));
+      return;
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Kind::kString:
+      out->push_back('"');
+      out->append(Escape(string_));
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out->append("[]");
+        return;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (pretty) {
+          out->push_back('\n');
+          AppendIndent(out, depth + 1);
+        }
+        items_[i].DumpTo(out, pretty, depth + 1);
+      }
+      if (pretty) {
+        out->push_back('\n');
+        AppendIndent(out, depth);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        return;
+      }
+      out->push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (pretty) {
+          out->push_back('\n');
+          AppendIndent(out, depth + 1);
+        }
+        out->push_back('"');
+        out->append(Escape(members_[i].first));
+        out->append(pretty ? "\": " : "\":");
+        members_[i].second.DumpTo(out, pretty, depth + 1);
+      }
+      if (pretty) {
+        out->push_back('\n');
+        AppendIndent(out, depth);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace dmasim

@@ -1,0 +1,79 @@
+// Minimal JSON value tree for experiment artifacts.
+//
+// The experiment engine emits machine-readable results; nothing in the
+// toolchain may pull in an external JSON dependency, so this is a small
+// self-contained value type. Objects preserve insertion order and doubles
+// are printed with round-trip precision, which makes serialization fully
+// deterministic: two structurally identical trees dump to identical
+// bytes. That property is what the sweep determinism tests compare.
+#ifndef DMASIM_EXP_JSON_H_
+#define DMASIM_EXP_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmasim {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  Json(int value) : kind_(Kind::kInt), int_(value) {}     // NOLINT
+  Json(std::int64_t value) : kind_(Kind::kInt), int_(value) {}    // NOLINT
+  Json(std::uint64_t value)                                       // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}    // NOLINT
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}  // NOLINT
+  Json(std::string value)                                            // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+
+  static Json Array() {
+    Json json;
+    json.kind_ = Kind::kArray;
+    return json;
+  }
+  static Json Object() {
+    Json json;
+    json.kind_ = Kind::kObject;
+    return json;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Array append.
+  void Append(Json value) { items_.push_back(std::move(value)); }
+  std::size_t Size() const { return items_.size(); }
+  const Json& At(std::size_t index) const { return items_[index]; }
+
+  // Object insert-or-overwrite (lookup is linear; artifact objects are
+  // small and order must be preserved for deterministic output).
+  void Set(const std::string& key, Json value);
+  // Returns nullptr when `key` is absent or this is not an object.
+  const Json* Find(const std::string& key) const;
+
+  // Serializes with 2-space indentation (pretty) or compactly.
+  std::string Dump(bool pretty = true) const;
+
+  // Escapes a string for embedding in JSON (without quotes).
+  static std::string Escape(const std::string& raw);
+
+ private:
+  void DumpTo(std::string* out, bool pretty, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                            // kArray.
+  std::vector<std::pair<std::string, Json>> members_;  // kObject.
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_EXP_JSON_H_

@@ -1,0 +1,194 @@
+#include "exp/result_sink.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "stats/table.h"
+#include "util/check.h"
+
+namespace dmasim {
+namespace {
+
+Json RunningMeanToJson(const RunningMean& mean) {
+  Json json = Json::Object();
+  json.Set("count", mean.Count());
+  json.Set("mean", mean.Mean());
+  json.Set("min", mean.Min());
+  json.Set("max", mean.Max());
+  return json;
+}
+
+}  // namespace
+
+std::string RunStatusName(RunRecord::Status status) {
+  switch (status) {
+    case RunRecord::Status::kOk:
+      return "ok";
+    case RunRecord::Status::kFailed:
+      return "failed";
+    case RunRecord::Status::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+void ResultSink::OnRunComplete(const RunRecord&) {}
+void ResultSink::OnSweepComplete(const SweepSummary&,
+                                 const std::vector<RunRecord>&) {}
+
+Json SimulationResultsToJson(const SimulationResults& results) {
+  Json json = Json::Object();
+  json.Set("workload", results.workload);
+  json.Set("scheme", results.scheme);
+  json.Set("duration_ticks", results.duration);
+
+  Json energy = Json::Object();
+  for (int i = 0; i < kEnergyBucketCount; ++i) {
+    const auto bucket = static_cast<EnergyBucket>(i);
+    energy.Set(std::string(EnergyBucketName(bucket)),
+               results.energy.Of(bucket));
+  }
+  energy.Set("total_joules", results.energy.Total());
+  json.Set("energy", std::move(energy));
+
+  json.Set("utilization_factor", results.utilization_factor);
+  json.Set("client_response_ticks", RunningMeanToJson(results.client_response));
+  json.Set("chunk_service_ticks", RunningMeanToJson(results.chunk_service));
+  json.Set("transfer_latency_ticks",
+           RunningMeanToJson(results.transfer_latency));
+
+  Json controller = Json::Object();
+  controller.Set("transfers_started", results.controller.transfers_started);
+  controller.Set("transfers_completed",
+                 results.controller.transfers_completed);
+  controller.Set("cpu_accesses", results.controller.cpu_accesses);
+  controller.Set("migrations", results.controller.migrations);
+  controller.Set("migration_rounds", results.controller.migration_rounds);
+  controller.Set("deferred_migrations",
+                 results.controller.deferred_migrations);
+  json.Set("controller", std::move(controller));
+
+  Json server = Json::Object();
+  server.Set("reads", results.server.reads);
+  server.Set("writes", results.server.writes);
+  server.Set("hits", results.server.hits);
+  server.Set("misses", results.server.misses);
+  server.Set("cpu_accesses", results.server.cpu_accesses);
+  json.Set("server", std::move(server));
+
+  json.Set("gated_requests", results.gated_requests);
+  json.Set("releases_by_quorum", results.releases_by_quorum);
+  json.Set("releases_by_slack", results.releases_by_slack);
+  json.Set("max_gated_buffer_bytes", results.max_gated_buffer_bytes);
+  json.Set("executed_events", results.executed_events);
+  json.Set("hottest_chip_share", results.hottest_chip_share);
+  return json;
+}
+
+Json RunRecordToJson(const RunRecord& record, bool include_timing) {
+  const RunPlan& plan = record.plan;
+  Json json = Json::Object();
+  json.Set("run_id", plan.run_id);
+  json.Set("cell_id", plan.cell_id);
+  json.Set("label", plan.Label());
+  json.Set("status", RunStatusName(record.status));
+  if (!record.error.empty()) json.Set("error", record.error);
+
+  Json config = Json::Object();
+  config.Set("workload", plan.workload.name);
+  config.Set("scheme", plan.scheme.Label());
+  config.Set("policy", PolicyKindName(plan.policy));
+  config.Set("is_baseline", plan.is_baseline);
+  if (!plan.is_baseline) {
+    config.Set("cp_limit", plan.cp_limit);
+    config.Set("mu", record.mu);
+  }
+  config.Set("chips", plan.options.memory.chips);
+  config.Set("buses", plan.options.memory.bus_count);
+  config.Set("seed", plan.workload.seed);
+  config.Set("duration_ticks", plan.workload.duration);
+  if (plan.epoch_length > 0) {
+    config.Set("epoch_length_ticks", plan.epoch_length);
+  }
+  if (plan.gather_depth_factor > 0.0) {
+    config.Set("gather_depth_factor", plan.gather_depth_factor);
+  }
+  json.Set("config", std::move(config));
+
+  if (record.ok()) {
+    json.Set("results", SimulationResultsToJson(record.results));
+    if (record.has_baseline_delta) {
+      json.Set("energy_savings_vs_baseline", record.energy_savings);
+      json.Set("response_degradation_vs_baseline",
+               record.response_degradation);
+    }
+  }
+  if (include_timing) json.Set("wall_seconds", record.wall_seconds);
+  return json;
+}
+
+Json SweepToJson(const SweepSummary& summary,
+                 const std::vector<RunRecord>& records, bool include_timing) {
+  Json json = Json::Object();
+  json.Set("sweep", summary.name);
+  json.Set("runs_ok", summary.ok);
+  json.Set("runs_failed", summary.failed);
+  json.Set("runs_skipped", summary.skipped);
+  if (include_timing) {
+    json.Set("threads", summary.threads);
+    json.Set("wall_seconds", summary.wall_seconds);
+  }
+  Json runs = Json::Array();
+  for (const RunRecord& record : records) {
+    runs.Append(RunRecordToJson(record, include_timing));
+  }
+  json.Set("runs", std::move(runs));
+  return json;
+}
+
+JsonFileSink::JsonFileSink(std::string path, bool include_timing)
+    : path_(std::move(path)), include_timing_(include_timing) {}
+
+void JsonFileSink::OnSweepComplete(const SweepSummary& summary,
+                                   const std::vector<RunRecord>& records) {
+  std::ofstream out(path_);
+  DMASIM_CHECK_MSG(out.good(), "cannot open JSON artifact path");
+  out << SweepToJson(summary, records, include_timing_).Dump(true) << '\n';
+}
+
+void NdjsonStreamSink::OnRunComplete(const RunRecord& record) {
+  *out_ << RunRecordToJson(record).Dump(false) << '\n';
+}
+
+void SummaryTableSink::OnSweepComplete(const SweepSummary& summary,
+                                       const std::vector<RunRecord>& records) {
+  TablePrinter table({"run", "status", "energy mJ", "resp us", "uf",
+                      "savings", "degr"});
+  for (const RunRecord& record : records) {
+    if (!record.ok()) {
+      table.AddRow({record.plan.Label(), RunStatusName(record.status), "-",
+                    "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow(
+        {record.plan.Label(), RunStatusName(record.status),
+         TablePrinter::Num(record.results.energy.Total() * 1e3, 1),
+         TablePrinter::Num(record.results.client_response.Mean() /
+                               kMicrosecond,
+                           1),
+         TablePrinter::Num(record.results.utilization_factor, 3),
+         record.has_baseline_delta
+             ? TablePrinter::Percent(record.energy_savings)
+             : "-",
+         record.has_baseline_delta
+             ? TablePrinter::Percent(record.response_degradation)
+             : "-"});
+  }
+  table.Print(*out_);
+  *out_ << summary.ok << " ok, " << summary.failed << " failed, "
+        << summary.skipped << " skipped in "
+        << TablePrinter::Num(summary.wall_seconds, 2) << " s on "
+        << summary.threads << " thread(s)\n";
+}
+
+}  // namespace dmasim

@@ -12,9 +12,9 @@
 #ifndef DMASIM_SIM_SIMULATOR_H_
 #define DMASIM_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -39,7 +39,8 @@ class Simulator {
   // Schedules `callback` at absolute time `when` (>= Now()).
   void ScheduleAt(Tick when, Callback callback) {
     DMASIM_EXPECTS(when >= now_);
-    queue_.push(Event{when, next_sequence_++, std::move(callback)});
+    queue_.push_back(Event{when, next_sequence_++, std::move(callback)});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
   }
 
   // Schedules `callback` `delay` ticks from now (delay >= 0).
@@ -50,9 +51,10 @@ class Simulator {
   // Executes the earliest pending event. Returns false if none remain.
   bool Step() {
     if (queue_.empty()) return false;
-    // The callback may schedule new events, so detach it first.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // The callback may schedule new events, so extract it first.
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event event = std::move(queue_.back());
+    queue_.pop_back();
     DMASIM_CHECK(event.when >= now_);
     now_ = event.when;
     ++executed_;
@@ -70,7 +72,7 @@ class Simulator {
   // exactly `until` (even if no event lands there).
   void RunUntil(Tick until) {
     DMASIM_EXPECTS(until >= now_);
-    while (!queue_.empty() && queue_.top().when <= until) {
+    while (!queue_.empty() && queue_.front().when <= until) {
       Step();
     }
     now_ = until;
@@ -89,6 +91,8 @@ class Simulator {
     Callback callback;
   };
 
+  // Heap comparator: std::push_heap/pop_heap keep a max-heap, so "later
+  // wins" puts the earliest (time, sequence) event at the front.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -99,7 +103,10 @@ class Simulator {
   Tick now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Explicit binary heap over a vector (std::push_heap / std::pop_heap):
+  // unlike std::priority_queue, popping can move from the extracted
+  // element without a const_cast.
+  std::vector<Event> queue_;
 };
 
 }  // namespace dmasim

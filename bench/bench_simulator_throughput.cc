@@ -1,7 +1,18 @@
 // Google-benchmark microbenchmarks for the simulator's hot paths: event
 // queue operations, chip request service, trace generation, and a full
 // end-to-end simulation (reported as simulated-milliseconds per second).
+//
+// Pass --artifact-out=PATH to additionally write a machine-readable JSON
+// artifact (same shape as bench/baselines/BENCH_simulator.json) that the
+// CI perf smoke job diffs against the committed baseline.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
 
 #include "core/memory_controller.h"
 #include "mem/power_policy.h"
@@ -72,7 +83,78 @@ void BM_EndToEndStorageSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndStorageSimulation)->Unit(benchmark::kMillisecond);
 
+// Console reporter that also collects per-iteration real times so the
+// run can be dumped as a deterministic JSON artifact.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;  // Skip aggregates.
+      if (run.error_occurred) continue;
+      const double ns_per_iter =
+          run.real_accumulated_time * 1e9 /
+          static_cast<double>(run.iterations > 0 ? run.iterations : 1);
+      entries_.emplace_back(run.benchmark_name(), ns_per_iter);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  Json Artifact() const {
+    Json artifact = Json::Object();
+    artifact.Set("artifact", "BENCH_simulator");
+    artifact.Set("kernel",
+                 "SBO callbacks + calendar queue + coalesced chunk runs");
+#ifdef NDEBUG
+    artifact.Set("build_type", "Release");
+#else
+    artifact.Set("build_type", "Debug");
+#endif
+    Json benchmarks = Json::Array();
+    for (const auto& [name, ns] : entries_) {
+      Json entry = Json::Object();
+      entry.Set("name", name);
+      entry.Set("real_ns_per_iter", ns);
+      benchmarks.Append(std::move(entry));
+    }
+    artifact.Set("benchmarks", std::move(benchmarks));
+    return artifact;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
 }  // namespace
 }  // namespace dmasim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string artifact_path;
+  // Peel off --artifact-out before google-benchmark sees the arguments.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--artifact-out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      artifact_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dmasim::ArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!artifact_path.empty()) {
+    std::ofstream out(artifact_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open artifact path: %s\n",
+                   artifact_path.c_str());
+      return 1;
+    }
+    out << reporter.Artifact().Dump() << "\n";
+  }
+  return 0;
+}

@@ -38,9 +38,9 @@ LayoutPlan LayoutManager::Plan(
   LayoutPlan plan;
 
   // Rank referenced pages by popularity (count desc, page asc for
-  // determinism).
-  std::vector<std::uint32_t> ranked;
-  ranked.reserve(1024);
+  // determinism). `ranked_` keeps its capacity across intervals.
+  std::vector<std::uint32_t>& ranked = ranked_;
+  ranked.clear();
   std::uint64_t total = 0;
   for (std::uint64_t page = 0; page < pages; ++page) {
     if (counts[page] > 0) {
@@ -134,19 +134,33 @@ LayoutPlan LayoutManager::Plan(
     return cold_group;
   };
 
-  std::vector<int> target_group_of_page(pages, cold_group);
+  // Dense per-page scratch. Instead of refilling a whole-memory array
+  // every interval, entries rest at a sentinel (`kNoTargetGroup` = cold
+  // target, 0 = not moved) and only the entries a call touches are
+  // written -- and restored before returning. The full fill happens once.
+  DMASIM_CHECK(sizes.size() < static_cast<std::size_t>(kNoTargetGroup));
+  if (target_group_.size() != pages) {
+    target_group_.assign(pages, kNoTargetGroup);
+    moved_.assign(pages, 0);
+  }
+  std::vector<std::uint8_t>& target_group_of_page = target_group_;
   for (std::uint64_t rank = 0; rank < hot_ranks; ++rank) {
     target_group_of_page[ranked[rank]] =
-        target_group_of_rank(rank);
+        static_cast<std::uint8_t>(target_group_of_rank(rank));
   }
 
-  std::vector<std::vector<std::uint32_t>> evictable(
-      static_cast<std::size_t>(chips_));
+  if (evictable_.size() != static_cast<std::size_t>(chips_)) {
+    evictable_.resize(static_cast<std::size_t>(chips_));
+  }
+  std::vector<std::vector<std::uint32_t>>& evictable = evictable_;
+  for (auto& candidates : evictable) candidates.clear();
   for (std::uint64_t page = 0; page < pages; ++page) {
     const int chip = page_to_chip[page];
-    if (chip < hot_chips &&
-        target_group_of_page[page] !=
-            plan.group_of_chip[static_cast<std::size_t>(chip)]) {
+    if (chip >= hot_chips) continue;
+    // A resting sentinel means "cold target", which never matches a hot
+    // chip's group -- identical to the old dense cold_group fill.
+    const std::uint8_t target = target_group_of_page[page];
+    if (target != plan.group_of_chip[static_cast<std::size_t>(chip)]) {
       evictable[static_cast<std::size_t>(chip)].push_back(
           static_cast<std::uint32_t>(page));
     }
@@ -154,7 +168,7 @@ LayoutPlan LayoutManager::Plan(
 
   // Greedy swap planning in rank order (hottest pages first), respecting
   // the per-interval migration cap.
-  std::vector<bool> moved(pages, false);
+  std::vector<std::uint8_t>& moved = moved_;
   std::vector<int> next_chip_in_group(static_cast<std::size_t>(sizes.size()),
                                       0);
   auto group_first_chip = [&sizes](int group) {
@@ -204,8 +218,18 @@ LayoutPlan LayoutManager::Plan(
     plan.moves.push_back(PageMove{victim, destination, current_chip});
     // Each page migrates at most once per interval; a bounced victim that
     // itself deserves a hot slot is fixed in the next interval.
-    moved[page] = true;
-    moved[victim] = true;
+    moved[page] = 1;
+    moved[victim] = 1;
+  }
+
+  // Restore the dense scratch to its resting state: every touched
+  // `target_group_` entry is a ranked hot page, and every touched
+  // `moved_` entry appears in `plan.moves`.
+  for (std::uint64_t rank = 0; rank < hot_ranks; ++rank) {
+    target_group_of_page[ranked[rank]] = kNoTargetGroup;
+  }
+  for (const PageMove& move : plan.moves) {
+    moved[move.page] = 0;
   }
 
   return plan;

@@ -44,7 +44,10 @@ class LayoutManager {
                 int pages_per_chip);
 
   // Plans migrations given per-logical-page reference counts and the
-  // current logical-page -> chip mapping.
+  // current logical-page -> chip mapping. Reuses internal scratch
+  // buffers across calls (PL planning runs every interval on the
+  // simulation hot path), so concurrent calls on one instance are not
+  // allowed; each controller owns its manager, so this never arises.
   LayoutPlan Plan(const std::vector<std::uint32_t>& counts,
                   const std::vector<std::int32_t>& page_to_chip) const;
 
@@ -59,6 +62,15 @@ class LayoutManager {
   PopularityLayoutConfig config_;
   int chips_;
   int pages_per_chip_;
+
+  // Scratch reused across Plan calls; every buffer is restored to its
+  // resting value before Plan returns by resetting only the entries it
+  // touched, so a call never observes the previous interval's state.
+  static constexpr std::uint8_t kNoTargetGroup = 0xFF;
+  mutable std::vector<std::uint32_t> ranked_;
+  mutable std::vector<std::uint8_t> target_group_;  // kNoTargetGroup = cold.
+  mutable std::vector<std::uint8_t> moved_;
+  mutable std::vector<std::vector<std::uint32_t>> evictable_;
 };
 
 }  // namespace dmasim

@@ -1,5 +1,6 @@
 #include "core/memory_controller.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -43,13 +44,15 @@ MemoryController::MemoryController(Simulator* simulator,
   // Initial layout: logical pages striped across chips, which scatters the
   // (hash-permuted) popular pages uniformly -- the unmanaged baseline.
   page_to_chip_.resize(config.TotalPages());
+  std::int32_t stripe = 0;
   for (std::uint64_t page = 0; page < page_to_chip_.size(); ++page) {
-    page_to_chip_[page] = static_cast<std::int32_t>(page %
-                                                    static_cast<std::uint64_t>(
-                                                        config.chips));
+    page_to_chip_[page] = stripe;
+    if (++stripe == config.chips) stripe = 0;
   }
 
   transfers_per_chip_.assign(static_cast<std::size_t>(config.chips), 0);
+  run_by_chip_.assign(static_cast<std::size_t>(config.chips), nullptr);
+  run_by_bus_.assign(static_cast<std::size_t>(config.bus_count), nullptr);
   aligner_ = std::make_unique<TemporalAligner>(
       config.dma.ta, config.chips, config.bus_count, config.AlignmentQuorum(),
       config.RequestTime());
@@ -68,7 +71,13 @@ std::uint64_t MemoryController::StartDmaTransfer(int bus,
   DMASIM_EXPECTS(logical_page < page_to_chip_.size());
   DMASIM_EXPECTS(bytes > 0);
 
-  auto transfer = std::make_unique<DmaTransfer>();
+  // The new transfer contends for the bus: any coalesced run there no
+  // longer owns it exclusively.
+  if (run_by_bus_[static_cast<std::size_t>(bus)] != nullptr) {
+    SettleRun(run_by_bus_[static_cast<std::size_t>(bus)], simulator_->Now());
+  }
+
+  DmaTransfer* transfer = pool_.Acquire();
   transfer->id = next_transfer_id_++;
   transfer->bus_id = bus;
   transfer->chip_index = page_to_chip_[logical_page];
@@ -82,15 +91,18 @@ std::uint64_t MemoryController::StartDmaTransfer(int bus,
   ++stats_.transfers_started;
   ++transfers_per_chip_[static_cast<std::size_t>(transfer->chip_index)];
 
-  DmaTransfer* raw = transfer.get();
-  transfers_.emplace(raw->id, std::move(transfer));
-  buses_[static_cast<std::size_t>(bus)]->StartTransfer(raw);
-  return raw->id;
+  const std::uint64_t id = transfer->id;
+  buses_[static_cast<std::size_t>(bus)]->StartTransfer(transfer);
+  return id;
 }
 
 void MemoryController::CpuAccess(std::uint64_t logical_page,
-                                 std::int64_t bytes, Callback on_complete) {
+                                 std::int64_t bytes,
+                                 ChipCallback on_complete) {
   DMASIM_EXPECTS(logical_page < page_to_chip_.size());
+  // The access perturbs its chip and debits the (order-sensitive) slack
+  // account: bring every coalesced run up to date first.
+  SettleAllRuns(simulator_->Now());
   const int chip_index = page_to_chip_[logical_page];
   ++stats_.cpu_accesses;
   if (aligner_->enabled()) {
@@ -110,29 +122,37 @@ void MemoryController::DeliverChunk(DmaTransfer* transfer,
                                     std::int64_t chunk_bytes, bool first) {
   const Tick now = simulator_->Now();
   if (aligner_->enabled()) {
+    // Note: this credit commutes with the credits coalesced runs replay
+    // later (all arrival credits are identical), so no settle is needed
+    // on the common path.
     aligner_->slack().CreditArrival();
     if (first) {
       MemoryChip& chip =
           *chips_[static_cast<std::size_t>(transfer->chip_index)];
-      if (chip.InLowPowerForGating() &&
-          aligner_->WorthGating(*transfer, chunk_bytes)) {
-        const int chip_index = transfer->chip_index;
-        const TemporalAligner::GateResult gate =
-            aligner_->Gate(chip_index, transfer, chunk_bytes, now);
-        if (gate.release_now) {
-          ReleaseChip(chip_index);
-        } else {
-          // Re-check when this request's delay budget runs out. The check
-          // is idempotent: if the chip was released earlier, nothing is
-          // gated any more and the event is a no-op.
-          simulator_->ScheduleAt(gate.deadline, [this, chip_index]() {
-            if (aligner_->HasGated(chip_index) &&
-                aligner_->ShouldRelease(chip_index, simulator_->Now())) {
-              ReleaseChip(chip_index);
-            }
-          });
+      if (chip.InLowPowerForGating()) {
+        // The gating decision reads the slack account: apply every run's
+        // pending credits first.
+        SettleAllRuns(now);
+        if (aligner_->WorthGating(*transfer, chunk_bytes)) {
+          const int chip_index = transfer->chip_index;
+          const TemporalAligner::GateResult gate =
+              aligner_->Gate(chip_index, transfer, chunk_bytes, now);
+          if (gate.release_now) {
+            ReleaseChip(chip_index);
+          } else {
+            // Re-check when this request's delay budget runs out. The
+            // check is idempotent: if the chip was released earlier,
+            // nothing is gated any more and the event is a no-op.
+            simulator_->ScheduleAt(gate.deadline, [this, chip_index]() {
+              SettleAllRuns(simulator_->Now());
+              if (aligner_->HasGated(chip_index) &&
+                  aligner_->ShouldRelease(chip_index, simulator_->Now())) {
+                ReleaseChip(chip_index);
+              }
+            });
+          }
+          return;
         }
-        return;
       }
     }
   }
@@ -143,16 +163,19 @@ void MemoryController::ForwardChunk(DmaTransfer* transfer,
                                     std::int64_t chunk_bytes, Tick issue_time,
                                     bool first) {
   MemoryChip& chip = *chips_[static_cast<std::size_t>(transfer->chip_index)];
+  // The chunk perturbs its chip's queue (and, for a first chunk, its
+  // in-flight count): a run on that chip no longer owns it exclusively.
+  DmaTransfer* run = run_by_chip_[static_cast<std::size_t>(transfer->chip_index)];
+  if (run != nullptr && run != transfer) SettleRun(run, simulator_->Now());
   if (first) {
     // First chunk actually reaching the chip: the transfer is now in
     // flight for idle-energy attribution purposes.
     chip.BeginTransfer();
   }
-  const std::uint64_t id = transfer->id;
   chip.Enqueue(ChipRequest{
       RequestKind::kDma, chunk_bytes,
-      [this, id, chunk_bytes, issue_time](Tick completion) {
-        OnChunkComplete(id, chunk_bytes, issue_time, completion);
+      [this, transfer, chunk_bytes, issue_time](Tick completion) {
+        OnChunkComplete(transfer, chunk_bytes, issue_time, completion);
       }});
 }
 
@@ -172,31 +195,204 @@ void MemoryController::ReleaseChip(int chip_index) {
   }
 }
 
-void MemoryController::OnChunkComplete(std::uint64_t transfer_id,
+void MemoryController::OnChunkComplete(DmaTransfer* transfer,
                                        std::int64_t chunk_bytes,
                                        Tick issue_time, Tick completion) {
-  auto it = transfers_.find(transfer_id);
-  DMASIM_CHECK_MSG(it != transfers_.end(), "unknown transfer completed");
-  DmaTransfer* transfer = it->second.get();
-
   chunk_service_.Add(static_cast<double>(completion - issue_time));
   transfer->completed_bytes += chunk_bytes;
 
   if (transfer->Complete()) {
-    chips_[static_cast<std::size_t>(transfer->chip_index)]->EndTransfer();
-    ++stats_.transfers_completed;
-    transfer_latency_.Add(
-        static_cast<double>(completion - transfer->start_time));
-    Callback on_complete = std::move(transfer->on_complete);
-    transfers_.erase(it);
-    if (on_complete) on_complete(completion);
+    CompleteTransfer(transfer, completion);
     return;
   }
+  // Re-queueing on the bus perturbs any other transfer's run there.
+  DmaTransfer* run = run_by_bus_[static_cast<std::size_t>(transfer->bus_id)];
+  if (run != nullptr && run != transfer) SettleRun(run, completion);
+  if (TryStartRun(transfer, completion)) return;
   buses_[static_cast<std::size_t>(transfer->bus_id)]->MakeReady(transfer);
 }
 
+void MemoryController::CompleteTransfer(DmaTransfer* transfer,
+                                        Tick completion) {
+  chips_[static_cast<std::size_t>(transfer->chip_index)]->EndTransfer();
+  ++stats_.transfers_completed;
+  transfer_latency_.Add(
+      static_cast<double>(completion - transfer->start_time));
+  Callback on_complete = std::move(transfer->on_complete);
+  pool_.Release(transfer);
+  if (on_complete) on_complete(completion);
+}
+
+// --- Chunk-run coalescing --------------------------------------------------
+
+bool MemoryController::TryStartRun(DmaTransfer* transfer, Tick now) {
+  if (!config_.coalesce_chunk_runs) return false;
+  MemoryChip& chip = *chips_[static_cast<std::size_t>(transfer->chip_index)];
+  IoBus& bus = *buses_[static_cast<std::size_t>(transfer->bus_id)];
+  if (!chip.CanCoalesceDmaRun() || !bus.CanCoalesce()) return false;
+  if (aligner_->enabled() && aligner_->HasGated(transfer->chip_index)) {
+    return false;
+  }
+
+  // With the chip and bus exclusively owned, the remaining chunks'
+  // timeline is closed-form: issue at max(previous issue + slot,
+  // previous completion), serve for ServiceTime(chunk).
+  //
+  // The run absorbs only the chunks that complete strictly before the
+  // earliest pending event. That horizon is what makes coalescing exact:
+  // no event executes (and so nothing is scheduled) while the run is in
+  // flight, so replacing the per-chunk events removes a contiguous block
+  // of schedulings and every surviving event keeps its relative
+  // (time, sequence) order. Without the horizon, an event landing on a
+  // chunk boundary tick would have to be ordered against replayed chunks
+  // by sequence number — information the replay no longer has.
+  const Tick horizon = simulator_->NextPendingTick();
+  const Tick slot = bus.SlotTime();
+  const Tick first_issue = std::max(now, bus.next_free_slot());
+  Tick issue = first_issue;
+  Tick run_end = first_issue;
+  std::int64_t chunks = 0;
+  std::int64_t remaining = transfer->RemainingToIssue();
+  DMASIM_CHECK(remaining > 0);
+  while (remaining > 0) {
+    const std::int64_t chunk = std::min<std::int64_t>(bus.chunk_bytes(),
+                                                      remaining);
+    const Tick completion = issue + config_.power.ServiceTime(chunk);
+    if (completion >= horizon) break;
+    run_end = completion;
+    ++chunks;
+    remaining -= chunk;
+    issue = std::max(issue + slot, completion);
+  }
+  if (chunks == 0) return false;
+
+  transfer->run_active = true;
+  transfer->run_next_issue = first_issue;
+  transfer->run_chunks_left = chunks;
+  const std::uint64_t generation = ++transfer->run_generation;
+  run_by_chip_[static_cast<std::size_t>(transfer->chip_index)] = transfer;
+  run_by_bus_[static_cast<std::size_t>(transfer->bus_id)] = transfer;
+  ++active_runs_;
+  simulator_->ScheduleAt(run_end, [this, transfer, generation]() {
+    FinishRun(transfer, generation);
+  });
+  return true;
+}
+
+std::uint64_t MemoryController::AdvanceRunChunks(DmaTransfer* transfer,
+                                                 Tick bound) {
+  // Replays this run's chunk timeline strictly before `bound`
+  // (issue counted if issue < bound, completion if completion < bound —
+  // matching what the per-chunk events would have executed by then), in
+  // the exact order the events would have run. Returns the number of
+  // events the replay stands in for.
+  MemoryChip& chip = *chips_[static_cast<std::size_t>(transfer->chip_index)];
+  IoBus& bus = *buses_[static_cast<std::size_t>(transfer->bus_id)];
+  const Tick slot = bus.SlotTime();
+  std::uint64_t credits = 0;
+  while (transfer->run_chunks_left > 0) {
+    const Tick issue = transfer->run_next_issue;
+    if (issue >= bound) break;
+    const std::int64_t chunk = std::min<std::int64_t>(
+        bus.chunk_bytes(), transfer->RemainingToIssue());
+    const Tick completion = issue + config_.power.ServiceTime(chunk);
+    bus.AccountCoalescedChunk(transfer, chunk, issue);
+    if (aligner_->enabled()) aligner_->slack().CreditArrival();
+    ++credits;  // Stands in for the bus Issue event.
+    if (completion >= bound) {
+      // Mid-service at the settle point: restore the chip's real state
+      // and let the completion fire as an ordinary event.
+      chip.ResumeCoalescedService(
+          issue,
+          ChipRequest{RequestKind::kDma, chunk,
+                      [this, transfer, chunk, issue](Tick done) {
+                        OnChunkComplete(transfer, chunk, issue, done);
+                      }});
+      return credits;
+    }
+    chip.AccountCoalescedCycle(issue, completion);
+    chunk_service_.Add(static_cast<double>(completion - issue));
+    transfer->completed_bytes += chunk;
+    ++credits;  // Stands in for the chip ServeDone event.
+    --transfer->run_chunks_left;
+    transfer->run_next_issue = std::max(issue + slot, completion);
+  }
+  return credits;
+}
+
+void MemoryController::SettleRun(DmaTransfer* transfer, Tick bound) {
+  DMASIM_CHECK(transfer->run_active);
+  // Dissolve first: the pending run-end event becomes a stale no-op.
+  transfer->run_active = false;
+  ++transfer->run_generation;
+  run_by_chip_[static_cast<std::size_t>(transfer->chip_index)] = nullptr;
+  run_by_bus_[static_cast<std::size_t>(transfer->bus_id)] = nullptr;
+  --active_runs_;
+
+  MemoryChip& chip = *chips_[static_cast<std::size_t>(transfer->chip_index)];
+  const std::uint64_t credits = AdvanceRunChunks(transfer, bound);
+  if (credits > 0) simulator_->CreditExecuted(credits);
+  // The run-end event sits at the last completion, which is >= bound
+  // whenever a settle interrupts the run — so the transfer cannot have
+  // finished here.
+  DMASIM_CHECK(!transfer->Complete());
+  if (!chip.serving()) {
+    // Settled in an inter-chunk gap: hand the transfer back to the bus
+    // for its next chunk (the replay left run_next_issue >= bound - 1).
+    buses_[static_cast<std::size_t>(transfer->bus_id)]
+        ->ResumeCoalescedTransfer(transfer, transfer->run_next_issue);
+  }
+}
+
+void MemoryController::SettleAllRuns(Tick bound) {
+  if (active_runs_ == 0) return;
+  for (std::size_t chip = 0; chip < run_by_chip_.size(); ++chip) {
+    if (run_by_chip_[chip] != nullptr) SettleRun(run_by_chip_[chip], bound);
+  }
+  DMASIM_CHECK(active_runs_ == 0);
+}
+
+void MemoryController::FinishRun(DmaTransfer* transfer,
+                                 std::uint64_t generation) {
+  if (transfer->run_generation != generation) {
+    // The run was settled (or the descriptor recycled) before this event
+    // fired: it stands in for nothing and must not count.
+    simulator_->UncountExecuted();
+    return;
+  }
+  const Tick now = simulator_->Now();
+  transfer->run_active = false;
+  ++transfer->run_generation;
+  run_by_chip_[static_cast<std::size_t>(transfer->chip_index)] = nullptr;
+  run_by_bus_[static_cast<std::size_t>(transfer->bus_id)] = nullptr;
+  --active_runs_;
+
+  // bound = now + 1: this event IS the run's last absorbed completion, so
+  // the whole run — that completion included — is in the replayed past.
+  const std::uint64_t credits = AdvanceRunChunks(transfer, now + 1);
+  DMASIM_CHECK(transfer->run_chunks_left == 0);
+  DMASIM_CHECK(credits >= 1);
+  // This event already counted itself; credit the rest of the 2-per-chunk
+  // events it replaced.
+  simulator_->CreditExecuted(credits - 1);
+  if (transfer->Complete()) {
+    CompleteTransfer(transfer, now);
+    return;
+  }
+  // The run absorbed only the chunks that fit before the next pending
+  // event. Continue exactly as the last absorbed chunk's completion event
+  // would have: open the next run if the window allows, else requeue on
+  // the bus for the ordinary per-chunk path.
+  if (TryStartRun(transfer, now)) return;
+  buses_[static_cast<std::size_t>(transfer->bus_id)]->MakeReady(transfer);
+}
+
+// ---------------------------------------------------------------------------
+
 void MemoryController::ScheduleEpoch() {
   simulator_->ScheduleAfter(config_.dma.ta.epoch_length, [this]() {
+    // Epoch accounting reads the slack account and may release chips.
+    SettleAllRuns(simulator_->Now());
     for (int chip_index : aligner_->OnEpoch(simulator_->Now())) {
       ReleaseChip(chip_index);
     }
@@ -210,6 +406,8 @@ void MemoryController::ScheduleLayoutInterval() {
 }
 
 void MemoryController::RunLayoutInterval() {
+  // Migration copies contend with any coalesced run's chips.
+  SettleAllRuns(simulator_->Now());
   const LayoutPlan plan = layout_.Plan(popularity_.counts(), page_to_chip_);
   if (!plan.moves.empty()) ++stats_.migration_rounds;
   stats_.deferred_migrations += static_cast<std::uint64_t>(plan.deferred_moves);
@@ -251,6 +449,9 @@ double MemoryController::HottestChipShare() const {
 }
 
 EnergyBreakdown MemoryController::CollectEnergy() {
+  // Reading results after RunUntil(T): events at exactly T have executed,
+  // so the replay bound is T + 1 (issue/completion at T are in the past).
+  SettleAllRuns(simulator_->Now() + 1);
   EnergyBreakdown total;
   for (auto& chip : chips_) {
     chip->SyncAccounting();
@@ -260,6 +461,7 @@ EnergyBreakdown MemoryController::CollectEnergy() {
 }
 
 double MemoryController::UtilizationFactor() {
+  SettleAllRuns(simulator_->Now() + 1);
   Tick serving = 0;
   Tick idle_dma = 0;
   for (auto& chip : chips_) {

@@ -11,8 +11,15 @@ Disk::Disk(Simulator* simulator, const DiskParams& params, std::uint64_t seed)
   DMASIM_EXPECTS(params.rpm > 0.0);
 }
 
-void Disk::Submit(std::int64_t bytes, std::function<void(Tick)> on_complete) {
+void Disk::Submit(std::int64_t bytes, SmallFunction<void(Tick)> on_complete) {
   DMASIM_EXPECTS(bytes > 0);
+  if (!busy_ && queue_.empty()) {
+    // Idle disk: StartNext would pop back this very request, so skip the
+    // queue round-trip. Keeps the deque empty (and allocation-free) for
+    // the common uncontended case.
+    ServeRequest(Request{bytes, std::move(on_complete)});
+    return;
+  }
   queue_.push_back(Request{bytes, std::move(on_complete)});
   if (!busy_) StartNext();
 }
@@ -32,19 +39,26 @@ Tick Disk::ServiceTime(std::int64_t bytes) {
 void Disk::StartNext() {
   DMASIM_CHECK(!busy_);
   DMASIM_CHECK(!queue_.empty());
-  busy_ = true;
   Request request = std::move(queue_.front());
   queue_.pop_front();
+  ServeRequest(std::move(request));
+}
 
+void Disk::ServeRequest(Request request) {
+  busy_ = true;
   const Tick service = ServiceTime(request.bytes);
   busy_time_ += service;
-  simulator_->ScheduleAfter(
-      service, [this, request = std::move(request)]() mutable {
-        busy_ = false;
-        ++served_;
-        if (!queue_.empty()) StartNext();
-        if (request.on_complete) request.on_complete(simulator_->Now());
-      });
+  active_ = std::move(request);
+  simulator_->ScheduleAfter(service, [this]() { ServeDone(); });
+}
+
+void Disk::ServeDone() {
+  // Move the request out first: starting the next one reuses the slot.
+  Request request = std::move(active_);
+  busy_ = false;
+  ++served_;
+  if (!queue_.empty()) StartNext();
+  if (request.on_complete) request.on_complete(simulator_->Now());
 }
 
 DiskArray::DiskArray(Simulator* simulator, const DiskParams& params, int disks,
@@ -58,7 +72,7 @@ DiskArray::DiskArray(Simulator* simulator, const DiskParams& params, int disks,
 }
 
 void DiskArray::Read(std::uint64_t page, std::int64_t bytes,
-                     std::function<void(Tick)> on_complete) {
+                     SmallFunction<void(Tick)> on_complete) {
   Disk& disk = *disks_[page % disks_.size()];
   disk.Submit(bytes, std::move(on_complete));
 }

@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -42,7 +42,7 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   // Queues a read/write of `bytes`; `on_complete` runs at media completion.
-  void Submit(std::int64_t bytes, std::function<void(Tick)> on_complete);
+  void Submit(std::int64_t bytes, SmallFunction<void(Tick)> on_complete);
 
   std::uint64_t RequestsServed() const { return served_; }
   std::size_t QueueDepth() const { return queue_.size(); }
@@ -51,16 +51,20 @@ class Disk {
  private:
   struct Request {
     std::int64_t bytes;
-    std::function<void(Tick)> on_complete;
+    SmallFunction<void(Tick)> on_complete;
   };
 
   void StartNext();
+  void ServeRequest(Request request);
+  void ServeDone();
   Tick ServiceTime(std::int64_t bytes);
 
   Simulator* simulator_;
   DiskParams params_;
   Rng rng_;
   std::deque<Request> queue_;
+  // The request on the media; the completion event captures only `this`.
+  Request active_{};
   bool busy_ = false;
   std::uint64_t served_ = 0;
   Tick busy_time_ = 0;
@@ -74,7 +78,7 @@ class DiskArray {
 
   // Reads `bytes` belonging to logical `page`.
   void Read(std::uint64_t page, std::int64_t bytes,
-            std::function<void(Tick)> on_complete);
+            SmallFunction<void(Tick)> on_complete);
 
   int DiskCount() const { return static_cast<int>(disks_.size()); }
   const Disk& disk(int index) const { return *disks_[index]; }

@@ -6,13 +6,13 @@
 // configured to coarsen event granularity without changing energy
 // fractions). The transfer is created by the memory controller, paced by
 // its `IoBus`, and completed when the last chunk has been served by the
-// chip.
+// chip. Descriptors are recycled through a `TransferPool`.
 #ifndef DMASIM_IO_DMA_TRANSFER_H_
 #define DMASIM_IO_DMA_TRANSFER_H_
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/inline_function.h"
 #include "util/time.h"
 
 namespace dmasim {
@@ -40,11 +40,45 @@ struct DmaTransfer {
   Tick gated_at = -1;  // Time the first request was gated, or -1.
 
   // Invoked once, when the final chunk completes.
-  std::function<void(Tick)> on_complete;
+  SmallFunction<void(Tick)> on_complete;
+
+  // --- Chunk-run coalescing (owned by MemoryController) ------------------
+  // While `run_active`, the controller serves a run of this transfer's
+  // chunks in one deferred "run" event; `run_next_issue` is the issue time
+  // of the first not-yet-replayed chunk and `run_chunks_left` the number
+  // of chunks the run still covers (a run absorbs only the chunks that
+  // finish before the next pending event). `run_generation` invalidates a
+  // pending run-end event when the run is settled early — it survives
+  // pool recycling so a stale event can never match a slot's new occupant.
+  bool run_active = false;
+  Tick run_next_issue = 0;
+  std::int64_t run_chunks_left = 0;
+  std::uint64_t run_generation = 0;
 
   std::int64_t RemainingToIssue() const { return total_bytes - issued_bytes; }
   bool Complete() const { return completed_bytes >= total_bytes; }
   bool FirstChunk() const { return issued_bytes == 0; }
+
+  // Re-initializes a recycled descriptor (everything except
+  // `run_generation`; see above).
+  void Reset() {
+    id = 0;
+    bus_id = 0;
+    chip_index = 0;
+    physical_page = 0;
+    kind = DmaKind::kNetwork;
+    total_bytes = 0;
+    chunk_bytes = 8;
+    issued_bytes = 0;
+    completed_bytes = 0;
+    blocked = false;
+    start_time = 0;
+    gated_at = -1;
+    on_complete = {};
+    run_active = false;
+    run_next_issue = 0;
+    run_chunks_left = 0;
+  }
 };
 
 }  // namespace dmasim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+
 namespace dmasim {
 
 IoBus::IoBus(Simulator* simulator, int id, double bandwidth_bytes_per_second,
@@ -31,6 +32,16 @@ void IoBus::MakeReady(DmaTransfer* transfer) {
   DMASIM_EXPECTS(transfer->RemainingToIssue() > 0);
   ready_.push_back(transfer);
   ScheduleIssue();
+}
+
+void IoBus::ResumeCoalescedTransfer(DmaTransfer* transfer, Tick next_issue) {
+  DMASIM_EXPECTS(!transfer->blocked);
+  DMASIM_EXPECTS(transfer->RemainingToIssue() > 0);
+  DMASIM_CHECK(CanCoalesce());
+  ready_.push_back(transfer);
+  issue_scheduled_ = true;
+  const Tick when = std::max(simulator_->Now(), next_issue);
+  simulator_->ScheduleAt(when, [this]() { Issue(); });
 }
 
 void IoBus::ScheduleIssue() {

@@ -56,8 +56,30 @@ class IoBus {
   // served (or after a gated first chunk was released and served).
   void MakeReady(DmaTransfer* transfer);
 
+  // --- Chunk-run coalescing support (see MemoryController) ---------------
+
+  // True when the bus's near future is fully determined by one transfer:
+  // nothing queued, no issue event pending. Only then can the controller
+  // serve a run of that transfer's chunks in one event and replay the
+  // bus-side bookkeeping afterwards.
+  bool CanCoalesce() const { return ready_.empty() && !issue_scheduled_; }
+
+  // Replays one chunk issue that happened in the past at `issue`:
+  // the same bookkeeping as Issue(), minus the event.
+  void AccountCoalescedChunk(DmaTransfer* transfer, std::int64_t chunk,
+                             Tick issue) {
+    transfer->issued_bytes += chunk;
+    next_free_slot_ = issue + slot_time_;
+    ++chunks_issued_;
+  }
+
+  // Puts a settled run's transfer back on the normal per-chunk path, with
+  // its next Issue event at `next_issue` (the slot the replay arrived at).
+  void ResumeCoalescedTransfer(DmaTransfer* transfer, Tick next_issue);
+
   int id() const { return id_; }
   Tick SlotTime() const { return slot_time_; }
+  Tick next_free_slot() const { return next_free_slot_; }
   double BandwidthBytesPerSecond() const { return bandwidth_; }
   std::int64_t chunk_bytes() const { return chunk_bytes_; }
   std::uint64_t ChunksIssued() const { return chunks_issued_; }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+
 namespace dmasim {
 
 MemoryChip::MemoryChip(Simulator* simulator, const PowerModel* model,
@@ -35,16 +36,19 @@ PowerState MemoryChip::RestingState(const LowPowerPolicy& policy) {
   return state;
 }
 
-void MemoryChip::SetAccounting(EnergyBucket bucket, double power_mw,
-                               Tick* time_slot) {
-  const Tick now = simulator_->Now();
-  DMASIM_CHECK(now >= accounted_until_);
-  const Tick elapsed = now - accounted_until_;
+void MemoryChip::AccountTo(Tick when) {
+  DMASIM_CHECK(when >= accounted_until_);
+  const Tick elapsed = when - accounted_until_;
   if (elapsed > 0) {
     energy_.Add(bucket_, PowerModel::EnergyJoules(power_mw_, elapsed));
     *time_slot_ += elapsed;
   }
-  accounted_until_ = now;
+  accounted_until_ = when;
+}
+
+void MemoryChip::SetAccounting(EnergyBucket bucket, double power_mw,
+                               Tick* time_slot) {
+  AccountTo(simulator_->Now());
   bucket_ = bucket;
   power_mw_ = power_mw;
   time_slot_ = time_slot;
@@ -56,6 +60,16 @@ void MemoryChip::SyncAccounting() {
 
 void MemoryChip::Enqueue(ChipRequest request) {
   DMASIM_EXPECTS(request.bytes > 0);
+  // Invalidate any pending idle timer: the chip is no longer idle.
+  ++timer_generation_;
+  if (!serving_ && !transitioning_ && state_ == PowerState::kActive &&
+      !HasQueuedRequest()) {
+    // Idle active chip, empty queues: StartNextService would pop back
+    // this very request, so serve it directly without the deque
+    // round-trip. This is the common case on an uncontended chip.
+    ServeRequest(std::move(request));
+    return;
+  }
   switch (request.kind) {
     case RequestKind::kCpu:
       cpu_queue_.push_back(std::move(request));
@@ -67,8 +81,6 @@ void MemoryChip::Enqueue(ChipRequest request) {
       migration_queue_.push_back(std::move(request));
       break;
   }
-  // Invalidate any pending idle timer: the chip is no longer idle.
-  ++timer_generation_;
   if (serving_ || transitioning_) return;  // Picked up on completion.
   if (state_ == PowerState::kActive) {
     StartNextService();
@@ -108,6 +120,10 @@ void MemoryChip::StartNextService() {
   DMASIM_CHECK(state_ == PowerState::kActive);
   DMASIM_CHECK(HasQueuedRequest());
 
+  ServeRequest(PopNextRequest());
+}
+
+ChipRequest MemoryChip::PopNextRequest() {
   std::deque<ChipRequest>* queue = nullptr;
   if (!cpu_queue_.empty()) {
     queue = &cpu_queue_;
@@ -118,33 +134,81 @@ void MemoryChip::StartNextService() {
   }
   ChipRequest request = std::move(queue->front());
   queue->pop_front();
+  return request;
+}
 
-  serving_ = true;
-  switch (request.kind) {
+void MemoryChip::SwitchToServingAccounting(RequestKind kind) {
+  switch (kind) {
     case RequestKind::kDma:
-      SetAccounting(EnergyBucket::kActiveServing, model_->active_mw,
-                    &stats_.dma_serving);
+      bucket_ = EnergyBucket::kActiveServing;
+      power_mw_ = model_->active_mw;
+      time_slot_ = &stats_.dma_serving;
       break;
     case RequestKind::kCpu:
-      SetAccounting(EnergyBucket::kActiveServing, model_->active_mw,
-                    &stats_.cpu_serving);
+      bucket_ = EnergyBucket::kActiveServing;
+      power_mw_ = model_->active_mw;
+      time_slot_ = &stats_.cpu_serving;
       break;
     case RequestKind::kMigration:
-      SetAccounting(EnergyBucket::kMigration, model_->active_mw,
-                    &stats_.migration_serving);
+      bucket_ = EnergyBucket::kMigration;
+      power_mw_ = model_->active_mw;
+      time_slot_ = &stats_.migration_serving;
       break;
+  }
+}
+
+void MemoryChip::ServeRequest(ChipRequest request) {
+  serving_ = true;
+  AccountTo(simulator_->Now());
+  SwitchToServingAccounting(request.kind);
+
+  // Inline retirement of callback-free requests (migration copies). A
+  // request with no completion callback whose service ends strictly
+  // before the next pending event has a ServeDone that can only bump
+  // stats and start the next queued service at the same tick: nothing
+  // else can run, observe, or enqueue in between. Retiring the whole
+  // chain here folds N back-to-back queued services into one scheduled
+  // event while producing identical energy accounting, stats, and
+  // (time, seq) ordering for every surviving event.
+  Tick issue = simulator_->Now();
+  if (!request.on_complete && HasQueuedRequest()) {
+    const Tick horizon = simulator_->NextPendingTick();
+    std::uint64_t batched = 0;
+    while (!request.on_complete && HasQueuedRequest()) {
+      const Tick completion = issue + model_->ServiceTime(request.bytes);
+      if (completion >= horizon) break;
+      AccountTo(completion);
+      switch (request.kind) {
+        case RequestKind::kDma:
+          ++stats_.dma_requests;
+          break;
+        case RequestKind::kCpu:
+          ++stats_.cpu_requests;
+          break;
+        case RequestKind::kMigration:
+          ++stats_.migration_requests;
+          break;
+      }
+      ++batched;
+      issue = completion;
+      request = PopNextRequest();
+      SwitchToServingAccounting(request.kind);
+    }
+    // Keep the logical event count identical to the unbatched kernel.
+    if (batched > 0) simulator_->CreditExecuted(batched);
   }
 
   const Tick service = model_->ServiceTime(request.bytes);
-  simulator_->ScheduleAfter(
-      service, [this, request = std::move(request)]() mutable {
-        ServeDone(std::move(request));
-      });
+  active_request_ = std::move(request);
+  simulator_->ScheduleAt(issue + service, [this]() { ServeDone(); });
 }
 
-void MemoryChip::ServeDone(ChipRequest request) {
+void MemoryChip::ServeDone() {
   DMASIM_CHECK(serving_);
   serving_ = false;
+  // Move the request out first: completing may start the next service,
+  // which overwrites the active-request slot.
+  ChipRequest request = std::move(active_request_);
   switch (request.kind) {
     case RequestKind::kDma:
       ++stats_.dma_requests;
@@ -165,6 +229,38 @@ void MemoryChip::ServeDone(ChipRequest request) {
   // Run the completion callback last so that anything it enqueues sees a
   // settled chip state.
   if (request.on_complete) request.on_complete(simulator_->Now());
+}
+
+void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
+  DMASIM_CHECK(!serving_ && !transitioning_);
+  DMASIM_CHECK(state_ == PowerState::kActive);
+  DMASIM_CHECK(bucket_ == EnergyBucket::kActiveIdleDma);
+  DMASIM_CHECK(issue <= completion);
+  // Idle-DMA gap up to the issue, then the serving interval, then back to
+  // idle-DMA — the same three accounting segments, in the same order, as
+  // the per-chunk StartNextService / ServeDone / BecomeIdleActive path.
+  AccountTo(issue);
+  bucket_ = EnergyBucket::kActiveServing;
+  power_mw_ = model_->active_mw;
+  time_slot_ = &stats_.dma_serving;
+  AccountTo(completion);
+  bucket_ = EnergyBucket::kActiveIdleDma;
+  time_slot_ = &stats_.active_idle_dma;
+  ++stats_.dma_requests;
+}
+
+void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
+  DMASIM_CHECK(!serving_ && !transitioning_);
+  DMASIM_CHECK(state_ == PowerState::kActive);
+  DMASIM_CHECK(bucket_ == EnergyBucket::kActiveIdleDma);
+  AccountTo(issue);
+  bucket_ = EnergyBucket::kActiveServing;
+  power_mw_ = model_->active_mw;
+  time_slot_ = &stats_.dma_serving;
+  serving_ = true;
+  const Tick service = model_->ServiceTime(request.bytes);
+  active_request_ = std::move(request);
+  simulator_->ScheduleAt(issue + service, [this]() { ServeDone(); });
 }
 
 void MemoryChip::BecomeIdleActive() {

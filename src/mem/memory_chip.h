@@ -17,10 +17,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
+#include "sim/inline_function.h"
 #include "sim/simulator.h"
 #include "stats/energy.h"
 #include "util/check.h"
@@ -30,12 +30,19 @@ namespace dmasim {
 
 enum class RequestKind : int { kDma = 0, kCpu, kMigration };
 
+// Completion callback carried by a ChipRequest. Deliberately smaller
+// than SmallFunction: chip callbacks capture at most four pointers/values
+// (the controller's chunk-completion lambdas), and requests are moved
+// through per-chip queues on every chunk, so the 32-byte capacity keeps
+// sizeof(ChipRequest) to a single cache line.
+using ChipCallback = InlineFunction<void(Tick), 32>;
+
 // One memory request as seen by a chip. `on_complete` runs when the last
 // byte has been transferred (may be empty).
 struct ChipRequest {
   RequestKind kind = RequestKind::kDma;
   std::int64_t bytes = 8;
-  std::function<void(Tick)> on_complete;
+  ChipCallback on_complete;
 };
 
 // Aggregate per-chip statistics (times in ticks).
@@ -80,6 +87,27 @@ class MemoryChip {
     return state_ != PowerState::kActive;
   }
 
+  // --- Chunk-run coalescing support (see MemoryController) ---------------
+
+  // True when the chip's near future is fully determined by the single
+  // in-flight DMA transfer: active, idle, nothing queued, no competing
+  // transfer. Under these conditions the controller may serve a run of
+  // chunks in one event and replay the chip-side accounting afterwards.
+  bool CanCoalesceDmaRun() const {
+    return !serving_ && !transitioning_ && state_ == PowerState::kActive &&
+           in_flight_transfers_ == 1 && !HasQueuedRequest();
+  }
+
+  // Replays one full DMA chunk cycle that happened in the past: idle-DMA
+  // time up to `issue`, serving time in [issue, completion), back to
+  // idle-DMA at `completion`. Integrates exactly the energy terms the
+  // per-chunk execution would have, in the same order.
+  void AccountCoalescedCycle(Tick issue, Tick completion);
+
+  // Reconstructs the chip mid-service: the chunk was issued at `issue`
+  // (in the past) and its ServeDone is rescheduled as a real event.
+  void ResumeCoalescedService(Tick issue, ChipRequest request);
+
   PowerState power_state() const { return state_; }
   bool serving() const { return serving_; }
   bool transitioning() const { return transitioning_; }
@@ -103,7 +131,10 @@ class MemoryChip {
 
  private:
   void StartNextService();
-  void ServeDone(ChipRequest request);
+  ChipRequest PopNextRequest();
+  void SwitchToServingAccounting(RequestKind kind);
+  void ServeRequest(ChipRequest request);
+  void ServeDone();
   void BecomeIdleActive();
   void ArmPolicyTimer();
   void StartWake();
@@ -111,6 +142,9 @@ class MemoryChip {
   void TransitionDone();
   bool HasQueuedRequest() const { return QueuedRequests() > 0; }
 
+  // Integrates the current accounting mode up to `when` (>= the last
+  // accounted time; may be in the simulated past during coalesced replay).
+  void AccountTo(Tick when);
   // Switches the energy/time accounting mode, integrating the elapsed
   // interval into the previous mode.
   void SetAccounting(EnergyBucket bucket, double power_mw, Tick* time_slot);
@@ -127,6 +161,9 @@ class MemoryChip {
   PowerState transition_target_ = PowerState::kActive;
   int in_flight_transfers_ = 0;
   std::uint64_t timer_generation_ = 0;
+
+  // The request being served; ServeDone events capture only `this`.
+  ChipRequest active_request_;
 
   std::deque<ChipRequest> cpu_queue_;
   std::deque<ChipRequest> dma_queue_;

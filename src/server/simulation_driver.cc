@@ -1,11 +1,47 @@
 #include "server/simulation_driver.h"
 
-#include <functional>
+#include <cstddef>
 #include <utility>
 
 #include "sim/simulator.h"
 
 namespace dmasim {
+
+namespace {
+
+// Cursor-based trace feeder: keeps the event queue small even for
+// CPU-access heavy database traces. Lives on RunTrace's stack (the
+// simulator never outlives the call) so feed events capture one pointer.
+struct TraceFeeder {
+  Simulator* simulator;
+  DataServer* server;
+  const Trace* trace;
+  std::size_t cursor = 0;
+
+  void Pump() {
+    while (cursor < trace->size() &&
+           (*trace)[cursor].time <= simulator->Now()) {
+      const TraceRecord& record = (*trace)[cursor++];
+      switch (record.kind) {
+        case TraceEventKind::kClientRead:
+          server->ClientRead(record.page, record.bytes);
+          break;
+        case TraceEventKind::kClientWrite:
+          server->ClientWrite(record.page, record.bytes);
+          break;
+        case TraceEventKind::kCpuAccess:
+          server->CpuAccess(record.page, record.bytes);
+          break;
+      }
+    }
+    if (cursor < trace->size()) {
+      simulator->ScheduleAt((*trace)[cursor].time,
+                            [this]() { Pump(); });
+    }
+  }
+};
+
+}  // namespace
 
 std::string PolicyKindName(PolicyKind kind) {
   switch (kind) {
@@ -77,29 +113,10 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   server_config.forced_miss_ratio = miss_ratio;
   DataServer server(&simulator, &controller, server_config);
 
-  // Cursor-based feeder: keeps the event heap small even for CPU-access
-  // heavy database traces.
-  std::size_t cursor = 0;
-  std::function<void()> feed = [&]() {
-    while (cursor < trace.size() && trace[cursor].time <= simulator.Now()) {
-      const TraceRecord& record = trace[cursor++];
-      switch (record.kind) {
-        case TraceEventKind::kClientRead:
-          server.ClientRead(record.page, record.bytes);
-          break;
-        case TraceEventKind::kClientWrite:
-          server.ClientWrite(record.page, record.bytes);
-          break;
-        case TraceEventKind::kCpuAccess:
-          server.CpuAccess(record.page, record.bytes);
-          break;
-      }
-    }
-    if (cursor < trace.size()) {
-      simulator.ScheduleAt(trace[cursor].time, feed);
-    }
-  };
-  if (!trace.empty()) simulator.ScheduleAt(trace[0].time, feed);
+  TraceFeeder feeder{&simulator, &server, &trace};
+  if (!trace.empty()) {
+    simulator.ScheduleAt(trace[0].time, [&feeder]() { feeder.Pump(); });
+  }
 
   simulator.RunUntil(duration + options.drain);
 
@@ -120,6 +137,7 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   results.releases_by_slack = controller.aligner().ReleasedBySlack();
   results.max_gated_buffer_bytes = controller.aligner().MaxBufferedBytes();
   results.executed_events = simulator.ExecutedEvents();
+  results.stepped_events = simulator.SteppedEvents();
   results.hottest_chip_share = controller.HottestChipShare();
   return results;
 }

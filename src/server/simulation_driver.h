@@ -65,7 +65,8 @@ struct SimulationResults {
   std::uint64_t releases_by_quorum = 0;
   std::uint64_t releases_by_slack = 0;
   std::int64_t max_gated_buffer_bytes = 0;
-  std::uint64_t executed_events = 0;
+  std::uint64_t executed_events = 0;  // Logical (coalescing-invariant).
+  std::uint64_t stepped_events = 0;   // Actual queue pops.
   double hottest_chip_share = 0.0;
 
   // Fractional energy saving relative to `baseline` (positive = better).

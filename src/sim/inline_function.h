@@ -1,0 +1,172 @@
+// Small-buffer, type-erased callables for the simulation hot path.
+//
+// The event kernel schedules millions of tiny closures per simulated
+// second; `std::function` heap-allocates most of them and drags a vtable
+// dispatch through every invocation. The two templates here keep the
+// capture inline in the object:
+//
+//   * `TrivialCallback<Sig, Cap>` — the event-queue flavor. It only
+//     accepts trivially copyable, trivially destructible callables (the
+//     static_asserts are the contract), which makes the whole object
+//     memcpy-relocatable: the kernel can sort and shift events without
+//     running user code.
+//   * `InlineFunction<Sig, Cap>` — the completion-callback flavor used by
+//     `ChipRequest`, `DmaTransfer`, and the disk model. Move-only, and
+//     supports non-trivial captures (a `std::function` handed in by the
+//     data-server public API, say) via a manage thunk; trivially copyable
+//     captures skip the thunk and are moved with memcpy.
+//
+// Oversized captures are compile errors, not silent heap fallbacks — that
+// is the point: every callback scheduled in-repo must fit, and a new
+// too-big capture should fail loudly so the capacity (or the capture) is
+// reconsidered.
+#ifndef DMASIM_SIM_INLINE_FUNCTION_H_
+#define DMASIM_SIM_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dmasim {
+
+template <typename Signature, std::size_t Capacity>
+class TrivialCallback;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class TrivialCallback<R(Args...), Capacity> {
+ public:
+  TrivialCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TrivialCallback>>>
+  TrivialCallback(F&& f) {  // NOLINT: implicit like std::function.
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture too large for the event queue's inline storage; "
+                  "shrink the capture (capture a pointer to state) or bump "
+                  "the capacity");
+    static_assert(alignof(Fn) <= alignof(void*),
+                  "capture is over-aligned for inline storage");
+    static_assert(std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>,
+                  "event callbacks must be trivially copyable so events can "
+                  "be relocated with memcpy; capture raw pointers/values "
+                  "only");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* storage, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+          std::forward<Args>(args)...);
+    };
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  R (*invoke_)(void*, Args...) = nullptr;
+  alignas(void*) unsigned char storage_[Capacity];
+};
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit like std::function.
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture too large for inline storage; shrink the capture "
+                  "or bump the capacity");
+    static_assert(alignof(Fn) <= alignof(void*),
+                  "capture is over-aligned for inline storage");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* storage, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+          std::forward<Args>(args)...);
+    };
+    if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      // destination == nullptr: destroy source. Otherwise: relocate
+      // (move-construct into destination, destroy source).
+      manage_ = [](void* destination, void* source) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(source));
+        if (destination != nullptr) {
+          ::new (destination) Fn(std::move(*from));
+        }
+        from->~Fn();
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void MoveFrom(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, Capacity);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() {
+    if (invoke_ != nullptr && manage_ != nullptr) {
+      manage_(nullptr, storage_);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(void* destination, void* source) = nullptr;
+  alignas(void*) unsigned char storage_[Capacity];
+};
+
+// Capacity shared by the DMA pipeline's completion callbacks: sized to the
+// data server's deepest capture (this + three 8-byte values + one 32-byte
+// std::function continuation). Keeping it tight matters: these objects sit
+// inside ChipRequest and Disk::Request and are moved through queues on
+// every DMA-memory request.
+template <typename Signature>
+using SmallFunction = InlineFunction<Signature, 64>;
+
+}  // namespace dmasim
+
+#endif  // DMASIM_SIM_INLINE_FUNCTION_H_

@@ -1,8 +1,14 @@
 // Discrete-event simulation kernel.
 //
-// The kernel is a min-heap of (time, sequence, callback) events. Sequence
-// numbers make event ordering at equal timestamps deterministic (FIFO),
-// which keeps every experiment bit-for-bit reproducible.
+// Events are (time, sequence, callback) triples; sequence numbers make
+// event ordering at equal timestamps deterministic (FIFO), which keeps
+// every experiment bit-for-bit reproducible.
+//
+// The queue is a two-level calendar (timer wheel) keyed on `Tick`, not a
+// binary heap: schedule and pop are O(1) amortized, and the hot serving
+// bucket is a flat sorted vector of trivially-copyable events, so draining
+// it is a linear scan. See DESIGN.md "Event kernel internals" for the
+// bucketing scheme and the exact-ordering argument.
 //
 // Components that need to cancel timers (e.g. idle-threshold timers in
 // `MemoryChip`) use generation counters: the callback captures the
@@ -13,11 +19,14 @@
 #define DMASIM_SIM_SIMULATOR_H_
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "util/check.h"
 #include "util/time.h"
 
@@ -25,7 +34,9 @@ namespace dmasim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  // Inline storage covers every callback scheduled in-repo (the largest is
+  // a test's four-capture lambda at 32 bytes); growth is a compile error.
+  using Callback = TrivialCallback<void(), 40>;
 
   Simulator() = default;
 
@@ -39,8 +50,9 @@ class Simulator {
   // Schedules `callback` at absolute time `when` (>= Now()).
   void ScheduleAt(Tick when, Callback callback) {
     DMASIM_EXPECTS(when >= now_);
-    queue_.push_back(Event{when, next_sequence_++, std::move(callback)});
-    std::push_heap(queue_.begin(), queue_.end(), Later{});
+    DMASIM_EXPECTS(callback);
+    Insert(Event{when, next_sequence_++, std::move(callback)});
+    ++size_;
   }
 
   // Schedules `callback` `delay` ticks from now (delay >= 0).
@@ -50,15 +62,17 @@ class Simulator {
 
   // Executes the earliest pending event. Returns false if none remain.
   bool Step() {
-    if (queue_.empty()) return false;
-    // The callback may schedule new events, so extract it first.
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Event event = std::move(queue_.back());
-    queue_.pop_back();
+    if (!EnsureServing()) return false;
+    // The callback may schedule into the serving bucket (reallocating it),
+    // so copy the event out first; events are trivially copyable.
+    const Event event = serving_[serving_pos_++];
     DMASIM_CHECK(event.when >= now_);
     now_ = event.when;
     ++executed_;
-    event.callback();
+    ++stepped_;
+    --size_;
+    Callback callback = event.callback;
+    callback();
     return true;
   }
 
@@ -72,17 +86,46 @@ class Simulator {
   // exactly `until` (even if no event lands there).
   void RunUntil(Tick until) {
     DMASIM_EXPECTS(until >= now_);
-    while (!queue_.empty() && queue_.front().when <= until) {
+    while (EnsureServing() && serving_[serving_pos_].when <= until) {
       Step();
     }
     now_ = until;
   }
 
+  // Timestamp of the earliest pending event, or `kNoPendingEvent` when the
+  // queue is empty. Non-destructive, but may rotate the wheel internally
+  // (exactly the work the next Step would have done anyway). Components
+  // use this to bound speculative fast paths — e.g. chunk-run coalescing
+  // only absorbs work that finishes strictly before the next event.
+  static constexpr Tick kNoPendingEvent = std::numeric_limits<Tick>::max();
+  Tick NextPendingTick() {
+    if (!EnsureServing()) return kNoPendingEvent;
+    return serving_[serving_pos_].when;
+  }
+
   // Number of events not yet executed.
-  std::size_t PendingEvents() const { return queue_.size(); }
+  std::size_t PendingEvents() const { return size_; }
 
   // Total number of events executed so far (useful for budget checks).
+  // Includes events credited by coalesced fast paths (below), so the
+  // count matches the uncoalesced execution.
   std::uint64_t ExecutedEvents() const { return executed_; }
+
+  // Events actually popped from the queue — excludes coalesced credits.
+  // ExecutedEvents() - SteppedEvents() is the work saved by coalescing.
+  std::uint64_t SteppedEvents() const { return stepped_; }
+
+  // Logical-event accounting for coalesced fast paths: when a component
+  // serves a whole run of per-chunk events inside one scheduled event, it
+  // credits the events it absorbed so `ExecutedEvents()` matches the
+  // uncoalesced execution exactly.
+  void CreditExecuted(std::uint64_t events) { executed_ += events; }
+  // A scheduled event that turned out to be a superseded no-op (e.g. a
+  // run-end event whose run was dissolved) uncounts itself.
+  void UncountExecuted() {
+    DMASIM_CHECK(executed_ > 0);
+    --executed_;
+  }
 
  private:
   struct Event {
@@ -90,23 +133,214 @@ class Simulator {
     std::uint64_t sequence;
     Callback callback;
   };
+  static_assert(std::is_trivially_copyable_v<Event>);
 
-  // Heap comparator: std::push_heap/pop_heap keep a max-heap, so "later
-  // wins" puts the earliest (time, sequence) event at the front.
-  struct Later {
+  // Level-0 buckets are 2^19 ticks (~0.52 us) wide, so back-to-back chunk
+  // events (one bus slot apart, 480000 ticks at the paper's bandwidth)
+  // land about one bucket apart. Level 1 covers 1024 level-0 spans
+  // (~0.55 s); anything farther sits in an overflow list that is
+  // redistributed when the wheel reaches it.
+  static constexpr int kLevel0Bits = 19;
+  static constexpr int kBucketBits = 10;
+  static constexpr int kLevel1Bits = kLevel0Bits + kBucketBits;
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+  static constexpr std::size_t kBitmapWords = kBuckets / 64;
+
+  // Functor (not a function pointer) so std::sort inlines the comparison.
+  struct EarlierCmp {
     bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
+      if (a.when != b.when) return a.when < b.when;
+      return a.sequence < b.sequence;
     }
   };
+  static bool Earlier(const Event& a, const Event& b) {
+    return EarlierCmp{}(a, b);
+  }
+
+  void Insert(const Event& event) {
+    const std::uint64_t b0 =
+        static_cast<std::uint64_t>(event.when) >> kLevel0Bits;
+    if (b0 <= serving_bucket_) {
+      // Current bucket — or behind it, which happens when RunUntil parked
+      // the wheel on a far-future bucket and the clock (and subsequent
+      // schedules) sit in the gap. Append now and restore sorted order
+      // lazily on the next pop; every event already in the wheel is in a
+      // later bucket, and appends carry monotonically increasing sequence
+      // numbers, so sorting by (when, sequence) reproduces the global
+      // FIFO order exactly.
+      serving_.push_back(event);
+      return;
+    }
+    const std::uint64_t b1 =
+        static_cast<std::uint64_t>(event.when) >> kLevel1Bits;
+    const std::uint64_t cur1 = serving_bucket_ >> kBucketBits;
+    if (b1 == cur1) {
+      const std::size_t slot = b0 & (kBuckets - 1);
+      level0_[slot].push_back(event);
+      level0_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    } else if (b1 - cur1 < kBuckets) {
+      const std::size_t slot = b1 & (kBuckets - 1);
+      level1_[slot].push_back(event);
+      level1_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    } else {
+      overflow_.push_back(event);
+    }
+  }
+
+  // Sorts any unsorted tail appended to the serving bucket since the last
+  // pop, merging it with the sorted remainder (allocation-free after the
+  // scratch buffer warms up).
+  void MergeServingTail() {
+    const std::size_t mid = serving_sorted_;
+    const std::size_t end = serving_.size();
+    if (mid >= end) return;
+    serving_sorted_ = end;
+    if (end - mid > 1) {
+      std::sort(serving_.begin() + static_cast<std::ptrdiff_t>(mid),
+                serving_.end(), EarlierCmp{});
+    }
+    if (mid <= serving_pos_ || !Earlier(serving_[mid], serving_[mid - 1])) {
+      return;  // Tail already in order (bulk scheduling, ascending times).
+    }
+    scratch_.assign(serving_.begin() + static_cast<std::ptrdiff_t>(mid),
+                    serving_.end());
+    // Backward merge of [pos, mid) and the scratch copy into [pos, end).
+    std::size_t left = mid;
+    std::size_t right = scratch_.size();
+    std::size_t out = end;
+    while (right > 0) {
+      if (left > serving_pos_ &&
+          Earlier(scratch_[right - 1], serving_[left - 1])) {
+        serving_[--out] = serving_[--left];
+      } else {
+        serving_[--out] = scratch_[--right];
+      }
+    }
+  }
+
+  // Finds the first set bit at or after `from`; returns kBuckets if none.
+  static std::size_t NextSetBit(const std::array<std::uint64_t,
+                                                 kBitmapWords>& bits,
+                                std::size_t from) {
+    if (from >= kBuckets) return kBuckets;
+    std::size_t word = from >> 6;
+    std::uint64_t masked = bits[word] & (~std::uint64_t{0} << (from & 63));
+    while (masked == 0) {
+      if (++word == kBitmapWords) return kBuckets;
+      masked = bits[word];
+    }
+    return (word << 6) +
+           static_cast<std::size_t>(std::countr_zero(masked));
+  }
+
+  void LoadBucket(std::uint64_t bucket) {
+    const std::size_t slot = bucket & (kBuckets - 1);
+    serving_bucket_ = bucket;
+    serving_pos_ = 0;
+    serving_.swap(level0_[slot]);
+    level0_[slot].clear();
+    level0_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    if (serving_.size() > 1) {
+      std::sort(serving_.begin(), serving_.end(), EarlierCmp{});
+    }
+    serving_sorted_ = serving_.size();
+  }
+
+  // Makes serving_[serving_pos_] the globally earliest pending event.
+  // Returns false when the queue is empty.
+  bool EnsureServing() {
+    MergeServingTail();
+    while (serving_pos_ >= serving_.size()) {
+      // Advance within the current level-1 span. Level-0 slots never wrap:
+      // a span covers exactly kBuckets consecutive level-0 buckets.
+      const std::size_t next0 =
+          NextSetBit(level0_bits_, (serving_bucket_ & (kBuckets - 1)) + 1);
+      if (next0 < kBuckets) {
+        LoadBucket((serving_bucket_ & ~(kBuckets - 1)) + next0);
+        continue;
+      }
+      std::uint64_t cur1 = serving_bucket_ >> kBucketBits;
+      // Advance to the next occupied level-1 bucket. The level-1 window
+      // (cur1, cur1 + kBuckets) wraps the array, so scan in two pieces.
+      std::size_t slot1 = NextSetBit(level1_bits_, (cur1 & (kBuckets - 1)) + 1);
+      std::uint64_t next1;
+      if (slot1 < kBuckets) {
+        next1 = (cur1 & ~(kBuckets - 1)) + slot1;
+      } else {
+        slot1 = NextSetBit(level1_bits_, 0);
+        if (slot1 < kBuckets) {
+          next1 = (cur1 & ~(kBuckets - 1)) + kBuckets + slot1;
+        } else if (!overflow_.empty()) {
+          RefillFromOverflow();
+          continue;
+        } else {
+          return false;  // Queue is empty.
+        }
+      }
+      CascadeLevel1(next1);
+    }
+    return true;
+  }
+
+  void CascadeLevel1(std::uint64_t bucket1) {
+    const std::size_t slot = bucket1 & (kBuckets - 1);
+    cascade_.swap(level1_[slot]);
+    level1_[slot].clear();
+    level1_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    // Park the wheel just before the span so Insert routes the events into
+    // level-0 slots (all land inside this span by construction).
+    serving_bucket_ = (bucket1 << kBucketBits) - 1;
+    std::uint64_t earliest = ~std::uint64_t{0};
+    for (const Event& event : cascade_) {
+      const std::uint64_t b0 =
+          static_cast<std::uint64_t>(event.when) >> kLevel0Bits;
+      earliest = std::min(earliest, b0);
+      const std::size_t slot0 = b0 & (kBuckets - 1);
+      level0_[slot0].push_back(event);
+      level0_bits_[slot0 >> 6] |= std::uint64_t{1} << (slot0 & 63);
+    }
+    cascade_.clear();
+    LoadBucket(earliest);
+  }
+
+  void RefillFromOverflow() {
+    // Move the wheel's window to start at the earliest overflow event;
+    // everything within the new level-1 horizon files into the wheel, the
+    // rest stays in overflow for a later refill.
+    std::uint64_t min1 = ~std::uint64_t{0};
+    for (const Event& event : overflow_) {
+      min1 = std::min(min1, static_cast<std::uint64_t>(event.when) >>
+                                kLevel1Bits);
+    }
+    serving_bucket_ = (min1 << kBucketBits) - 1;
+    cascade_.swap(overflow_);
+    overflow_.clear();
+    for (const Event& event : cascade_) {
+      Insert(event);
+    }
+    cascade_.clear();
+  }
 
   Tick now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
-  // Explicit binary heap over a vector (std::push_heap / std::pop_heap):
-  // unlike std::priority_queue, popping can move from the extracted
-  // element without a const_cast.
-  std::vector<Event> queue_;
+  std::uint64_t stepped_ = 0;
+  std::size_t size_ = 0;
+
+  // Serving bucket: flat, (when, sequence)-sorted up to serving_sorted_,
+  // drained by cursor. serving_bucket_ is its absolute level-0 index.
+  std::vector<Event> serving_;
+  std::size_t serving_pos_ = 0;
+  std::size_t serving_sorted_ = 0;
+  std::uint64_t serving_bucket_ = 0;
+
+  std::array<std::vector<Event>, kBuckets> level0_;
+  std::array<std::vector<Event>, kBuckets> level1_;
+  std::array<std::uint64_t, kBitmapWords> level0_bits_ = {};
+  std::array<std::uint64_t, kBitmapWords> level1_bits_ = {};
+  std::vector<Event> overflow_;
+  std::vector<Event> scratch_;   // MergeServingTail working space.
+  std::vector<Event> cascade_;   // CascadeLevel1/refill working space.
 };
 
 }  // namespace dmasim

@@ -184,6 +184,7 @@ class Simulator {
       level1_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
     } else {
       overflow_.push_back(event);
+      overflow_min_b1_ = std::min(overflow_min_b1_, b1);
     }
   }
 
@@ -277,6 +278,14 @@ class Simulator {
           return false;  // Queue is empty.
         }
       }
+      // The wheel's window shifts as it advances, so an overflow event's
+      // span may by now lie at or before the next occupied level-1
+      // bucket (later schedules can even share its span). Refill first —
+      // cascading past it would execute events out of order.
+      if (overflow_min_b1_ <= next1) {
+        RefillFromOverflow();
+        continue;
+      }
       CascadeLevel1(next1);
     }
     return true;
@@ -304,15 +313,13 @@ class Simulator {
   }
 
   void RefillFromOverflow() {
-    // Move the wheel's window to start at the earliest overflow event;
+    // Move the wheel's window to start at the earliest overflow span;
     // everything within the new level-1 horizon files into the wheel, the
-    // rest stays in overflow for a later refill.
-    std::uint64_t min1 = ~std::uint64_t{0};
-    for (const Event& event : overflow_) {
-      min1 = std::min(min1, static_cast<std::uint64_t>(event.when) >>
-                                kLevel1Bits);
-    }
-    serving_bucket_ = (min1 << kBucketBits) - 1;
+    // rest stays in overflow for a later refill. `overflow_min_b1_ > cur1`
+    // always holds (EnsureServing refills before cascading past it), so
+    // this only ever moves the wheel forward.
+    serving_bucket_ = (overflow_min_b1_ << kBucketBits) - 1;
+    overflow_min_b1_ = kNoOverflow;
     cascade_.swap(overflow_);
     overflow_.clear();
     for (const Event& event : cascade_) {
@@ -339,6 +346,10 @@ class Simulator {
   std::array<std::uint64_t, kBitmapWords> level0_bits_ = {};
   std::array<std::uint64_t, kBitmapWords> level1_bits_ = {};
   std::vector<Event> overflow_;
+  // Smallest level-1 bucket among pending overflow events; kNoOverflow
+  // when overflow_ is empty. Bounds how far the wheel may cascade.
+  static constexpr std::uint64_t kNoOverflow = ~std::uint64_t{0};
+  std::uint64_t overflow_min_b1_ = kNoOverflow;
   std::vector<Event> scratch_;   // MergeServingTail working space.
   std::vector<Event> cascade_;   // CascadeLevel1/refill working space.
 };

@@ -232,6 +232,44 @@ TEST(SimulatorCalendarTest, ScheduleBehindParkedWheel) {
   EXPECT_EQ(simulator.Now(), 2 * kLevel1Span);
 }
 
+TEST(SimulatorCalendarTest, OverflowRefillsBeforeLaterInWindowEvent) {
+  // Regression: an event parked in overflow (past the wheel horizon at
+  // schedule time) must execute before a later event that only entered
+  // the level-1 window after the wheel advanced. The wheel must not
+  // cascade a level-1 bucket at or past the earliest overflow span.
+  Simulator simulator;
+  std::vector<Tick> fired;
+  const Tick advance = 600 * kLevel1Span;  // Moves the wheel when it runs.
+  const Tick parked = 1500 * kLevel1Span;  // Past the horizon at t = 0.
+  const Tick late = 1600 * kLevel1Span;    // In-window once cur1 = 600.
+  simulator.ScheduleAt(parked, [&fired, parked]() { fired.push_back(parked); });
+  simulator.ScheduleAt(advance, [&]() {
+    fired.push_back(advance);
+    simulator.ScheduleAt(late, [&fired, late]() { fired.push_back(late); });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<Tick>{advance, parked, late}));
+  EXPECT_EQ(simulator.Now(), late);
+}
+
+TEST(SimulatorCalendarTest, OverflowSharingSpanWithLevel1EventKeepsOrder) {
+  // Same shape, but the overflow event and the later-scheduled in-window
+  // event land in the SAME level-1 span, overflow event first in time:
+  // the refill must merge into the span before it cascades.
+  Simulator simulator;
+  std::vector<Tick> fired;
+  const Tick advance = 600 * kLevel1Span;
+  const Tick parked = 1500 * kLevel1Span + kBucketSpan;
+  const Tick late = 1500 * kLevel1Span + 5 * kBucketSpan;
+  simulator.ScheduleAt(parked, [&fired, parked]() { fired.push_back(parked); });
+  simulator.ScheduleAt(advance, [&]() {
+    fired.push_back(advance);
+    simulator.ScheduleAt(late, [&fired, late]() { fired.push_back(late); });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<Tick>{advance, parked, late}));
+}
+
 TEST(SimulatorCalendarTest, GoldenOrderMatchesBinaryHeapReplay) {
   // The calendar queue must replay the exact (time, sequence) order the
   // old binary-heap kernel produced. The reference is computed here with

@@ -6,9 +6,9 @@
 // emits a JSON artifact plus a human summary table.
 //
 // Examples:
-//   dmasim_sweep --workloads oltp-st --schemes ta,ta-pl2 \
+//   dmasim_sweep --workloads oltp-st --schemes ta,ta-pl2
 //                --cp-limits 0.02,0.05,0.10 --out fig5_oltp.json
-//   dmasim_sweep --workloads synth-st --schemes ta-pl2 --chips 16,32,64 \
+//   dmasim_sweep --workloads synth-st --schemes ta-pl2 --chips 16,32,64
 //                --seeds 1,2,3 --threads 4 --ndjson
 //   dmasim_sweep --list
 #include <cstdint>
@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit_config.h"
 #include "exp/result_sink.h"
 #include "exp/sweep_runner.h"
 #include "exp/thread_pool.h"
@@ -94,6 +95,9 @@ Execution:
   --duration-ms N    simulated milliseconds per run (default: preset)
   --threads N        worker threads (default: all hardware threads)
   --name NAME        sweep name recorded in the artifact (default: sweep)
+  --audit            run every simulation under the invariant auditor
+                     (abort on violation; needs a library built with
+                     -DDMASIM_AUDIT_LEVEL>=1, see DESIGN.md)
 
 Output:
   --out PATH         write the full JSON artifact to PATH
@@ -213,6 +217,8 @@ int main(int argc, char** argv) {
       spec.name = next();
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--audit") {
+      spec.base.audit_level = 2;
     } else if (arg == "--ndjson") {
       ndjson = true;
     } else if (arg == "--no-table") {
@@ -223,6 +229,10 @@ int main(int argc, char** argv) {
   }
 
   if (workload_flags.empty()) Fail("no workloads selected");
+  if (spec.base.audit_level > 0 && kCompiledAuditLevel == 0) {
+    std::cerr << "dmasim_sweep: warning: --audit has no effect, this build "
+                 "has DMASIM_AUDIT_LEVEL=0\n";
+  }
   if (!out_path.empty()) {
     // Fail before the sweep runs, not after minutes of simulation.
     std::ofstream probe(out_path, std::ios::app);

@@ -1,0 +1,49 @@
+#include "audit/invariant_auditor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+void InvariantAuditor::Register(std::string name, unsigned phases,
+                                InvariantFn fn) {
+  DMASIM_EXPECTS(fn != nullptr);
+  DMASIM_EXPECTS(phases != 0);
+  invariants_.push_back(Entry{std::move(name), phases, std::move(fn)});
+}
+
+int InvariantAuditor::RunPhase(AuditPhase phase) {
+  int failed = 0;
+  for (const Entry& entry : invariants_) {
+    if ((entry.phases & static_cast<unsigned>(phase)) == 0) continue;
+    ++checks_run_;
+    std::string message;
+    if (!entry.fn(&message)) {
+      ++failed;
+      ReportFailure(entry.name, message);
+    }
+  }
+  return failed;
+}
+
+void InvariantAuditor::ReportFailure(const std::string& invariant,
+                                     const std::string& message) {
+  if (mode_ == Mode::kAbort) {
+    std::fprintf(stderr, "dmasim audit: invariant '%s' violated: %s\n",
+                 invariant.c_str(), message.c_str());
+    std::abort();
+  }
+  failures_.push_back(AuditFailure{invariant, message});
+}
+
+std::vector<std::string> InvariantAuditor::InvariantNames() const {
+  std::vector<std::string> names;
+  names.reserve(invariants_.size());
+  for (const Entry& entry : invariants_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace dmasim

@@ -1,0 +1,96 @@
+#include "audit/power_state_auditor.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dmasim {
+
+namespace {
+
+std::string Describe(int chip, PowerState from, PowerState to, Tick start,
+                     Tick end, const char* what) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "chip %d: %s -> %s over [%lld, %lld]: %s", chip,
+                PowerStateName(from).data(), PowerStateName(to).data(),
+                static_cast<long long>(start), static_cast<long long>(end),
+                what);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+PowerStateAuditor::PowerStateAuditor(const PowerModel* reference,
+                                     int chip_count)
+    : reference_(reference),
+      last_state_(static_cast<std::size_t>(chip_count), PowerState::kActive) {
+  DMASIM_EXPECTS(reference != nullptr);
+  DMASIM_EXPECTS(chip_count > 0);
+}
+
+void PowerStateAuditor::Seed(int chip, PowerState state) {
+  last_state_[static_cast<std::size_t>(chip)] = state;
+}
+
+std::string PowerStateAuditor::Validate(int chip, PowerState from,
+                                        PowerState to, bool up, Tick start,
+                                        Tick end) {
+  ++transitions_checked_;
+  const std::size_t index = static_cast<std::size_t>(chip);
+  DMASIM_EXPECTS(index < last_state_.size());
+
+  if (from != last_state_[index]) {
+    return Describe(chip, from, to, start, end,
+                    "discontinuous (chip was not in the claimed origin "
+                    "state)");
+  }
+  if (end < start) {
+    return Describe(chip, from, to, start, end, "negative duration");
+  }
+  const Tick duration = end - start;
+
+  if (up) {
+    // Wakes always land in active, from a genuinely lower-power state,
+    // and take exactly the reference model's resync latency.
+    if (to != PowerState::kActive) {
+      return Describe(chip, from, to, start, end,
+                      "wake must end in the active state");
+    }
+    if (from == PowerState::kActive) {
+      return Describe(chip, from, to, start, end,
+                      "wake from active is meaningless");
+    }
+    const Tick expected = reference_->UpTransition(from).duration;
+    if (duration != expected) {
+      char what[128];
+      std::snprintf(what, sizeof(what),
+                    "resync took %lld ticks, reference model requires %lld",
+                    static_cast<long long>(duration),
+                    static_cast<long long>(expected));
+      return Describe(chip, from, to, start, end, what);
+    }
+  } else {
+    // Step-downs move strictly deeper (active > standby > nap >
+    // powerdown in power draw) one policy step at a time.
+    if (static_cast<int>(to) <= static_cast<int>(from)) {
+      return Describe(chip, from, to, start, end,
+                      "step-down must enter a strictly lower-power state");
+    }
+    const Tick expected = reference_->DownTransition(to).duration;
+    if (duration != expected) {
+      char what[128];
+      std::snprintf(what, sizeof(what),
+                    "step-down took %lld ticks, reference model requires "
+                    "%lld",
+                    static_cast<long long>(duration),
+                    static_cast<long long>(expected));
+      return Describe(chip, from, to, start, end, what);
+    }
+  }
+
+  last_state_[index] = to;
+  return std::string();
+}
+
+}  // namespace dmasim

@@ -1,0 +1,49 @@
+// Validates a stream of completed power-state transitions against a
+// reference PowerModel: edge legality, per-chip state continuity, and
+// exact resync (transition) durations.
+//
+// The auditor is deliberately decoupled from MemoryChip: it judges only
+// the transition *records*, against a model the caller chooses. Auditing
+// a simulation whose chips run a deliberately corrupted model against the
+// pristine Table 1 reference is how the seeded-fault regression test
+// proves a skipped resync delay gets caught.
+#ifndef DMASIM_AUDIT_POWER_STATE_AUDITOR_H_
+#define DMASIM_AUDIT_POWER_STATE_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/power_model.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+class PowerStateAuditor {
+ public:
+  // `reference` must outlive the auditor.
+  PowerStateAuditor(const PowerModel* reference, int chip_count);
+
+  // Seeds the continuity check with chip `chip`'s state at attach time
+  // (transitions before the first Seed/record would otherwise be judged
+  // against an unknown origin state).
+  void Seed(int chip, PowerState state);
+
+  // Validates one completed transition. Returns an empty string when the
+  // transition is legal, else a diagnostic.
+  std::string Validate(int chip, PowerState from, PowerState to, bool up,
+                       Tick start, Tick end);
+
+  std::uint64_t transitions_checked() const { return transitions_checked_; }
+
+ private:
+  const PowerModel* reference_;
+  // Last known state per chip; kActive until seeded (chips are
+  // constructed active).
+  std::vector<PowerState> last_state_;
+  std::uint64_t transitions_checked_ = 0;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_AUDIT_POWER_STATE_AUDITOR_H_

@@ -138,7 +138,7 @@ LayoutPlan LayoutManager::Plan(
   // every interval, entries rest at a sentinel (`kNoTargetGroup` = cold
   // target, 0 = not moved) and only the entries a call touches are
   // written -- and restored before returning. The full fill happens once.
-  DMASIM_CHECK(sizes.size() < static_cast<std::size_t>(kNoTargetGroup));
+  DMASIM_CHECK_LT(sizes.size(), static_cast<std::size_t>(kNoTargetGroup));
   if (target_group_.size() != pages) {
     target_group_.assign(pages, kNoTargetGroup);
     moved_.assign(pages, 0);

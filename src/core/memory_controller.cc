@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "audit/audit_config.h"
+
 namespace dmasim {
 
 int MemorySystemConfig::AlignmentQuorum() const {
@@ -31,10 +33,12 @@ MemoryController::MemoryController(Simulator* simulator,
   chips_.reserve(static_cast<std::size_t>(config.chips));
   for (int i = 0; i < config.chips; ++i) {
     chips_.push_back(
+        // dmasim-lint: allow(heap-alloc) -- one-time construction.
         std::make_unique<MemoryChip>(simulator, &config_.power, policy, i));
   }
   buses_.reserve(static_cast<std::size_t>(config.bus_count));
   for (int i = 0; i < config.bus_count; ++i) {
+    // dmasim-lint: allow(heap-alloc) -- one-time construction.
     auto bus = std::make_unique<IoBus>(simulator, i, config.bus_bandwidth,
                                        config.chunk_bytes);
     bus->SetSink(this);
@@ -53,6 +57,7 @@ MemoryController::MemoryController(Simulator* simulator,
   transfers_per_chip_.assign(static_cast<std::size_t>(config.chips), 0);
   run_by_chip_.assign(static_cast<std::size_t>(config.chips), nullptr);
   run_by_bus_.assign(static_cast<std::size_t>(config.bus_count), nullptr);
+  // dmasim-lint: allow(heap-alloc) -- one-time construction.
   aligner_ = std::make_unique<TemporalAligner>(
       config.dma.ta, config.chips, config.bus_count, config.AlignmentQuorum(),
       config.RequestTime());
@@ -121,6 +126,11 @@ void MemoryController::CpuAccess(std::uint64_t logical_page,
 void MemoryController::DeliverChunk(DmaTransfer* transfer,
                                     std::int64_t chunk_bytes, bool first) {
   const Tick now = simulator_->Now();
+#if DMASIM_AUDIT_LEVEL >= 2
+  // Lockstep audit: once past its (possibly gated) first request, a
+  // transfer flows without further DMA-TA interference.
+  if (!first) DMASIM_CHECK(!transfer->blocked);
+#endif
   if (aligner_->enabled()) {
     // Note: this credit commutes with the credits coalesced runs replay
     // later (all arrival credits are identical), so no settle is needed
@@ -253,7 +263,7 @@ bool MemoryController::TryStartRun(DmaTransfer* transfer, Tick now) {
   Tick run_end = first_issue;
   std::int64_t chunks = 0;
   std::int64_t remaining = transfer->RemainingToIssue();
-  DMASIM_CHECK(remaining > 0);
+  DMASIM_CHECK_GT(remaining, 0);
   while (remaining > 0) {
     const std::int64_t chunk = std::min<std::int64_t>(bus.chunk_bytes(),
                                                       remaining);
@@ -349,7 +359,7 @@ void MemoryController::SettleAllRuns(Tick bound) {
   for (std::size_t chip = 0; chip < run_by_chip_.size(); ++chip) {
     if (run_by_chip_[chip] != nullptr) SettleRun(run_by_chip_[chip], bound);
   }
-  DMASIM_CHECK(active_runs_ == 0);
+  DMASIM_CHECK_EQ(active_runs_, 0);
 }
 
 void MemoryController::FinishRun(DmaTransfer* transfer,
@@ -370,8 +380,8 @@ void MemoryController::FinishRun(DmaTransfer* transfer,
   // bound = now + 1: this event IS the run's last absorbed completion, so
   // the whole run — that completion included — is in the replayed past.
   const std::uint64_t credits = AdvanceRunChunks(transfer, now + 1);
-  DMASIM_CHECK(transfer->run_chunks_left == 0);
-  DMASIM_CHECK(credits >= 1);
+  DMASIM_CHECK_EQ(transfer->run_chunks_left, 0);
+  DMASIM_CHECK_GE(credits, 1u);
   // This event already counted itself; credit the rest of the 2-per-chunk
   // events it replaced.
   simulator_->CreditExecuted(credits - 1);
@@ -412,7 +422,7 @@ void MemoryController::RunLayoutInterval() {
   if (!plan.moves.empty()) ++stats_.migration_rounds;
   stats_.deferred_migrations += static_cast<std::uint64_t>(plan.deferred_moves);
   for (const PageMove& move : plan.moves) {
-    DMASIM_CHECK(page_to_chip_[move.page] == move.from_chip);
+    DMASIM_CHECK_EQ(page_to_chip_[move.page], move.from_chip);
     page_to_chip_[move.page] = move.to_chip;
     ++stats_.migrations;
     // Charge the copy: a read on the source chip and a write on the

@@ -62,6 +62,7 @@ class SlackAccount {
   }
 
   double slack() const { return slack_; }
+  double cap() const { return cap_; }
   bool Exhausted() const { return slack_ <= 0.0; }
   double mu() const { return mu_; }
   Tick t_request() const { return t_request_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/audit_config.h"
+
 namespace dmasim {
 
 TemporalAligner::TemporalAligner(const TemporalAlignmentConfig& config,
@@ -46,6 +48,13 @@ TemporalAligner::GateResult TemporalAligner::Gate(int chip,
                                                   Tick now) {
   DMASIM_EXPECTS(enabled());
   DMASIM_EXPECTS(transfer != nullptr);
+#if DMASIM_AUDIT_LEVEL >= 2
+  // Lockstep audit: only a transfer's very first request may ever be
+  // delayed — at gate time exactly one chunk has been issued (the one
+  // being buffered) and none served.
+  DMASIM_CHECK_EQ(transfer->issued_bytes, chunk_bytes);
+  DMASIM_CHECK_EQ(transfer->completed_bytes, 0);
+#endif
   auto& list = gated_[static_cast<std::size_t>(chip)];
   transfer->blocked = true;
   transfer->gated_at = now;
@@ -125,7 +134,7 @@ std::vector<GatedRequest> TemporalAligner::TakeGated(int chip) {
   std::vector<GatedRequest> taken = std::move(list);
   list.clear();
   total_pending_ -= static_cast<int>(taken.size());
-  DMASIM_CHECK(total_pending_ >= 0);
+  DMASIM_CHECK_GE(total_pending_, 0);
   for (const GatedRequest& request : taken) {
     buffered_bytes_ -= request.chunk_bytes;
   }

@@ -107,7 +107,7 @@ void ThreadPool::WorkerLoop(std::size_t self) {
     task();
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      DMASIM_CHECK(unfinished_ > 0);
+      DMASIM_CHECK_GT(unfinished_, 0u);
       --unfinished_;
       if (unfinished_ == 0) all_done_.notify_all();
     }

@@ -60,7 +60,7 @@ void IoBus::Issue() {
 
   const std::int64_t chunk =
       std::min<std::int64_t>(chunk_bytes_, transfer->RemainingToIssue());
-  DMASIM_CHECK(chunk > 0);
+  DMASIM_CHECK_GT(chunk, 0);
   const bool first = transfer->FirstChunk();
   transfer->issued_bytes += chunk;
   next_free_slot_ = simulator_->Now() + slot_time_;

@@ -37,11 +37,17 @@ PowerState MemoryChip::RestingState(const LowPowerPolicy& policy) {
 }
 
 void MemoryChip::AccountTo(Tick when) {
-  DMASIM_CHECK(when >= accounted_until_);
+  DMASIM_CHECK_GE(when, accounted_until_);
   const Tick elapsed = when - accounted_until_;
   if (elapsed > 0) {
-    energy_.Add(bucket_, PowerModel::EnergyJoules(power_mw_, elapsed));
+    const double joules = PowerModel::EnergyJoules(power_mw_, elapsed);
+    energy_.Add(bucket_, joules);
     *time_slot_ += elapsed;
+#if DMASIM_AUDIT_LEVEL >= 1
+    if (audit_sink_ != nullptr) {
+      audit_sink_->OnEnergyAccounted(id_, bucket_, joules, elapsed);
+    }
+#endif
   }
   accounted_until_ = when;
 }
@@ -117,7 +123,7 @@ void MemoryChip::EndTransfer() {
 
 void MemoryChip::StartNextService() {
   DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK(state_ == PowerState::kActive);
+  DMASIM_CHECK_EQ(state_, PowerState::kActive);
   DMASIM_CHECK(HasQueuedRequest());
 
   ServeRequest(PopNextRequest());
@@ -233,9 +239,9 @@ void MemoryChip::ServeDone() {
 
 void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
   DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK(state_ == PowerState::kActive);
-  DMASIM_CHECK(bucket_ == EnergyBucket::kActiveIdleDma);
-  DMASIM_CHECK(issue <= completion);
+  DMASIM_CHECK_EQ(state_, PowerState::kActive);
+  DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
+  DMASIM_CHECK_LE(issue, completion);
   // Idle-DMA gap up to the issue, then the serving interval, then back to
   // idle-DMA — the same three accounting segments, in the same order, as
   // the per-chunk StartNextService / ServeDone / BecomeIdleActive path.
@@ -251,8 +257,8 @@ void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
 
 void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
   DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK(state_ == PowerState::kActive);
-  DMASIM_CHECK(bucket_ == EnergyBucket::kActiveIdleDma);
+  DMASIM_CHECK_EQ(state_, PowerState::kActive);
+  DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
   AccountTo(issue);
   bucket_ = EnergyBucket::kActiveServing;
   power_mw_ = model_->active_mw;
@@ -265,7 +271,7 @@ void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
 
 void MemoryChip::BecomeIdleActive() {
   DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK(state_ == PowerState::kActive);
+  DMASIM_CHECK_EQ(state_, PowerState::kActive);
   if (in_flight_transfers_ > 0) {
     SetAccounting(EnergyBucket::kActiveIdleDma, model_->active_mw,
                   &stats_.active_idle_dma);
@@ -295,11 +301,14 @@ void MemoryChip::ArmPolicyTimer() {
 
 void MemoryChip::StartWake() {
   DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK(state_ != PowerState::kActive);
+  DMASIM_CHECK_NE(state_, PowerState::kActive);
   const Transition& transition = model_->UpTransition(state_);
   transitioning_ = true;
   transition_up_ = true;
   transition_target_ = PowerState::kActive;
+#if DMASIM_AUDIT_LEVEL >= 1
+  audit_transition_start_ = simulator_->Now();
+#endif
   SetAccounting(EnergyBucket::kTransition, transition.power_mw,
                 &stats_.transition);
   simulator_->ScheduleAfter(transition.duration, [this]() { TransitionDone(); });
@@ -307,11 +316,14 @@ void MemoryChip::StartWake() {
 
 void MemoryChip::StartStepDown(PowerState target) {
   DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK(target != PowerState::kActive);
+  DMASIM_CHECK_NE(target, PowerState::kActive);
   const Transition& transition = model_->DownTransition(target);
   transitioning_ = true;
   transition_up_ = false;
   transition_target_ = target;
+#if DMASIM_AUDIT_LEVEL >= 1
+  audit_transition_start_ = simulator_->Now();
+#endif
   SetAccounting(EnergyBucket::kTransition, transition.power_mw,
                 &stats_.transition);
   simulator_->ScheduleAfter(transition.duration, [this]() { TransitionDone(); });
@@ -319,12 +331,19 @@ void MemoryChip::StartStepDown(PowerState target) {
 
 void MemoryChip::TransitionDone() {
   DMASIM_CHECK(transitioning_);
+#if DMASIM_AUDIT_LEVEL >= 1
+  if (audit_sink_ != nullptr) {
+    audit_sink_->OnPowerTransition(id_, state_, transition_target_,
+                                   transition_up_, audit_transition_start_,
+                                   simulator_->Now());
+  }
+#endif
   transitioning_ = false;
   state_ = transition_target_;
 
   if (transition_up_) {
     ++stats_.wakeups;
-    DMASIM_CHECK(state_ == PowerState::kActive);
+    DMASIM_CHECK_EQ(state_, PowerState::kActive);
     if (HasQueuedRequest()) {
       StartNextService();
     } else {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "audit/audit_config.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
 #include "sim/inline_function.h"
@@ -25,6 +26,10 @@
 #include "stats/energy.h"
 #include "util/check.h"
 #include "util/time.h"
+
+#if DMASIM_AUDIT_LEVEL >= 1
+#include "audit/chip_audit_sink.h"
+#endif
 
 namespace dmasim {
 
@@ -124,6 +129,15 @@ class MemoryChip {
   const EnergyBreakdown& energy() const { return energy_; }
   const ChipStats& stats() const { return stats_; }
   const PowerModel& model() const { return *model_; }
+  // Simulated time up to which energy/stats have been integrated.
+  Tick accounted_until() const { return accounted_until_; }
+
+#if DMASIM_AUDIT_LEVEL >= 1
+  // Attaches the invariant auditor's observer (null detaches). The sink
+  // sees every completed power-state transition and every integrated
+  // energy segment.
+  void SetAuditSink(ChipAuditSink* sink) { audit_sink_ = sink; }
+#endif
 
   // Deepest state a policy lets an idle chip settle into (the natural
   // initial state for a freshly simulated chip).
@@ -177,6 +191,11 @@ class MemoryChip {
 
   EnergyBreakdown energy_;
   ChipStats stats_;
+
+#if DMASIM_AUDIT_LEVEL >= 1
+  ChipAuditSink* audit_sink_ = nullptr;
+  Tick audit_transition_start_ = 0;
+#endif
 };
 
 }  // namespace dmasim

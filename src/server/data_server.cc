@@ -35,7 +35,7 @@ bool DataServer::IsMiss(std::uint64_t page) {
 
 void DataServer::FinishRequest(Tick arrival, Tick dma_done,
                                std::int64_t reply_bytes,
-                               const std::function<void(Tick)>& done) {
+                               ClientCallback& done) {
   const Tick finish = dma_done + network_.MessageTime(reply_bytes) +
                       config_.request_compute_time;
   response_time_.Add(static_cast<double>(finish - arrival));
@@ -43,7 +43,7 @@ void DataServer::FinishRequest(Tick arrival, Tick dma_done,
 }
 
 void DataServer::ClientRead(std::uint64_t page, std::int64_t bytes,
-                            std::function<void(Tick)> done) {
+                            ClientCallback done) {
   ++stats_.reads;
   const Tick arrival = simulator_->Now();
 
@@ -52,31 +52,37 @@ void DataServer::ClientRead(std::uint64_t page, std::int64_t bytes,
     // Hit: network DMA straight out of memory.
     controller_->StartDmaTransfer(
         PickBus(), page, bytes, DmaKind::kNetwork,
-        [this, arrival, bytes, done = std::move(done)](Tick dma_done) {
+        [this, arrival, bytes,
+         done = std::move(done)](Tick dma_done) mutable {
           FinishRequest(arrival, dma_done, bytes, done);
         });
     return;
   }
 
   ++stats_.misses;
-  // Miss: disk read -> disk DMA into memory -> network DMA out.
-  disks_.Read(page, bytes,
-              [this, arrival, page, bytes,
-               done = std::move(done)](Tick /*disk_done*/) {
-                controller_->StartDmaTransfer(
-                    PickBus(), page, bytes, DmaKind::kDisk,
-                    [this, arrival, page, bytes, done](Tick /*loaded*/) {
-                      controller_->StartDmaTransfer(
-                          PickBus(), page, bytes, DmaKind::kNetwork,
-                          [this, arrival, bytes, done](Tick dma_done) {
-                            FinishRequest(arrival, dma_done, bytes, done);
-                          });
-                    });
-              });
+  // Miss: disk read -> disk DMA into memory -> network DMA out. The
+  // continuation is move-only, so each stage hands it to the next with a
+  // mutable move-capture.
+  disks_.Read(
+      page, bytes,
+      [this, arrival, page, bytes,
+       done = std::move(done)](Tick /*disk_done*/) mutable {
+        controller_->StartDmaTransfer(
+            PickBus(), page, bytes, DmaKind::kDisk,
+            [this, arrival, page, bytes,
+             done = std::move(done)](Tick /*loaded*/) mutable {
+              controller_->StartDmaTransfer(
+                  PickBus(), page, bytes, DmaKind::kNetwork,
+                  [this, arrival, bytes,
+                   done = std::move(done)](Tick dma_done) mutable {
+                    FinishRequest(arrival, dma_done, bytes, done);
+                  });
+            });
+      });
 }
 
 void DataServer::ClientWrite(std::uint64_t page, std::int64_t bytes,
-                             std::function<void(Tick)> done) {
+                             ClientCallback done) {
   ++stats_.writes;
   const Tick arrival = simulator_->Now();
   if (config_.forced_miss_ratio < 0.0) cache_.Insert(page);
@@ -85,7 +91,8 @@ void DataServer::ClientWrite(std::uint64_t page, std::int64_t bytes,
   // asynchronously via a disk DMA out of memory.
   controller_->StartDmaTransfer(
       PickBus(), page, bytes, DmaKind::kNetwork,
-      [this, arrival, page, bytes, done = std::move(done)](Tick dma_done) {
+      [this, arrival, page, bytes,
+       done = std::move(done)](Tick dma_done) mutable {
         FinishRequest(arrival, dma_done, /*reply_bytes=*/0, done);
         controller_->StartDmaTransfer(
             PickBus(), page, bytes, DmaKind::kDisk,

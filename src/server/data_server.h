@@ -11,13 +11,13 @@
 #define DMASIM_SERVER_DATA_SERVER_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "core/memory_controller.h"
 #include "disk/disk_model.h"
 #include "net/network_model.h"
 #include "server/buffer_cache.h"
+#include "sim/inline_function.h"
 #include "sim/simulator.h"
 #include "stats/accumulators.h"
 #include "util/random.h"
@@ -58,6 +58,12 @@ struct ServerStats {
   std::uint64_t cpu_accesses = 0;
 };
 
+// Client-completion continuation. Sized for the observers that actually
+// follow a request (a pointer or a couple of words); it rides inside the
+// DMA pipeline's SmallFunction captures, so every byte here is multiplied
+// by three nesting levels on the miss path.
+using ClientCallback = InlineFunction<void(Tick), 16>;
+
 class DataServer {
  public:
   // `controller` must outlive the server.
@@ -67,11 +73,11 @@ class DataServer {
   // Client read request for `page` (completes with a response-time
   // sample; `done` is optional).
   void ClientRead(std::uint64_t page, std::int64_t bytes,
-                  std::function<void(Tick)> done = {});
+                  ClientCallback done = {});
 
   // Client write request for `page`.
   void ClientWrite(std::uint64_t page, std::int64_t bytes,
-                   std::function<void(Tick)> done = {});
+                   ClientCallback done = {});
 
   // Processor access to `page` (cache-line sized).
   void CpuAccess(std::uint64_t page, std::int64_t bytes);
@@ -86,7 +92,7 @@ class DataServer {
   int PickBus();
   bool IsMiss(std::uint64_t page);
   void FinishRequest(Tick arrival, Tick dma_done, std::int64_t reply_bytes,
-                     const std::function<void(Tick)>& done);
+                     ClientCallback& done);
 
   Simulator* simulator_;
   MemoryController* controller_;

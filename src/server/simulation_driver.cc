@@ -1,9 +1,17 @@
 #include "server/simulation_driver.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 
+#include "audit/audit_config.h"
 #include "sim/simulator.h"
+
+#if DMASIM_AUDIT_LEVEL >= 1
+#include <memory>
+
+#include "audit/simulation_audit.h"
+#endif
 
 namespace dmasim {
 
@@ -118,9 +126,30 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
     simulator.ScheduleAt(trace[0].time, [&feeder]() { feeder.Pump(); });
   }
 
+#if DMASIM_AUDIT_LEVEL >= 1
+  std::unique_ptr<SimulationAudit> audit;
+  if (options.audit_level >= 1) {
+    SimulationAudit::Options audit_options;
+    audit_options.level = std::min(options.audit_level, DMASIM_AUDIT_LEVEL);
+    audit_options.period = options.audit_period;
+    audit_options.mode = options.audit_abort ? InvariantAuditor::Mode::kAbort
+                                             : InvariantAuditor::Mode::kCollect;
+    audit_options.reference_model = options.audit_reference_model;
+    audit = std::make_unique<SimulationAudit>(&simulator, &controller,
+                                              audit_options);
+  }
+#endif
+
   simulator.RunUntil(duration + options.drain);
 
   SimulationResults results;
+#if DMASIM_AUDIT_LEVEL >= 1
+  if (audit != nullptr) {
+    audit->Finish();
+    results.audit_checks = audit->auditor().checks_run();
+    results.audit_failures = audit->auditor().failures().size();
+  }
+#endif
   results.workload = workload_name;
   results.scheme = SchemeName(options.memory) + "/" +
                    PolicyKindName(options.policy);

@@ -45,6 +45,22 @@ struct SimulationOptions {
   // Extra simulated time after the last trace record, letting in-flight
   // transfers, gated requests, and migrations finish.
   Tick drain = 10 * kMillisecond;
+
+  // --- Runtime invariant auditing (src/audit/) ---------------------------
+  // Active only when the library is compiled with DMASIM_AUDIT_LEVEL >= 1;
+  // the effective level is min(audit_level, DMASIM_AUDIT_LEVEL).
+  // 0 = off, 1 = end-of-run registry pass, 2 = + periodic passes and
+  // transition-time validation.
+  int audit_level = 0;
+  Tick audit_period = kMillisecond;  // Cadence of level-2 periodic passes.
+  // Abort on a violated invariant (false collects failures into
+  // SimulationResults::audit_failures instead — used by tests).
+  bool audit_abort = true;
+  // Model the power-state legality invariant judges transitions against;
+  // null means the run's own `memory.power` (the seeded-fault regression
+  // test points this at the pristine reference while corrupting the
+  // model the chips actually run).
+  const PowerModel* audit_reference_model = nullptr;
 };
 
 struct SimulationResults {
@@ -68,6 +84,10 @@ struct SimulationResults {
   std::uint64_t executed_events = 0;  // Logical (coalescing-invariant).
   std::uint64_t stepped_events = 0;   // Actual queue pops.
   double hottest_chip_share = 0.0;
+
+  // Invariant auditor outcome (zero unless the run was audited).
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_failures = 0;
 
   // Fractional energy saving relative to `baseline` (positive = better).
   double EnergySavingsVs(const SimulationResults& baseline) const;

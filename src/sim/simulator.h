@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit_config.h"
 #include "sim/inline_function.h"
 #include "util/check.h"
 #include "util/time.h"
@@ -66,7 +67,20 @@ class Simulator {
     // The callback may schedule into the serving bucket (reallocating it),
     // so copy the event out first; events are trivially copyable.
     const Event event = serving_[serving_pos_++];
-    DMASIM_CHECK(event.when >= now_);
+    DMASIM_CHECK_GE(event.when, now_);
+#if DMASIM_AUDIT_LEVEL >= 2
+    // Calendar-queue FIFO audit: pops must advance in strict
+    // (time, sequence) lexicographic order — the property the wheel's
+    // bucketing, cascades, and overflow refills all exist to preserve.
+    if (stepped_ > 0) {
+      DMASIM_CHECK_MSG(event.when > audit_last_when_ ||
+                           (event.when == audit_last_when_ &&
+                            event.sequence > audit_last_sequence_),
+                       "event kernel popped events out of (time, seq) order");
+    }
+    audit_last_when_ = event.when;
+    audit_last_sequence_ = event.sequence;
+#endif
     now_ = event.when;
     ++executed_;
     ++stepped_;
@@ -123,7 +137,7 @@ class Simulator {
   // A scheduled event that turned out to be a superseded no-op (e.g. a
   // run-end event whose run was dissolved) uncounts itself.
   void UncountExecuted() {
-    DMASIM_CHECK(executed_ > 0);
+    DMASIM_CHECK_GT(executed_, 0u);
     --executed_;
   }
 
@@ -352,6 +366,12 @@ class Simulator {
   std::uint64_t overflow_min_b1_ = kNoOverflow;
   std::vector<Event> scratch_;   // MergeServingTail working space.
   std::vector<Event> cascade_;   // CascadeLevel1/refill working space.
+
+#if DMASIM_AUDIT_LEVEL >= 2
+  // Last popped (when, sequence), for the FIFO-order audit in Step().
+  Tick audit_last_when_ = 0;
+  std::uint64_t audit_last_sequence_ = 0;
+#endif
 };
 
 }  // namespace dmasim

@@ -52,6 +52,7 @@ std::vector<CdfPoint> PopularityCdf(const Trace& trace) {
 
   std::vector<std::uint64_t> sorted;
   sorted.reserve(counts.size());
+  // dmasim-lint: allow(unordered-iteration) -- sorted before consumption.
   for (const auto& [page, count] : counts) sorted.push_back(count);
   std::sort(sorted.begin(), sorted.end(), std::greater<>());
 

@@ -3,11 +3,18 @@
 // The library does not use exceptions; violated invariants are programming
 // errors and abort the process with a diagnostic (Core Guidelines I.5/I.6
 // in spirit, Google style in mechanism).
+//
+// The comparison macros (DMASIM_CHECK_EQ and friends) print both operand
+// values on failure — a plain DMASIM_CHECK(a == b) only prints the
+// condition text, which is useless for diagnosing *how far* two
+// quantities diverged (the PR 2 calendar-queue overflow bug surfaced as
+// exactly such a valueless causality failure).
 #ifndef DMASIM_UTIL_CHECK_H_
 #define DMASIM_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 namespace dmasim {
 
@@ -20,6 +27,51 @@ namespace dmasim {
   std::abort();
 }
 
+namespace internal {
+
+// Renders one operand of a failed comparison into `out`. Covers the value
+// categories the simulator compares: integers (including enums, printed
+// by underlying value), floating point, booleans, and pointers.
+template <typename T>
+void FormatCheckOperand(char* out, std::size_t size, const T& value) {
+  using Decayed = std::decay_t<T>;
+  if constexpr (std::is_same_v<Decayed, bool>) {
+    std::snprintf(out, size, "%s", value ? "true" : "false");
+  } else if constexpr (std::is_enum_v<Decayed>) {
+    std::snprintf(out, size, "%lld",
+                  static_cast<long long>(
+                      static_cast<std::underlying_type_t<Decayed>>(value)));
+  } else if constexpr (std::is_floating_point_v<Decayed>) {
+    std::snprintf(out, size, "%.17g", static_cast<double>(value));
+  } else if constexpr (std::is_integral_v<Decayed>) {
+    if constexpr (std::is_signed_v<Decayed>) {
+      std::snprintf(out, size, "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(out, size, "%llu",
+                    static_cast<unsigned long long>(value));
+    }
+  } else if constexpr (std::is_pointer_v<Decayed>) {
+    std::snprintf(out, size, "%p", static_cast<const void*>(value));
+  } else {
+    std::snprintf(out, size, "<unprintable>");
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void FatalCheckOpFailure(const char* file, int line,
+                                      const char* expression, const A& lhs,
+                                      const B& rhs) {
+  char lhs_text[64];
+  char rhs_text[64];
+  FormatCheckOperand(lhs_text, sizeof(lhs_text), lhs);
+  FormatCheckOperand(rhs_text, sizeof(rhs_text), rhs);
+  std::fprintf(stderr,
+               "dmasim: check failed at %s:%d: %s (lhs = %s, rhs = %s)\n",
+               file, line, expression, lhs_text, rhs_text);
+  std::abort();
+}
+
+}  // namespace internal
 }  // namespace dmasim
 
 // Always-on invariant check (cheap comparisons only on hot paths).
@@ -37,6 +89,27 @@ namespace dmasim {
       ::dmasim::FatalCheckFailure(__FILE__, __LINE__, #cond, (msg));   \
     }                                                                  \
   } while (false)
+
+// Comparison checks that print both operand values on failure. Operands
+// are evaluated exactly once.
+#define DMASIM_CHECK_OP_(op, a, b)                                         \
+  do {                                                                     \
+    const auto& dmasim_check_lhs_ = (a);                                   \
+    const auto& dmasim_check_rhs_ = (b);                                   \
+    if (!(dmasim_check_lhs_ op dmasim_check_rhs_)) {                       \
+      ::dmasim::internal::FatalCheckOpFailure(__FILE__, __LINE__,          \
+                                              #a " " #op " " #b,           \
+                                              dmasim_check_lhs_,           \
+                                              dmasim_check_rhs_);          \
+    }                                                                      \
+  } while (false)
+
+#define DMASIM_CHECK_EQ(a, b) DMASIM_CHECK_OP_(==, a, b)
+#define DMASIM_CHECK_NE(a, b) DMASIM_CHECK_OP_(!=, a, b)
+#define DMASIM_CHECK_LT(a, b) DMASIM_CHECK_OP_(<, a, b)
+#define DMASIM_CHECK_LE(a, b) DMASIM_CHECK_OP_(<=, a, b)
+#define DMASIM_CHECK_GT(a, b) DMASIM_CHECK_OP_(>, a, b)
+#define DMASIM_CHECK_GE(a, b) DMASIM_CHECK_OP_(>=, a, b)
 
 // Precondition check for public API boundaries.
 #define DMASIM_EXPECTS(cond) DMASIM_CHECK_MSG(cond, "precondition violated")

@@ -1,0 +1,94 @@
+// Death tests for the DMASIM_CHECK macro family: the comparison macros
+// must print both operand values on failure (the whole point of having
+// them over plain DMASIM_CHECK), operands must be evaluated exactly
+// once, and passing checks must be silent.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace dmasim {
+namespace {
+
+enum class Phase : int { kIdle = 0, kBusy = 7 };
+
+TEST(CheckMacrosTest, PassingChecksAreSilentAndEvaluateOnce) {
+  int evaluations = 0;
+  auto counted = [&evaluations]() {
+    ++evaluations;
+    return 41;
+  };
+  DMASIM_CHECK(counted() == 41);
+  DMASIM_CHECK_EQ(counted(), 41);
+  DMASIM_CHECK_NE(counted(), 40);
+  DMASIM_CHECK_LT(counted(), 42);
+  DMASIM_CHECK_LE(counted(), 41);
+  DMASIM_CHECK_GT(counted(), 40);
+  DMASIM_CHECK_GE(counted(), 41);
+  EXPECT_EQ(evaluations, 7);
+}
+
+TEST(CheckMacrosDeathTest, PlainCheckPrintsConditionText) {
+  const int x = 3;
+  EXPECT_DEATH(DMASIM_CHECK(x == 4), "check failed at .*: x == 4");
+}
+
+TEST(CheckMacrosDeathTest, CheckMsgAppendsMessage) {
+  EXPECT_DEATH(DMASIM_CHECK_MSG(false, "queue drained twice"),
+               "false -- queue drained twice");
+}
+
+TEST(CheckMacrosDeathTest, CheckEqPrintsBothSignedValues) {
+  const std::int64_t completed = 15;
+  const std::int64_t issued = -16;
+  EXPECT_DEATH(DMASIM_CHECK_EQ(completed, issued),
+               "completed == issued \\(lhs = 15, rhs = -16\\)");
+}
+
+TEST(CheckMacrosDeathTest, CheckLePrintsUnsignedValues) {
+  const std::uint64_t used = 18446744073709551615ULL;
+  EXPECT_DEATH(DMASIM_CHECK_LE(used, 100ULL),
+               "lhs = 18446744073709551615, rhs = 100");
+}
+
+TEST(CheckMacrosDeathTest, CheckEqPrintsFloatingPointValues) {
+  const double measured = 0.5;
+  EXPECT_DEATH(DMASIM_CHECK_EQ(measured, 0.25),
+               "lhs = 0.5, rhs = 0.25");
+}
+
+TEST(CheckMacrosDeathTest, CheckEqPrintsBooleans) {
+  const bool blocked = true;
+  EXPECT_DEATH(DMASIM_CHECK_EQ(blocked, false),
+               "lhs = true, rhs = false");
+}
+
+TEST(CheckMacrosDeathTest, CheckEqPrintsEnumsByUnderlyingValue) {
+  const Phase phase = Phase::kBusy;
+  EXPECT_DEATH(DMASIM_CHECK_EQ(phase, Phase::kIdle), "lhs = 7, rhs = 0");
+}
+
+TEST(CheckMacrosDeathTest, FailingComparisonEvaluatesOperandsOnce) {
+  // The diagnostic must reflect a single evaluation of each side even on
+  // the failure path (side-effecting operands are legal in checks).
+  static int calls = 0;
+  auto bump = []() {
+    ++calls;
+    return calls;
+  };
+  EXPECT_DEATH(
+      {
+        calls = 10;
+        DMASIM_CHECK_EQ(bump(), 99);
+      },
+      "lhs = 11, rhs = 99");
+}
+
+TEST(CheckMacrosDeathTest, ExpectsAndEnsuresNameTheContractKind) {
+  EXPECT_DEATH(DMASIM_EXPECTS(1 < 0), "precondition violated");
+  EXPECT_DEATH(DMASIM_ENSURES(1 < 0), "postcondition violated");
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Repo-specific static checks for dmasim.
+
+Enforces the invariants the simulator's performance and determinism story
+rests on, which generic linters cannot know about:
+
+  std-function        No std::function in the hot-path directories
+                      (src/sim, src/mem, src/io, src/core): the event
+                      kernel and chunk pipeline are allocation-free by
+                      design; callbacks use InlineFunction/TrivialCallback.
+  heap-alloc          No heap allocation (new, make_unique/make_shared,
+                      malloc/calloc/realloc) in the hot-path directories.
+                      Placement new is allowed (slab/SBO construction).
+                      One-time construction sites carry suppressions.
+  unordered-iteration Iterating an unordered container produces
+                      implementation-defined order; unless the results
+                      are sorted (or order-independent) before use, run
+                      results silently stop being deterministic.
+  float-energy        Energy accounting uses double + integer ticks
+                      everywhere; a single float truncation breaks the
+                      auditor's bit-exact shadow accounting.
+  header-guard        Guards follow DMASIM_<DIR>_<FILE>_H_.
+
+A finding can be waived with a comment on the same or preceding line:
+
+    // dmasim-lint: allow(<rule>)  -- why this site is fine
+
+Exit status: 0 clean, 1 findings, 2 bad invocation / self-test failure.
+`--self-test` runs the linter over tools/lint/fixtures and verifies every
+expected finding (and nothing else) is produced, so a rule that silently
+stops matching fails CI instead of rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
+
+HOT_PATH_DIRS = ("src/sim", "src/mem", "src/io", "src/core")
+
+SUPPRESS_RE = re.compile(r"//.*?dmasim-lint:\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
+
+STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\b")
+# A new-expression that is not placement new: `new Foo`, `new (std::nothrow)`
+# is also flagged (still a heap allocation), but `new (address) Foo` --
+# placement new on slab/SBO storage -- is the allocation-free idiom and
+# passes. Distinguishing them: placement new is written `new (expr) Type`
+# where expr is not std::nothrow; in this codebase placement new always
+# appears as `::new (...)`, so plain `new` followed by `(` without the
+# leading `::` is conservatively treated as placement only when spelled
+# `::new`.
+NEW_EXPR_RE = re.compile(r"(?<![:\w])new\s+[(\w:]")
+PLACEMENT_NEW_RE = re.compile(r"::\s*new\s*\(")
+MAKE_HEAP_RE = re.compile(r"\bstd\s*::\s*make_(?:unique|shared)\b")
+C_ALLOC_RE = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
+FLOAT_RE = re.compile(r"\bfloat\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<.*?>\s+(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(\w+)\s*\)")
+
+
+class Finding(NamedTuple):
+    path: str  # Relative to the scanned root, POSIX separators.
+    line: int  # 1-based.
+    rule: str
+    message: str
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Keeps line/column alignment so findings point at real source lines.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def suppressions_for(raw_lines: List[str]) -> List[Set[str]]:
+    """Rules waived per line: an allow() covers its own and the next line."""
+    waived: List[Set[str]] = [set() for _ in raw_lines]
+    for index, line in enumerate(raw_lines):
+        for match in SUPPRESS_RE.finditer(line):
+            waived[index].add(match.group(1))
+            if index + 1 < len(raw_lines):
+                waived[index + 1].add(match.group(1))
+    return waived
+
+
+def in_hot_path(rel_path: str) -> bool:
+    return any(rel_path.startswith(prefix + "/") for prefix in HOT_PATH_DIRS)
+
+
+def expected_guard(rel_path: str) -> str:
+    # src/core/slack_account.h -> DMASIM_CORE_SLACK_ACCOUNT_H_
+    parts = pathlib.PurePosixPath(rel_path).parts[1:]  # Drop leading src/.
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem)
+    return "DMASIM_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_file(rel_path: str, text: str) -> List[Finding]:
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    waived = suppressions_for(raw_lines)
+    findings: List[Finding] = []
+
+    def report(line_index: int, rule: str, message: str) -> None:
+        if rule not in waived[line_index]:
+            findings.append(Finding(rel_path, line_index + 1, rule, message))
+
+    hot = in_hot_path(rel_path)
+    unordered_names: Set[str] = set()
+
+    for index, line in enumerate(code_lines):
+        if hot:
+            if STD_FUNCTION_RE.search(line):
+                report(index, "std-function",
+                       "std::function in a hot-path directory; use "
+                       "InlineFunction/TrivialCallback (src/sim/"
+                       "inline_function.h)")
+            heap_hit = (MAKE_HEAP_RE.search(line) or C_ALLOC_RE.search(line))
+            if not heap_hit and NEW_EXPR_RE.search(line):
+                without_placement = PLACEMENT_NEW_RE.sub("        ", line)
+                heap_hit = NEW_EXPR_RE.search(without_placement)
+            if heap_hit:
+                report(index, "heap-alloc",
+                       "heap allocation in a hot-path directory; only "
+                       "placement new on preallocated storage is "
+                       "allocation-free")
+        if FLOAT_RE.search(line):
+            report(index, "float-energy",
+                   "float arithmetic; energy accounting is double + "
+                   "integer ticks end to end")
+        for match in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(match.group(1))
+        for match in RANGE_FOR_RE.finditer(line):
+            if match.group(1) in unordered_names:
+                report(index, "unordered-iteration",
+                       f"iteration over unordered container "
+                       f"'{match.group(1)}' has implementation-defined "
+                       f"order; sort before consuming or justify with a "
+                       f"suppression")
+
+    if rel_path.endswith(".h"):
+        guard = expected_guard(rel_path)
+        guard_line = next(
+            (i for i, line in enumerate(code_lines)
+             if line.strip().startswith("#ifndef")), None)
+        if guard_line is None:
+            report(0, "header-guard", f"missing include guard {guard}")
+        else:
+            tokens = code_lines[guard_line].split()
+            actual = tokens[1] if len(tokens) > 1 else ""
+            if actual != guard:
+                report(guard_line, "header-guard",
+                       f"guard is '{actual}', expected '{guard}'")
+
+    return findings
+
+
+def scan(root: pathlib.Path) -> List[Finding]:
+    findings: List[Finding] = []
+    src = root / "src"
+    if not src.is_dir():
+        raise SystemExit(f"dmasim_lint: no src/ under {root}")
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        findings.extend(check_file(rel, path.read_text(encoding="utf-8")))
+    return findings
+
+
+def print_findings(findings: Iterable[Finding]) -> None:
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+
+def self_test(fixtures_root: pathlib.Path) -> int:
+    """Every `// expect-lint: rule` annotation must match one finding."""
+    expected: Set[Tuple[str, int, str]] = set()
+    for path in sorted((fixtures_root / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(fixtures_root).as_posix()
+        for index, line in enumerate(path.read_text().splitlines()):
+            for match in EXPECT_RE.finditer(line):
+                expected.add((rel, index + 1, match.group(1)))
+
+    actual = {(f.path, f.line, f.rule) for f in scan(fixtures_root)}
+    missing = expected - actual
+    surplus = actual - expected
+    for rel, line, rule in sorted(missing):
+        print(f"self-test: {rel}:{line}: expected [{rule}], not reported")
+    for rel, line, rule in sorted(surplus):
+        print(f"self-test: {rel}:{line}: unexpected [{rule}]")
+    if missing or surplus:
+        return 2
+    print(f"self-test: ok ({len(expected)} expected findings, "
+          f"all reported, no extras)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2],
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against tools/lint/fixtures")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(pathlib.Path(__file__).resolve().parent / "fixtures")
+
+    findings = scan(args.root)
+    print_findings(findings)
+    if findings:
+        print(f"dmasim_lint: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Fixture: suppression comments waive a rule on their own line or the
+// line below; everything else still reports.
+#include <memory>
+
+namespace dmasim {
+
+void Construct() {
+  // One-time construction outside the simulated hot loop.
+  auto first = std::make_unique<int>(1);  // dmasim-lint: allow(heap-alloc)
+  // dmasim-lint: allow(heap-alloc) -- covers the next line too.
+  auto second = std::make_unique<int>(2);
+  auto third = std::make_unique<int>(3);  // expect-lint: heap-alloc
+  (void)first;
+  (void)second;
+  (void)third;
+}
+
+}  // namespace dmasim

@@ -1,0 +1,19 @@
+// Fixture: outside the hot-path directories (src/sim, src/mem, src/io,
+// src/core) heap allocation and std::function are allowed -- this file
+// must produce no findings.
+#include <functional>
+#include <memory>
+
+namespace dmasim {
+
+struct ColdPath {
+  std::function<void()> on_done;
+};
+
+void Build() {
+  auto cold = std::make_unique<ColdPath>();
+  cold->on_done = []() {};
+  (void)cold;
+}
+
+}  // namespace dmasim

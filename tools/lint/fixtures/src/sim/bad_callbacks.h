@@ -1,0 +1,39 @@
+// Fixture: hot-path allocation bans (std-function, heap-alloc).
+#ifndef DMASIM_SIM_BAD_CALLBACKS_H_
+#define DMASIM_SIM_BAD_CALLBACKS_H_
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+namespace dmasim {
+
+struct BadCallbacks {
+  std::function<void()> callback;  // expect-lint: std-function
+
+  void Allocate() {
+    auto owned = std::make_unique<int>(3);    // expect-lint: heap-alloc
+    auto shared = std::make_shared<int>(4);   // expect-lint: heap-alloc
+    int* raw = new int(5);                    // expect-lint: heap-alloc
+    void* c_style = std::malloc(16);          // expect-lint: heap-alloc
+    delete raw;
+    std::free(c_style);
+    (void)owned;
+    (void)shared;
+  }
+
+  // Placement new constructs into preallocated storage -- allocation-free
+  // and allowed.
+  void PlacementIsFine() {
+    alignas(int) unsigned char storage[sizeof(int)];
+    int* value = ::new (static_cast<void*>(storage)) int(7);
+    (void)value;
+  }
+
+  // A comment mentioning std::function or new expressions must not trip
+  // the rules; neither must the string "std::function" or "new Thing".
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_SIM_BAD_CALLBACKS_H_

@@ -1,0 +1,10 @@
+// Fixture: float is banned everywhere in src/ (energy accounting is
+// double + integer ticks end to end).
+namespace dmasim {
+
+double Accumulate(double joules) {
+  float truncated = static_cast<float>(joules);  // expect-lint: float-energy
+  return static_cast<double>(truncated);
+}
+
+}  // namespace dmasim

@@ -1,0 +1,32 @@
+// Fixture: iterating an unordered container is flagged unless waived
+// (the waiver documents why the consumption is order-independent).
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dmasim {
+
+std::uint64_t SumCounts(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& input) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts = input;
+  std::uint64_t total = 0;
+  for (const auto& entry : counts) {  // expect-lint: unordered-iteration
+    total += entry.second;
+  }
+
+  std::vector<std::uint64_t> sorted;
+  // dmasim-lint: allow(unordered-iteration) -- sorted before consumption.
+  for (const auto& entry : counts) {
+    sorted.push_back(entry.second);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  // Iterating an ordinary vector is fine.
+  for (const std::uint64_t value : sorted) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace dmasim

@@ -1,0 +1,8 @@
+// Fixture: the include guard must be derived from the path
+// (src/util/wrong_guard.h -> DMASIM_UTIL_WRONG_GUARD_H_).
+#ifndef DMASIM_WRONG_NAME_H_  // expect-lint: header-guard
+#define DMASIM_WRONG_NAME_H_
+
+namespace dmasim {}
+
+#endif  // DMASIM_WRONG_NAME_H_

@@ -48,7 +48,9 @@ int main() {
   TablePrinter table({"threads", "wall s", "speedup", "runs ok",
                       "matches serial"});
   for (int threads : std::vector<int>{1, 2, 4, 8}) {
-    SweepRunner runner(SweepOptions{threads});
+    SweepOptions options;
+    options.threads = threads;
+    SweepRunner runner(options);
     const auto start = std::chrono::steady_clock::now();
     const SweepResults sweep = runner.Run(spec);
     const double seconds =

@@ -22,6 +22,7 @@
 #include "exp/result_sink.h"
 #include "exp/sweep_runner.h"
 #include "exp/thread_pool.h"
+#include "obs/obs_config.h"
 #include "trace/workloads.h"
 
 namespace {
@@ -101,6 +102,12 @@ Execution:
 
 Output:
   --out PATH         write the full JSON artifact to PATH
+  --metrics-out PATH write per-run observability metrics (counters,
+                     gauges, histograms) to PATH; enables obs level 1
+                     (needs a library built with -DDMASIM_OBS>=1)
+  --trace-out PREFIX write one Chrome/Perfetto trace per run to
+                     PREFIX-run<id>.json; enables obs level 2 (needs
+                     -DDMASIM_OBS>=2; open in https://ui.perfetto.dev)
   --ndjson           stream one compact JSON line per finished run
   --no-table         suppress the human summary table
   --list             print known workloads/schemes/policies and exit
@@ -164,6 +171,7 @@ int main(int argc, char** argv) {
   SweepOptions sweep_options;
   double duration_ms = 0.0;
   std::string out_path;
+  std::string metrics_path;
   bool ndjson = false;
   bool table = true;
 
@@ -217,6 +225,12 @@ int main(int argc, char** argv) {
       spec.name = next();
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+      if (spec.base.obs_level < 1) spec.base.obs_level = 1;
+    } else if (arg == "--trace-out") {
+      sweep_options.trace_out_prefix = next();
+      spec.base.obs_level = 2;
     } else if (arg == "--audit") {
       spec.base.audit_level = 2;
     } else if (arg == "--ndjson") {
@@ -232,6 +246,12 @@ int main(int argc, char** argv) {
   if (spec.base.audit_level > 0 && kCompiledAuditLevel == 0) {
     std::cerr << "dmasim_sweep: warning: --audit has no effect, this build "
                  "has DMASIM_AUDIT_LEVEL=0\n";
+  }
+  if (spec.base.obs_level > kCompiledObsLevel) {
+    std::cerr << "dmasim_sweep: warning: --metrics-out/--trace-out need a "
+                 "library built with -DDMASIM_OBS>="
+              << spec.base.obs_level << ", this build has DMASIM_OBS="
+              << kCompiledObsLevel << "\n";
   }
   if (!out_path.empty()) {
     // Fail before the sweep runs, not after minutes of simulation.
@@ -249,6 +269,8 @@ int main(int argc, char** argv) {
   SweepRunner runner(sweep_options);
   JsonFileSink json_sink(out_path);
   if (!out_path.empty()) runner.AddSink(&json_sink);
+  MetricsFileSink metrics_sink(metrics_path);
+  if (!metrics_path.empty()) runner.AddSink(&metrics_sink);
   NdjsonStreamSink ndjson_sink(&std::cout);
   if (ndjson) runner.AddSink(&ndjson_sink);
   SummaryTableSink table_sink(&std::cout);
@@ -257,6 +279,9 @@ int main(int argc, char** argv) {
   const SweepResults sweep = runner.Run(spec);
   if (!out_path.empty()) {
     std::cout << "artifact: " << out_path << '\n';
+  }
+  if (!metrics_path.empty()) {
+    std::cout << "metrics: " << metrics_path << '\n';
   }
   return sweep.summary.failed == 0 ? 0 : 1;
 }

@@ -119,7 +119,7 @@ void MemoryController::CpuAccess(std::uint64_t logical_page,
   // so any gated DMA requests ride along for free: keeping them delayed
   // would only force a second activation later.
   if (aligner_->enabled() && aligner_->HasGated(chip_index)) {
-    ReleaseChip(chip_index);
+    ReleaseChip(chip_index, ReleaseCause::kCpuPriority);
   }
 }
 
@@ -147,8 +147,14 @@ void MemoryController::DeliverChunk(DmaTransfer* transfer,
           const int chip_index = transfer->chip_index;
           const TemporalAligner::GateResult gate =
               aligner_->Gate(chip_index, transfer, chunk_bytes, now);
+#if DMASIM_OBS >= 2
+          if (obs_.tracer != nullptr) {
+            obs_.tracer->Gate(now, chip_index, transfer->bus_id,
+                              transfer->id);
+          }
+#endif
           if (gate.release_now) {
-            ReleaseChip(chip_index);
+            ReleaseChip(chip_index, aligner_->last_release_cause());
           } else {
             // Re-check when this request's delay budget runs out. The
             // check is idempotent: if the chip was released earlier,
@@ -157,7 +163,7 @@ void MemoryController::DeliverChunk(DmaTransfer* transfer,
               SettleAllRuns(simulator_->Now());
               if (aligner_->HasGated(chip_index) &&
                   aligner_->ShouldRelease(chip_index, simulator_->Now())) {
-                ReleaseChip(chip_index);
+                ReleaseChip(chip_index, aligner_->last_release_cause());
               }
             });
           }
@@ -189,9 +195,17 @@ void MemoryController::ForwardChunk(DmaTransfer* transfer,
       }});
 }
 
-void MemoryController::ReleaseChip(int chip_index) {
+void MemoryController::ReleaseChip(int chip_index,
+                                   [[maybe_unused]] ReleaseCause cause) {
   std::vector<GatedRequest> gated = aligner_->TakeGated(chip_index);
   if (gated.empty()) return;
+#if DMASIM_OBS >= 2
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->Release(simulator_->Now(), chip_index,
+                         static_cast<int>(cause),
+                         static_cast<int>(gated.size()));
+  }
+#endif
   MemoryChip& chip = *chips_[static_cast<std::size_t>(chip_index)];
   if (chip.power_state() != PowerState::kActive) {
     const Tick wake = config_.power.UpTransition(chip.power_state()).duration;
@@ -201,6 +215,12 @@ void MemoryController::ReleaseChip(int chip_index) {
     request.transfer->blocked = false;
     const Tick issue = request.gated_at;
     request.transfer->gated_at = -1;
+#if DMASIM_OBS >= 1
+    if (obs_.gate_delay != nullptr) {
+      obs_.gate_delay->Add(
+          static_cast<double>(simulator_->Now() - request.gated_at));
+    }
+#endif
     ForwardChunk(request.transfer, request.chunk_bytes, issue, /*first=*/true);
   }
 }
@@ -228,6 +248,20 @@ void MemoryController::CompleteTransfer(DmaTransfer* transfer,
   ++stats_.transfers_completed;
   transfer_latency_.Add(
       static_cast<double>(completion - transfer->start_time));
+#if DMASIM_OBS >= 1
+  if (obs_.transfer_latency != nullptr) {
+    obs_.transfer_latency->Add(
+        static_cast<double>(completion - transfer->start_time));
+  }
+#endif
+#if DMASIM_OBS >= 2
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->Transfer(transfer->start_time, completion, transfer->id,
+                          transfer->chip_index, transfer->bus_id,
+                          static_cast<int>(transfer->kind),
+                          transfer->obs_was_gated, transfer->total_bytes);
+  }
+#endif
   Callback on_complete = std::move(transfer->on_complete);
   pool_.Release(transfer);
   if (on_complete) on_complete(completion);
@@ -403,9 +437,16 @@ void MemoryController::ScheduleEpoch() {
   simulator_->ScheduleAfter(config_.dma.ta.epoch_length, [this]() {
     // Epoch accounting reads the slack account and may release chips.
     SettleAllRuns(simulator_->Now());
-    for (int chip_index : aligner_->OnEpoch(simulator_->Now())) {
-      ReleaseChip(chip_index);
+    const std::vector<int> to_release = aligner_->OnEpoch(simulator_->Now());
+    for (std::size_t i = 0; i < to_release.size(); ++i) {
+      ReleaseChip(to_release[i], aligner_->last_epoch_causes()[i]);
     }
+#if DMASIM_OBS >= 2
+    if (obs_.tracer != nullptr) {
+      obs_.tracer->SlackSample(simulator_->Now(), aligner_->slack().slack(),
+                               aligner_->TotalPending());
+    }
+#endif
     ScheduleEpoch();
   });
 }

@@ -28,11 +28,19 @@
 #include "mem/memory_chip.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
+#include "obs/obs_config.h"
 #include "sim/inline_function.h"
 #include "sim/simulator.h"
 #include "stats/accumulators.h"
 #include "stats/energy.h"
 #include "util/time.h"
+
+#if DMASIM_OBS >= 1
+#include "stats/histogram.h"
+#endif
+#if DMASIM_OBS >= 2
+#include "obs/event_trace.h"
+#endif
 
 namespace dmasim {
 
@@ -153,13 +161,30 @@ class MemoryController : public DmaRequestSink {
   const MemorySystemConfig& config() const { return config_; }
   std::uint64_t InFlightTransfers() const { return pool_.ActiveCount(); }
 
+#if DMASIM_OBS >= 1
+  // Observability hook points, filled in by SimulationObserver. All
+  // pointers are optional (null = not collected); none of them influences
+  // simulation behaviour.
+  struct ObsHooks {
+    // Ticks a gated first request waited before its chip was released.
+    Histogram* gate_delay = nullptr;
+    // Per-transfer latency (start -> last chunk served), ticks.
+    Histogram* transfer_latency = nullptr;
+#if DMASIM_OBS >= 2
+    EventTracer* tracer = nullptr;
+#endif
+  };
+  void SetObsHooks(const ObsHooks& hooks) { obs_ = hooks; }
+#endif
+
  private:
   void ForwardChunk(DmaTransfer* transfer, std::int64_t chunk_bytes,
                     Tick issue_time, bool first);
   void OnChunkComplete(DmaTransfer* transfer, std::int64_t chunk_bytes,
                        Tick issue_time, Tick completion);
   void CompleteTransfer(DmaTransfer* transfer, Tick completion);
-  void ReleaseChip(int chip_index);
+  // `cause` is attribution for observability only (unused at DMASIM_OBS=0).
+  void ReleaseChip(int chip_index, ReleaseCause cause);
   void ScheduleEpoch();
   void ScheduleLayoutInterval();
   void RunLayoutInterval();
@@ -207,6 +232,10 @@ class MemoryController : public DmaRequestSink {
   RunningMean transfer_latency_;
   ControllerStats stats_;
   std::vector<std::uint64_t> transfers_per_chip_;
+
+#if DMASIM_OBS >= 1
+  ObsHooks obs_;
+#endif
 };
 
 }  // namespace dmasim

@@ -18,8 +18,32 @@ TemporalAligner::TemporalAligner(const TemporalAlignmentConfig& config,
       gated_(static_cast<std::size_t>(chip_count)) {
   DMASIM_EXPECTS(chip_count > 0);
   DMASIM_EXPECTS(bus_count > 0);
+  // DistinctBuses/DrainBound index 64-wide per-bus state by bus id; more
+  // buses would silently alias into the same slots and corrupt the
+  // quorum and drain math (see the header's limit note).
+  DMASIM_EXPECTS(bus_count <= 64);
   DMASIM_EXPECTS(k > 0);
   DMASIM_EXPECTS(config.gather_depth_factor >= 1.0);
+}
+
+const char* ReleaseCauseName(ReleaseCause cause) {
+  switch (cause) {
+    case ReleaseCause::kQuorum:
+      return "quorum";
+    case ReleaseCause::kBufferCap:
+      return "buffer-cap";
+    case ReleaseCause::kDeadline:
+      return "deadline";
+    case ReleaseCause::kSlackExhausted:
+      return "slack-exhausted";
+    case ReleaseCause::kSlackBound:
+      return "slack-bound";
+    case ReleaseCause::kCpuPriority:
+      return "cpu-priority";
+    case ReleaseCause::kEpochExhausted:
+      return "epoch-exhausted";
+  }
+  return "?";
 }
 
 namespace {
@@ -58,6 +82,9 @@ TemporalAligner::GateResult TemporalAligner::Gate(int chip,
   auto& list = gated_[static_cast<std::size_t>(chip)];
   transfer->blocked = true;
   transfer->gated_at = now;
+#if DMASIM_OBS >= 2
+  transfer->obs_was_gated = true;
+#endif
 
   const Tick budget =
       TransferBudget(*transfer, chunk_bytes, slack_.mu(), slack_.t_request());
@@ -107,6 +134,7 @@ bool TemporalAligner::ShouldRelease(int chip, Tick now) const {
   if (DistinctBuses(chip) >= k_ &&
       static_cast<int>(list.size()) >= gather_depth_) {
     last_release_was_quorum_ = true;
+    last_release_cause_ = ReleaseCause::kQuorum;
     return true;
   }
   // (b) Buffer cap: with fewer than k distinct buses, waiting can still
@@ -114,19 +142,30 @@ bool TemporalAligner::ShouldRelease(int chip, Tick now) const {
   // depth plus k the marginal gain cannot justify further queueing.
   if (static_cast<int>(list.size()) >= gather_depth_ + k_) {
     last_release_was_quorum_ = true;
+    last_release_cause_ = ReleaseCause::kBufferCap;
     return true;
   }
   last_release_was_quorum_ = false;
   // (c) A gated transfer exhausted its own delay budget.
   for (const GatedRequest& request : list) {
-    if (request.deadline <= now) return true;
+    if (request.deadline <= now) {
+      last_release_cause_ = ReleaseCause::kDeadline;
+      return true;
+    }
   }
   // (d) Global guarantee: slack exhausted, or expected queueing delay of
   // the pending requests exceeds the remaining slack.
-  if (slack_.Exhausted()) return true;
+  if (slack_.Exhausted()) {
+    last_release_cause_ = ReleaseCause::kSlackExhausted;
+    return true;
+  }
   const double n = static_cast<double>(list.size());
   const double expected_delay = n * DrainBound(chip) / 2.0;
-  return expected_delay >= slack_.slack();
+  if (expected_delay >= slack_.slack()) {
+    last_release_cause_ = ReleaseCause::kSlackBound;
+    return true;
+  }
+  return false;
 }
 
 std::vector<GatedRequest> TemporalAligner::TakeGated(int chip) {
@@ -151,6 +190,7 @@ std::vector<GatedRequest> TemporalAligner::TakeGated(int chip) {
 std::vector<int> TemporalAligner::OnEpoch(Tick now) {
   slack_.DebitEpoch(config_.epoch_length, total_pending_);
   std::vector<int> to_release;
+  last_epoch_causes_.clear();
   if (total_pending_ == 0) return to_release;
 
   if (slack_.Exhausted()) {
@@ -171,13 +211,17 @@ std::vector<int> TemporalAligner::OnEpoch(Tick now) {
         }
       }
     }
-    if (oldest_chip >= 0) to_release.push_back(oldest_chip);
+    if (oldest_chip >= 0) {
+      to_release.push_back(oldest_chip);
+      last_epoch_causes_.push_back(ReleaseCause::kEpochExhausted);
+    }
     return to_release;
   }
 
   for (int chip = 0; chip < static_cast<int>(gated_.size()); ++chip) {
     if (HasGated(chip) && ShouldRelease(chip, now)) {
       to_release.push_back(chip);
+      last_epoch_causes_.push_back(last_release_cause_);
     }
   }
   return to_release;

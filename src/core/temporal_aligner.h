@@ -18,6 +18,11 @@
 //       exhausted.
 // The class is passive: `MemoryController` feeds it arrivals, epochs, and
 // CPU accesses, and executes the releases it requests.
+//
+// Limit: at most 64 I/O buses. The distinct-bus quorum and the drain
+// bound track per-bus state in 64-bit masks / fixed arrays indexed by
+// bus id; the constructor enforces `bus_count <= 64` so ids can never
+// alias (the paper's systems have a handful of buses).
 #ifndef DMASIM_CORE_TEMPORAL_ALIGNER_H_
 #define DMASIM_CORE_TEMPORAL_ALIGNER_H_
 
@@ -43,11 +48,28 @@ struct GatedRequest {
   Tick deadline = 0;
 };
 
+// Why the most recent release decision fired, at the granularity the
+// observability layer reports (the coarser quorum/slack statistics
+// counters keep their historical mapping: kBufferCap counts as quorum).
+enum class ReleaseCause : int {
+  kQuorum = 0,       // k distinct buses gathered (full utilization).
+  kBufferCap,        // Gated depth hit gather_depth + k.
+  kDeadline,         // A transfer exhausted its own delay budget.
+  kSlackExhausted,   // Global slack account ran dry.
+  kSlackBound,       // Expected drain delay exceeds remaining slack.
+  kCpuPriority,      // A processor access activated the chip anyway.
+  kEpochExhausted,   // Epoch safety valve drained the oldest chip.
+};
+inline constexpr int kReleaseCauseCount = 7;
+
+const char* ReleaseCauseName(ReleaseCause cause);
+
 class TemporalAligner {
  public:
   // `k` is the number of I/O buses that saturate the memory bandwidth;
-  // `bus_count` is r in the paper's notation; `t_request` is T, the
-  // unmanaged service time of one DMA-memory request (one I/O-bus slot).
+  // `bus_count` is r in the paper's notation (at most 64, see above);
+  // `t_request` is T, the unmanaged service time of one DMA-memory
+  // request (one I/O-bus slot).
   TemporalAligner(const TemporalAlignmentConfig& config, int chip_count,
                   int bus_count, int k, Tick t_request);
 
@@ -101,6 +123,19 @@ class TemporalAligner {
   std::int64_t MaxBufferedBytes() const { return max_buffered_bytes_; }
   const TemporalAlignmentConfig& config() const { return config_; }
 
+  // Fine-grained attribution of the most recent ShouldRelease that
+  // returned true (observability; the controller supplies kCpuPriority
+  // itself for releases that bypass ShouldRelease).
+  ReleaseCause last_release_cause() const { return last_release_cause_; }
+
+  // Causes parallel to the chip list returned by the most recent OnEpoch
+  // call, captured at the moment each chip's release decision was made
+  // (the shared last_release_cause() slot is overwritten as the epoch
+  // loop scans later chips).
+  const std::vector<ReleaseCause>& last_epoch_causes() const {
+    return last_epoch_causes_;
+  }
+
  private:
   int DistinctBuses(int chip) const;
   // Upper bound U on the time to drain the chip's pending requests.
@@ -120,6 +155,8 @@ class TemporalAligner {
   // Attribution of the most recent release decision, updated by
   // ShouldRelease (mutable because the check is logically const).
   mutable bool last_release_was_quorum_ = false;
+  mutable ReleaseCause last_release_cause_ = ReleaseCause::kQuorum;
+  std::vector<ReleaseCause> last_epoch_causes_;
   std::uint64_t released_quorum_ = 0;
   std::uint64_t released_slack_ = 0;
   std::int64_t max_buffered_bytes_ = 0;

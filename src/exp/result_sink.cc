@@ -18,6 +18,34 @@ Json RunningMeanToJson(const RunningMean& mean) {
   return json;
 }
 
+Json MetricSampleToJson(const MetricSample& sample) {
+  Json json = Json::Object();
+  json.Set("component", sample.component);
+  json.Set("name", sample.name);
+  switch (sample.kind) {
+    case MetricSample::Kind::kCounter:
+      json.Set("kind", std::string("counter"));
+      json.Set("count", sample.count);
+      break;
+    case MetricSample::Kind::kGauge:
+      json.Set("kind", std::string("gauge"));
+      json.Set("value", sample.value);
+      break;
+    case MetricSample::Kind::kHistogram: {
+      json.Set("kind", std::string("histogram"));
+      json.Set("lo", sample.lo);
+      json.Set("hi", sample.hi);
+      json.Set("total", sample.total);
+      json.Set("nan_count", sample.nan_count);
+      Json bins = Json::Array();
+      for (std::uint64_t bin : sample.bins) bins.Append(bin);
+      json.Set("bins", std::move(bins));
+      break;
+    }
+  }
+  return json;
+}
+
 }  // namespace
 
 std::string RunStatusName(RunRecord::Status status) {
@@ -82,6 +110,19 @@ Json SimulationResultsToJson(const SimulationResults& results) {
   json.Set("max_gated_buffer_bytes", results.max_gated_buffer_bytes);
   json.Set("executed_events", results.executed_events);
   json.Set("hottest_chip_share", results.hottest_chip_share);
+
+  // Only observed runs carry a metrics section: default-options artifacts
+  // stay byte-identical to the pre-observability format (the determinism
+  // contract pins their serialized bytes).
+  if (!results.metrics.empty()) {
+    Json metrics = Json::Array();
+    for (const MetricSample& sample : results.metrics) {
+      metrics.Append(MetricSampleToJson(sample));
+    }
+    json.Set("metrics", std::move(metrics));
+    json.Set("obs_events", results.obs_events);
+    json.Set("obs_dropped_events", results.obs_dropped_events);
+  }
   return json;
 }
 
@@ -154,6 +195,33 @@ void JsonFileSink::OnSweepComplete(const SweepSummary& summary,
   std::ofstream out(path_);
   DMASIM_CHECK_MSG(out.good(), "cannot open JSON artifact path");
   out << SweepToJson(summary, records, include_timing_).Dump(true) << '\n';
+}
+
+MetricsFileSink::MetricsFileSink(std::string path) : path_(std::move(path)) {}
+
+void MetricsFileSink::OnSweepComplete(const SweepSummary& summary,
+                                      const std::vector<RunRecord>& records) {
+  Json json = Json::Object();
+  json.Set("sweep", summary.name);
+  Json runs = Json::Array();
+  for (const RunRecord& record : records) {
+    Json run = Json::Object();
+    run.Set("run_id", record.plan.run_id);
+    run.Set("label", record.plan.Label());
+    run.Set("status", RunStatusName(record.status));
+    Json metrics = Json::Array();
+    if (record.ok()) {
+      for (const MetricSample& sample : record.results.metrics) {
+        metrics.Append(MetricSampleToJson(sample));
+      }
+    }
+    run.Set("metrics", std::move(metrics));
+    runs.Append(std::move(run));
+  }
+  json.Set("runs", std::move(runs));
+  std::ofstream out(path_);
+  DMASIM_CHECK_MSG(out.good(), "cannot open metrics artifact path");
+  out << json.Dump(true) << '\n';
 }
 
 void NdjsonStreamSink::OnRunComplete(const RunRecord& record) {

@@ -96,6 +96,22 @@ class JsonFileSink : public ResultSink {
   bool include_timing_;
 };
 
+// Writes only the per-run metrics sections (observability registry
+// snapshots) as one JSON document when the sweep completes. Runs without
+// metrics (obs disabled or failed) are listed with an empty array.
+class MetricsFileSink : public ResultSink {
+ public:
+  explicit MetricsFileSink(std::string path);
+
+  void OnSweepComplete(const SweepSummary& summary,
+                       const std::vector<RunRecord>& records) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 // Streams one compact JSON object per line as runs complete (completion
 // order; use the JsonFileSink artifact for the canonical ordering).
 class NdjsonStreamSink : public ResultSink {

@@ -66,6 +66,11 @@ SweepResults SweepRunner::Run(const ExperimentSpec& spec) {
   sweep.records.resize(grid.runs.size());
   for (std::size_t i = 0; i < grid.runs.size(); ++i) {
     sweep.records[i].plan = std::move(grid.runs[i]);
+    if (!options_.trace_out_prefix.empty()) {
+      RunPlan& plan = sweep.records[i].plan;
+      plan.options.obs_trace_path = options_.trace_out_prefix + "-run" +
+                                    std::to_string(plan.run_id) + ".json";
+    }
   }
 
   // Executes one run into its own record slot. Concurrent tasks touch

@@ -15,9 +15,14 @@
 #include <deque>
 
 #include "io/dma_transfer.h"
+#include "obs/obs_config.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/time.h"
+
+#if DMASIM_OBS >= 2
+#include "obs/event_trace.h"
+#endif
 
 namespace dmasim {
 
@@ -47,6 +52,12 @@ class IoBus {
   IoBus& operator=(const IoBus&) = delete;
 
   void SetSink(DmaRequestSink* sink) { sink_ = sink; }
+
+#if DMASIM_OBS >= 2
+  // Attaches the observability tracer (null detaches): each transfer
+  // entering the bus is recorded as an instant event on the bus lane.
+  void SetObsTracer(EventTracer* tracer) { obs_tracer_ = tracer; }
+#endif
 
   // Begins pacing `transfer` (non-owning; the caller keeps it alive until
   // its completion callback runs).
@@ -102,6 +113,10 @@ class IoBus {
 
   std::uint64_t chunks_issued_ = 0;
   std::uint64_t transfers_started_ = 0;
+
+#if DMASIM_OBS >= 2
+  EventTracer* obs_tracer_ = nullptr;
+#endif
 };
 
 }  // namespace dmasim

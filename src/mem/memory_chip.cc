@@ -269,6 +269,35 @@ void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
   simulator_->ScheduleAt(issue + service, [this]() { ServeDone(); });
 }
 
+#if DMASIM_OBS >= 2
+void MemoryChip::ObsCloseResidency(Tick now) {
+  if (obs_tracer_ == nullptr) return;
+  if (now > obs_interval_start_) {
+    obs_tracer_->PowerResidency(id_, static_cast<int>(state_),
+                                obs_interval_start_, now);
+  }
+  obs_interval_start_ = now;
+}
+
+void MemoryChip::FlushObsResidency() {
+  if (obs_tracer_ == nullptr) return;
+  const Tick now = accounted_until_;
+  if (now > obs_interval_start_) {
+    if (transitioning_) {
+      // Mid-transition at flush time: emit the partial transition so the
+      // trace's interval totals still cover every accounted tick.
+      obs_tracer_->PowerTransition(id_, static_cast<int>(state_),
+                                   static_cast<int>(transition_target_),
+                                   transition_up_, obs_interval_start_, now);
+    } else {
+      obs_tracer_->PowerResidency(id_, static_cast<int>(state_),
+                                  obs_interval_start_, now);
+    }
+  }
+  obs_interval_start_ = now;
+}
+#endif
+
 void MemoryChip::BecomeIdleActive() {
   DMASIM_CHECK(!serving_ && !transitioning_);
   DMASIM_CHECK_EQ(state_, PowerState::kActive);
@@ -309,6 +338,9 @@ void MemoryChip::StartWake() {
 #if DMASIM_AUDIT_LEVEL >= 1
   audit_transition_start_ = simulator_->Now();
 #endif
+#if DMASIM_OBS >= 2
+  ObsCloseResidency(simulator_->Now());
+#endif
   SetAccounting(EnergyBucket::kTransition, transition.power_mw,
                 &stats_.transition);
   simulator_->ScheduleAfter(transition.duration, [this]() { TransitionDone(); });
@@ -324,6 +356,9 @@ void MemoryChip::StartStepDown(PowerState target) {
 #if DMASIM_AUDIT_LEVEL >= 1
   audit_transition_start_ = simulator_->Now();
 #endif
+#if DMASIM_OBS >= 2
+  ObsCloseResidency(simulator_->Now());
+#endif
   SetAccounting(EnergyBucket::kTransition, transition.power_mw,
                 &stats_.transition);
   simulator_->ScheduleAfter(transition.duration, [this]() { TransitionDone(); });
@@ -336,6 +371,15 @@ void MemoryChip::TransitionDone() {
     audit_sink_->OnPowerTransition(id_, state_, transition_target_,
                                    transition_up_, audit_transition_start_,
                                    simulator_->Now());
+  }
+#endif
+#if DMASIM_OBS >= 2
+  if (obs_tracer_ != nullptr) {
+    obs_tracer_->PowerTransition(id_, static_cast<int>(state_),
+                                 static_cast<int>(transition_target_),
+                                 transition_up_, obs_interval_start_,
+                                 simulator_->Now());
+    obs_interval_start_ = simulator_->Now();
   }
 #endif
   transitioning_ = false;

@@ -21,6 +21,7 @@
 #include "audit/audit_config.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
+#include "obs/obs_config.h"
 #include "sim/inline_function.h"
 #include "sim/simulator.h"
 #include "stats/energy.h"
@@ -29,6 +30,10 @@
 
 #if DMASIM_AUDIT_LEVEL >= 1
 #include "audit/chip_audit_sink.h"
+#endif
+
+#if DMASIM_OBS >= 2
+#include "obs/event_trace.h"
 #endif
 
 namespace dmasim {
@@ -139,6 +144,19 @@ class MemoryChip {
   void SetAuditSink(ChipAuditSink* sink) { audit_sink_ = sink; }
 #endif
 
+#if DMASIM_OBS >= 2
+  // Attaches the observability tracer (null detaches). From this moment
+  // the chip closes a residency or transition interval event whenever its
+  // power state machine moves; `FlushObsResidency` closes the open
+  // interval at `accounted_until()` (call after SyncAccounting so the
+  // trace's residency totals reconcile exactly with `stats()`).
+  void SetObsTracer(EventTracer* tracer) {
+    obs_tracer_ = tracer;
+    obs_interval_start_ = simulator_->Now();
+  }
+  void FlushObsResidency();
+#endif
+
   // Deepest state a policy lets an idle chip settle into (the natural
   // initial state for a freshly simulated chip).
   static PowerState RestingState(const LowPowerPolicy& policy);
@@ -195,6 +213,16 @@ class MemoryChip {
 #if DMASIM_AUDIT_LEVEL >= 1
   ChipAuditSink* audit_sink_ = nullptr;
   Tick audit_transition_start_ = 0;
+#endif
+
+#if DMASIM_OBS >= 2
+  // Closes the open residency interval at `now` (no-op when detached or
+  // zero-length; zero-length intervals carry no time and would only bloat
+  // the trace).
+  void ObsCloseResidency(Tick now);
+
+  EventTracer* obs_tracer_ = nullptr;
+  Tick obs_interval_start_ = 0;
 #endif
 };
 

@@ -1,0 +1,18 @@
+#include "obs/event_trace.h"
+
+namespace dmasim {
+
+EventTracer::EventTracer(std::size_t capacity_events)
+    : capacity_(capacity_events) {}
+
+bool EventTracer::AddBlock() {
+  if (blocks_.size() * kBlockEvents >= capacity_) return false;
+  // dmasim-lint: allow(heap-alloc) -- amortized one allocation per 32K
+  // events; bounded by the configured capacity.
+  blocks_.push_back(std::make_unique<ObsEvent[]>(kBlockEvents));
+  next_ = blocks_.back().get();
+  remaining_ = kBlockEvents;
+  return true;
+}
+
+}  // namespace dmasim

@@ -1,0 +1,177 @@
+// Structured event tracer for the observability layer.
+//
+// Components record fixed-size, trivially-copyable `ObsEvent`s into a
+// chunked, bounded in-memory buffer: the hot-path cost of `Record` is a
+// bump-pointer store (one block allocation per kBlockEvents events,
+// amortized to noise; past the configured capacity events are dropped and
+// counted, never reallocated). The schema is deliberately tiny — every
+// event is (ts, dur, id, kind, a, b, c) with per-kind field meanings
+// documented below — so a multi-second simulation traces in tens of MB.
+//
+// Time fields are simulator ticks (picoseconds). The Chrome/Perfetto
+// exporter (obs/trace_export.h) converts to microseconds on the way out.
+#ifndef DMASIM_OBS_EVENT_TRACE_H_
+#define DMASIM_OBS_EVENT_TRACE_H_
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+enum class ObsEventKind : std::uint8_t {
+  // Complete power-state residency interval [ts, ts+dur) of chip `b` in
+  // state `a` (PowerState). Emitted when the chip leaves the state.
+  kPowerResidency = 0,
+  // Power-state transition interval [ts, ts+dur) of chip `b`;
+  // a = (up << 4) | (from << 2) | to (PowerState values fit 2 bits).
+  kPowerTransition,
+  // DMA-TA gated the first request of transfer `id` (bus `a`) headed to
+  // chip `b` at ts.
+  kGate,
+  // DMA-TA released chip `b`'s gated requests at ts; a = ReleaseCause,
+  // c = number of requests released.
+  kRelease,
+  // Transfer lifecycle: transfer `id` to chip `b` over interval
+  // [ts, ts+dur); a = (bus << 2) | (kind << 1) | gated; c = total bytes.
+  kTransfer,
+  // Transfer `id` entered bus `b` at ts; c = bytes.
+  kBusTransferStart,
+  // Slack-balance sample at ts: id = bit_cast<u64>(slack in ticks,
+  // double), c = total gated requests pending.
+  kSlackSample,
+  // Client request interval [ts, ts+dur); a = 1 for writes, c = bytes.
+  kClientRequest,
+};
+
+struct ObsEvent {
+  Tick ts = 0;
+  Tick dur = 0;
+  std::uint64_t id = 0;
+  ObsEventKind kind = ObsEventKind::kPowerResidency;
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+};
+static_assert(std::is_trivially_copyable_v<ObsEvent>);
+static_assert(sizeof(ObsEvent) == 32);
+
+class EventTracer {
+ public:
+  static constexpr std::size_t kBlockEvents = std::size_t{1} << 15;
+
+  // `capacity_events` bounds the buffer; once reached, further events are
+  // dropped (and counted in `dropped()`).
+  explicit EventTracer(std::size_t capacity_events);
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  void Record(const ObsEvent& event) {
+    if (remaining_ == 0 && !AddBlock()) {
+      ++dropped_;
+      return;
+    }
+    *next_++ = event;
+    --remaining_;
+    ++size_;
+  }
+
+  // --- Typed helpers (the only recording API components use) -------------
+
+  void PowerResidency(int chip, int state, Tick start, Tick end) {
+    Record(ObsEvent{start, end - start, 0, ObsEventKind::kPowerResidency,
+                    static_cast<std::uint8_t>(state),
+                    static_cast<std::uint16_t>(chip), 0});
+  }
+
+  void PowerTransition(int chip, int from, int to, bool up, Tick start,
+                       Tick end) {
+    const auto packed = static_cast<std::uint8_t>(
+        ((up ? 1 : 0) << 4) | (from << 2) | to);
+    Record(ObsEvent{start, end - start, 0, ObsEventKind::kPowerTransition,
+                    packed, static_cast<std::uint16_t>(chip), 0});
+  }
+
+  void Gate(Tick now, int chip, int bus, std::uint64_t transfer_id) {
+    Record(ObsEvent{now, 0, transfer_id, ObsEventKind::kGate,
+                    static_cast<std::uint8_t>(bus),
+                    static_cast<std::uint16_t>(chip), 0});
+  }
+
+  void Release(Tick now, int chip, int cause, int count) {
+    Record(ObsEvent{now, 0, 0, ObsEventKind::kRelease,
+                    static_cast<std::uint8_t>(cause),
+                    static_cast<std::uint16_t>(chip),
+                    static_cast<std::uint32_t>(count)});
+  }
+
+  void Transfer(Tick start, Tick end, std::uint64_t transfer_id, int chip,
+                int bus, int kind, bool gated, std::int64_t bytes) {
+    const auto packed = static_cast<std::uint8_t>(
+        (bus << 2) | (kind << 1) | (gated ? 1 : 0));
+    Record(ObsEvent{start, end - start, transfer_id, ObsEventKind::kTransfer,
+                    packed, static_cast<std::uint16_t>(chip),
+                    ClampBytes(bytes)});
+  }
+
+  void BusTransferStart(Tick now, int bus, std::uint64_t transfer_id,
+                        std::int64_t bytes) {
+    Record(ObsEvent{now, 0, transfer_id, ObsEventKind::kBusTransferStart, 0,
+                    static_cast<std::uint16_t>(bus), ClampBytes(bytes)});
+  }
+
+  void SlackSample(Tick now, double slack_ticks, int pending) {
+    Record(ObsEvent{now, 0, std::bit_cast<std::uint64_t>(slack_ticks),
+                    ObsEventKind::kSlackSample, 0, 0,
+                    static_cast<std::uint32_t>(pending)});
+  }
+
+  void ClientRequest(Tick start, Tick end, bool is_write,
+                     std::int64_t bytes) {
+    Record(ObsEvent{start, end - start, 0, ObsEventKind::kClientRequest,
+                    static_cast<std::uint8_t>(is_write ? 1 : 0), 0,
+                    ClampBytes(bytes)});
+  }
+
+  // --- Read side ---------------------------------------------------------
+
+  std::size_t size() const { return size_; }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+
+  const ObsEvent& At(std::size_t index) const {
+    DMASIM_EXPECTS(index < size_);
+    return blocks_[index / kBlockEvents][index % kBlockEvents];
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t index = 0; index < size_; ++index) fn(At(index));
+  }
+
+ private:
+  static std::uint32_t ClampBytes(std::int64_t bytes) {
+    if (bytes < 0) return 0;
+    constexpr std::int64_t kMax = 0xffffffff;
+    return static_cast<std::uint32_t>(bytes < kMax ? bytes : kMax);
+  }
+
+  bool AddBlock();
+
+  std::vector<std::unique_ptr<ObsEvent[]>> blocks_;
+  ObsEvent* next_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_OBS_EVENT_TRACE_H_

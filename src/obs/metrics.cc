@@ -1,0 +1,68 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+namespace dmasim {
+
+std::uint64_t* MetricsRegistry::AddCounter(std::string component,
+                                           std::string name) {
+  Entry& entry = entries_.emplace_back();
+  entry.component = std::move(component);
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kCounter;
+  return &entry.counter;
+}
+
+double* MetricsRegistry::AddGauge(std::string component, std::string name) {
+  Entry& entry = entries_.emplace_back();
+  entry.component = std::move(component);
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kGauge;
+  return &entry.gauge;
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string component,
+                                         std::string name, double lo,
+                                         double hi, int bins) {
+  Entry& entry = entries_.emplace_back();
+  entry.component = std::move(component);
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kHistogram;
+  entry.histogram = Histogram(lo, hi, bins);
+  return &entry.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> snapshot;
+  snapshot.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricSample sample;
+    sample.component = entry.component;
+    sample.name = entry.name;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.count = entry.counter;
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.value = entry.gauge;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const Histogram& histogram = entry.histogram;
+        sample.lo = histogram.lo();
+        sample.hi = histogram.hi();
+        sample.total = histogram.TotalCount();
+        sample.nan_count = histogram.NanCount();
+        sample.bins.reserve(static_cast<std::size_t>(histogram.BinCount()));
+        for (int bin = 0; bin < histogram.BinCount(); ++bin) {
+          sample.bins.push_back(histogram.BinValue(bin));
+        }
+        break;
+      }
+    }
+    snapshot.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+}  // namespace dmasim

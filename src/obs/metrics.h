@@ -1,0 +1,78 @@
+// Metrics registry for the observability layer.
+//
+// Components register named counters, gauges, and fixed-bin histograms
+// once (cold path, at wiring time); the returned pointers stay valid for
+// the registry's lifetime (deque-backed storage), so a hot-path update is
+// a single pointer-indirect increment or a Histogram::Add — no lookup, no
+// allocation, no branching beyond the null check on the holder's side.
+// `Snapshot()` freezes the registry, in registration order, into plain
+// data that SimulationResults can carry and the exp layer can serialize
+// (the registry itself never depends on the JSON type).
+#ifndef DMASIM_OBS_METRICS_H_
+#define DMASIM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace dmasim {
+
+// One frozen metric value. `component` + `name` identify it; which of the
+// payload fields is meaningful depends on `kind`.
+struct MetricSample {
+  enum class Kind : int { kCounter = 0, kGauge, kHistogram };
+
+  std::string component;
+  std::string name;
+  Kind kind = Kind::kCounter;
+
+  std::uint64_t count = 0;  // kCounter.
+  double value = 0.0;       // kGauge.
+
+  // kHistogram payload.
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t nan_count = 0;
+  std::vector<std::uint64_t> bins;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration (cold path). Pointers remain valid and stable until the
+  // registry is destroyed.
+  std::uint64_t* AddCounter(std::string component, std::string name);
+  double* AddGauge(std::string component, std::string name);
+  Histogram* AddHistogram(std::string component, std::string name, double lo,
+                          double hi, int bins);
+
+  // Frozen view in registration order (deterministic: registration happens
+  // at wiring time, never from worker-thread-dependent code).
+  std::vector<MetricSample> Snapshot() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string component;
+    std::string name;
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    Histogram histogram{0.0, 1.0, 1};  // Placeholder unless kHistogram.
+  };
+
+  // deque: stable addresses under growth, no per-entry allocation churn.
+  std::deque<Entry> entries_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_OBS_METRICS_H_

@@ -1,0 +1,133 @@
+// SimulationObserver: wires the observability layer (src/obs) into one
+// simulated system — metrics registry at DMASIM_OBS >= 1, event tracing
+// at DMASIM_OBS >= 2 — and detaches it again on destruction.
+//
+// The observer is strictly read-only with respect to the simulation: it
+// registers histograms/counters, hands the components their hook
+// pointers, and at `Finish()` freezes everything into `MetricSample`s
+// (deriving the counter values from the components' own statistics, so a
+// mid-run crash never leaves half-updated metrics). The whole class is
+// compiled out below DMASIM_OBS >= 1; callers guard usage the same way
+// `SimulationAudit` is guarded by DMASIM_AUDIT_LEVEL.
+#ifndef DMASIM_OBS_SIMULATION_OBS_H_
+#define DMASIM_OBS_SIMULATION_OBS_H_
+
+#include "obs/obs_config.h"
+
+#if DMASIM_OBS >= 1
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/memory_controller.h"
+#include "mem/power_model.h"
+#include "obs/metrics.h"
+#include "server/data_server.h"
+
+#if DMASIM_OBS >= 2
+#include "obs/event_trace.h"
+#endif
+
+namespace dmasim {
+
+class SimulationObserver {
+ public:
+  struct Options {
+    // Effective level is min(level, DMASIM_OBS): 1 = metrics only,
+    // 2 = metrics + event trace.
+    int level = 1;
+    // Event-trace buffer bound; events past it are dropped and counted.
+    std::size_t trace_capacity = std::size_t{1} << 20;
+  };
+
+  // Attaches to `controller` (and its chips and buses) and `server`
+  // (may be null). Both must outlive the observer.
+  SimulationObserver(MemoryController* controller, DataServer* server,
+                     const Options& options);
+  ~SimulationObserver();
+
+  SimulationObserver(const SimulationObserver&) = delete;
+  SimulationObserver& operator=(const SimulationObserver&) = delete;
+
+  int level() const { return level_; }
+
+  // Finalizes the run: settles/synchronizes component accounting, closes
+  // the chips' open residency intervals (level >= 2), and copies the
+  // component statistics into the registered counters and gauges. Call
+  // once, after the simulation has run to completion.
+  void Finish();
+
+  std::vector<MetricSample> SnapshotMetrics() const {
+    return registry_.Snapshot();
+  }
+
+#if DMASIM_OBS >= 2
+  // Null below effective level 2.
+  const EventTracer* tracer() const { return tracer_.get(); }
+#endif
+
+ private:
+  void RegisterMetrics();
+
+  MemoryController* controller_;
+  DataServer* server_;
+  int level_;
+
+  MetricsRegistry registry_;
+
+  // Registered slots filled at Finish() (all owned by `registry_`).
+  struct ControllerSlots {
+    std::uint64_t* transfers_started = nullptr;
+    std::uint64_t* transfers_completed = nullptr;
+    std::uint64_t* cpu_accesses = nullptr;
+    std::uint64_t* migrations = nullptr;
+    std::uint64_t* migration_rounds = nullptr;
+    std::uint64_t* deferred_migrations = nullptr;
+  } controller_slots_;
+  struct DmaTaSlots {
+    std::uint64_t* gated_total = nullptr;
+    std::uint64_t* released_quorum = nullptr;
+    std::uint64_t* released_slack = nullptr;
+    double* max_buffered_bytes = nullptr;
+    double* slack_final_ticks = nullptr;
+  } dma_ta_slots_;
+  struct ChipSlots {
+    std::uint64_t* wakeups = nullptr;
+    std::uint64_t* step_downs = nullptr;
+    std::uint64_t* dma_requests = nullptr;
+    std::uint64_t* cpu_requests = nullptr;
+    std::uint64_t* migration_requests = nullptr;
+    std::uint64_t* dma_serving_ticks = nullptr;
+    std::uint64_t* cpu_serving_ticks = nullptr;
+    std::uint64_t* migration_serving_ticks = nullptr;
+    std::uint64_t* active_idle_dma_ticks = nullptr;
+    std::uint64_t* active_idle_threshold_ticks = nullptr;
+    std::uint64_t* transition_ticks = nullptr;
+    std::uint64_t* low_power_ticks[kPowerStateCount] = {};
+  } chip_slots_;
+  struct BusSlots {
+    std::uint64_t* chunks_issued = nullptr;
+    std::uint64_t* transfers_started = nullptr;
+  } bus_slots_;
+  struct ServerSlots {
+    std::uint64_t* reads = nullptr;
+    std::uint64_t* writes = nullptr;
+    std::uint64_t* hits = nullptr;
+    std::uint64_t* misses = nullptr;
+    std::uint64_t* cpu_accesses = nullptr;
+  } server_slots_;
+
+#if DMASIM_OBS >= 2
+  std::uint64_t* releases_by_cause_[kReleaseCauseCount] = {};
+  std::uint64_t* recorded_events_ = nullptr;
+  std::uint64_t* dropped_events_ = nullptr;
+  std::unique_ptr<EventTracer> tracer_;
+#endif
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_OBS >= 1
+
+#endif  // DMASIM_OBS_SIMULATION_OBS_H_

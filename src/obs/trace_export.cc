@@ -1,0 +1,227 @@
+#include "obs/trace_export.h"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "core/temporal_aligner.h"
+#include "mem/power_model.h"
+
+namespace dmasim {
+namespace {
+
+constexpr int kChipPid = 1;
+constexpr int kBusPid = 2;
+constexpr int kAlignerPid = 3;
+constexpr int kServerPid = 4;
+
+double TicksToMicros(Tick ticks) {
+  return static_cast<double>(ticks) / 1.0e6;  // Tick = 1 ps.
+}
+
+// Minimal JSON string escaping; every name we emit is ASCII.
+std::string Escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    os_.precision(15);
+  }
+
+  void Meta(const char* what, int pid, int tid, const std::string& name) {
+    Begin();
+    os_ << "{\"ph\":\"M\",\"name\":\"" << what << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << Escaped(name)
+        << "\"}}";
+  }
+
+  // Complete slice ("X").
+  void Slice(int pid, int tid, const std::string& name, const char* cat,
+             Tick ts, Tick dur, const std::string& args) {
+    Begin();
+    os_ << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"" << Escaped(name) << "\",\"cat\":\"" << cat
+        << "\",\"ts\":" << TicksToMicros(ts)
+        << ",\"dur\":" << TicksToMicros(dur) << ",\"args\":{" << args << "}}";
+  }
+
+  // Instant event ("i", thread scope).
+  void Instant(int pid, int tid, const std::string& name, const char* cat,
+               Tick ts, const std::string& args) {
+    Begin();
+    os_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"" << Escaped(name) << "\",\"cat\":\"" << cat
+        << "\",\"ts\":" << TicksToMicros(ts) << ",\"args\":{" << args << "}}";
+  }
+
+  // Async begin/end pair ("b"/"e") for potentially-overlapping intervals.
+  void Async(int pid, std::uint64_t id, const std::string& name,
+             const char* cat, Tick ts, Tick dur, const std::string& args) {
+    Begin();
+    os_ << "{\"ph\":\"b\",\"pid\":" << pid << ",\"tid\":0,\"id\":" << id
+        << ",\"name\":\"" << Escaped(name) << "\",\"cat\":\"" << cat
+        << "\",\"ts\":" << TicksToMicros(ts) << ",\"args\":{" << args << "}}";
+    Begin();
+    os_ << "{\"ph\":\"e\",\"pid\":" << pid << ",\"tid\":0,\"id\":" << id
+        << ",\"name\":\"" << Escaped(name) << "\",\"cat\":\"" << cat
+        << "\",\"ts\":" << TicksToMicros(ts + dur) << ",\"args\":{}}";
+  }
+
+  // Counter track ("C").
+  void Counter(int pid, const std::string& name, Tick ts,
+               const std::string& args) {
+    Begin();
+    os_ << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"name\":\""
+        << Escaped(name) << "\",\"ts\":" << TicksToMicros(ts) << ",\"args\":{"
+        << args << "}}";
+  }
+
+  void Finish(std::size_t recorded, std::size_t dropped) {
+    os_ << "],\"metadata\":{\"recorded_events\":" << recorded
+        << ",\"dropped_events\":" << dropped << "}}\n";
+  }
+
+ private:
+  void Begin() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string Num(double value) {
+  std::string text = std::to_string(value);
+  return text;
+}
+
+const char* DmaKindName(int kind) {
+  return kind == static_cast<int>(DmaKind::kDisk) ? "disk" : "network";
+}
+
+}  // namespace
+
+void WriteChromeTrace(const EventTracer& tracer, std::ostream& os) {
+  EventWriter writer(os);
+
+  // Lane metadata first: collect the chip/bus tids that actually appear.
+  std::set<int> chip_tids;
+  std::set<int> bus_tids;
+  tracer.ForEach([&](const ObsEvent& event) {
+    switch (event.kind) {
+      case ObsEventKind::kPowerResidency:
+      case ObsEventKind::kPowerTransition:
+        chip_tids.insert(event.b);
+        break;
+      case ObsEventKind::kGate:
+      case ObsEventKind::kRelease:
+        chip_tids.insert(event.b);
+        break;
+      case ObsEventKind::kBusTransferStart:
+        bus_tids.insert(event.b);
+        break;
+      default:
+        break;
+    }
+  });
+  writer.Meta("process_name", kChipPid, 0, "memory chips");
+  writer.Meta("process_name", kBusPid, 0, "io buses");
+  writer.Meta("process_name", kAlignerPid, 0, "dma-ta");
+  writer.Meta("process_name", kServerPid, 0, "data server");
+  for (const int chip : chip_tids) {
+    writer.Meta("thread_name", kChipPid, chip,
+                "chip " + std::to_string(chip));
+    writer.Meta("thread_name", kAlignerPid, chip,
+                "gate chip " + std::to_string(chip));
+  }
+  for (const int bus : bus_tids) {
+    writer.Meta("thread_name", kBusPid, bus, "bus " + std::to_string(bus));
+  }
+
+  std::uint64_t next_async_id = 1;
+  tracer.ForEach([&](const ObsEvent& event) {
+    switch (event.kind) {
+      case ObsEventKind::kPowerResidency: {
+        const auto state = static_cast<PowerState>(event.a);
+        writer.Slice(kChipPid, event.b, std::string(PowerStateName(state)),
+                     "power", event.ts, event.dur, "");
+        break;
+      }
+      case ObsEventKind::kPowerTransition: {
+        const bool up = (event.a >> 4) != 0;
+        const auto from = static_cast<PowerState>((event.a >> 2) & 3);
+        const auto to = static_cast<PowerState>(event.a & 3);
+        writer.Slice(kChipPid, event.b, up ? "wake" : "step-down",
+                     "transition", event.ts, event.dur,
+                     "\"from\":\"" + std::string(PowerStateName(from)) +
+                         "\",\"to\":\"" + std::string(PowerStateName(to)) +
+                         "\"");
+        break;
+      }
+      case ObsEventKind::kGate:
+        writer.Instant(kAlignerPid, event.b, "gate", "dma-ta", event.ts,
+                       "\"transfer\":" + std::to_string(event.id) +
+                           ",\"bus\":" + std::to_string(event.a));
+        break;
+      case ObsEventKind::kRelease: {
+        const auto cause = static_cast<ReleaseCause>(event.a);
+        writer.Instant(kAlignerPid, event.b, "release", "dma-ta", event.ts,
+                       std::string("\"cause\":\"") + ReleaseCauseName(cause) +
+                           "\",\"requests\":" + std::to_string(event.c));
+        break;
+      }
+      case ObsEventKind::kTransfer: {
+        const int bus = event.a >> 2;
+        const int kind = (event.a >> 1) & 1;
+        const bool gated = (event.a & 1) != 0;
+        writer.Async(kBusPid, event.id, "transfer", "dma", event.ts,
+                     event.dur,
+                     "\"chip\":" + std::to_string(event.b) +
+                         ",\"bus\":" + std::to_string(bus) +
+                         ",\"bytes\":" + std::to_string(event.c) +
+                         ",\"kind\":\"" + DmaKindName(kind) +
+                         "\",\"gated\":" + (gated ? "true" : "false"));
+        break;
+      }
+      case ObsEventKind::kBusTransferStart:
+        writer.Instant(kBusPid, event.b, "transfer-start", "dma", event.ts,
+                       "\"transfer\":" + std::to_string(event.id) +
+                           ",\"bytes\":" + std::to_string(event.c));
+        break;
+      case ObsEventKind::kSlackSample: {
+        const double slack_ticks = std::bit_cast<double>(event.id);
+        writer.Counter(kAlignerPid, "slack",  event.ts,
+                       "\"slack_us\":" + Num(slack_ticks / 1.0e6) +
+                           ",\"pending\":" + std::to_string(event.c));
+        break;
+      }
+      case ObsEventKind::kClientRequest:
+        writer.Async(kServerPid, next_async_id++,
+                     event.a != 0 ? "write" : "read", "client", event.ts,
+                     event.dur, "\"bytes\":" + std::to_string(event.c));
+        break;
+    }
+  });
+
+  writer.Finish(tracer.size(), tracer.dropped());
+}
+
+bool WriteChromeTraceFile(const EventTracer& tracer, const char* path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  WriteChromeTrace(tracer, out);
+  return out.good();
+}
+
+}  // namespace dmasim

@@ -1,0 +1,31 @@
+// Chrome/Perfetto trace_event JSON export for the event tracer.
+//
+// The emitted document is the "JSON Array Format" both chrome://tracing
+// and ui.perfetto.dev load directly: one object per event, microsecond
+// timestamps, with synthetic process/thread lanes:
+//   pid 1 "memory chips"  -- per-chip residency and transition slices
+//   pid 2 "io buses"      -- transfer lifecycle (async) + issue instants
+//   pid 3 "dma-ta"        -- gate/release instants + slack counter track
+//   pid 4 "data server"   -- client request (async) slices
+// Export is cold-path only (end of run); nothing here touches the
+// simulation.
+#ifndef DMASIM_OBS_TRACE_EXPORT_H_
+#define DMASIM_OBS_TRACE_EXPORT_H_
+
+#include <iosfwd>
+
+#include "obs/event_trace.h"
+
+namespace dmasim {
+
+// Writes the whole trace as one Chrome trace_event JSON document.
+void WriteChromeTrace(const EventTracer& tracer, std::ostream& os);
+
+// Convenience wrapper: opens `path` and writes the document. Returns
+// false (and leaves no partial file guarantees) if the file cannot be
+// opened.
+bool WriteChromeTraceFile(const EventTracer& tracer, const char* path);
+
+}  // namespace dmasim
+
+#endif  // DMASIM_OBS_TRACE_EXPORT_H_

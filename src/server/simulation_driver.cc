@@ -13,6 +13,15 @@
 #include "audit/simulation_audit.h"
 #endif
 
+#if DMASIM_OBS >= 1
+#include <memory>
+
+#include "obs/simulation_obs.h"
+#endif
+#if DMASIM_OBS >= 2
+#include "obs/trace_export.h"
+#endif
+
 namespace dmasim {
 
 namespace {
@@ -140,6 +149,17 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   }
 #endif
 
+#if DMASIM_OBS >= 1
+  std::unique_ptr<SimulationObserver> observer;
+  if (options.obs_level >= 1) {
+    SimulationObserver::Options obs_options;
+    obs_options.level = std::min(options.obs_level, DMASIM_OBS);
+    obs_options.trace_capacity = options.obs_trace_capacity;
+    observer = std::make_unique<SimulationObserver>(&controller, &server,
+                                                    obs_options);
+  }
+#endif
+
   simulator.RunUntil(duration + options.drain);
 
   SimulationResults results;
@@ -168,6 +188,23 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   results.executed_events = simulator.ExecutedEvents();
   results.stepped_events = simulator.SteppedEvents();
   results.hottest_chip_share = controller.HottestChipShare();
+#if DMASIM_OBS >= 1
+  if (observer != nullptr) {
+    observer->Finish();
+    results.metrics = observer->SnapshotMetrics();
+#if DMASIM_OBS >= 2
+    if (observer->tracer() != nullptr) {
+      results.obs_events = observer->tracer()->size();
+      results.obs_dropped_events = observer->tracer()->dropped();
+      if (!options.obs_trace_path.empty()) {
+        const bool written = WriteChromeTraceFile(
+            *observer->tracer(), options.obs_trace_path.c_str());
+        DMASIM_CHECK_MSG(written, "failed to write observability trace");
+      }
+    }
+#endif
+  }
+#endif
   return results;
 }
 

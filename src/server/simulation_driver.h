@@ -12,11 +12,15 @@
 #ifndef DMASIM_SERVER_SIMULATION_DRIVER_H_
 #define DMASIM_SERVER_SIMULATION_DRIVER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/memory_controller.h"
 #include "mem/power_policy.h"
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
 #include "server/data_server.h"
 #include "stats/energy.h"
 #include "trace/trace.h"
@@ -61,6 +65,18 @@ struct SimulationOptions {
   // test points this at the pristine reference while corrupting the
   // model the chips actually run).
   const PowerModel* audit_reference_model = nullptr;
+
+  // --- Observability (src/obs/) ------------------------------------------
+  // Active only when the library is compiled with DMASIM_OBS >= 1; the
+  // effective level is min(obs_level, DMASIM_OBS). 0 = off, 1 = metrics
+  // registry, 2 = + structured event trace.
+  int obs_level = 0;
+  // When non-empty (and the effective level is >= 2), the event trace is
+  // written to this path as Chrome/Perfetto trace_event JSON.
+  std::string obs_trace_path;
+  // Event-trace buffer bound; events past it are dropped and counted in
+  // SimulationResults::obs_dropped_events.
+  std::size_t obs_trace_capacity = std::size_t{1} << 20;
 };
 
 struct SimulationResults {
@@ -88,6 +104,11 @@ struct SimulationResults {
   // Invariant auditor outcome (zero unless the run was audited).
   std::uint64_t audit_checks = 0;
   std::uint64_t audit_failures = 0;
+
+  // Observability outcome (empty/zero unless the run was observed).
+  std::vector<MetricSample> metrics;
+  std::uint64_t obs_events = 0;
+  std::uint64_t obs_dropped_events = 0;
 
   // Fractional energy saving relative to `baseline` (positive = better).
   double EnergySavingsVs(const SimulationResults& baseline) const;

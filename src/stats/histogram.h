@@ -2,6 +2,7 @@
 #ifndef DMASIM_STATS_HISTOGRAM_H_
 #define DMASIM_STATS_HISTOGRAM_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -9,8 +10,11 @@
 
 namespace dmasim {
 
-// Histogram over [lo, hi) with uniform bins; samples outside the range are
-// clamped into the first/last bin. Suitable for latency distributions.
+// Histogram over [lo, hi) with uniform bins; samples outside the range
+// (infinities included) are clamped into the first/last bin. NaN samples
+// carry no ordering information, so they are counted separately in
+// `NanCount()` and excluded from the bins and `TotalCount()`. Suitable
+// for latency distributions.
 class Histogram {
  public:
   Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi), counts_(bins) {
@@ -19,17 +23,29 @@ class Histogram {
   }
 
   void Add(double sample) {
-    int bin = static_cast<int>((sample - lo_) / (hi_ - lo_) *
-                               static_cast<double>(counts_.size()));
-    if (bin < 0) bin = 0;
-    if (bin >= static_cast<int>(counts_.size())) {
-      bin = static_cast<int>(counts_.size()) - 1;
+    if (std::isnan(sample)) {
+      ++nan_count_;
+      return;
     }
-    ++counts_[static_cast<std::size_t>(bin)];
+    // Clamp in the double domain: casting a non-finite or out-of-int-range
+    // scaled value to int is undefined behavior, so the comparisons must
+    // happen before any cast.
+    const double bins = static_cast<double>(counts_.size());
+    const double scaled = (sample - lo_) / (hi_ - lo_) * bins;
+    std::size_t bin = 0;
+    if (scaled >= bins) {
+      bin = counts_.size() - 1;
+    } else if (scaled > 0.0) {
+      bin = static_cast<std::size_t>(scaled);
+    }
+    ++counts_[bin];
     ++total_;
   }
 
   std::uint64_t TotalCount() const { return total_; }
+  std::uint64_t NanCount() const { return nan_count_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   int BinCount() const { return static_cast<int>(counts_.size()); }
   std::uint64_t BinValue(int bin) const {
     DMASIM_EXPECTS(bin >= 0 && bin < BinCount());
@@ -62,6 +78,7 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_count_ = 0;
 };
 
 }  // namespace dmasim

@@ -57,9 +57,14 @@ bool ReadTrace(std::istream& is, Trace* out, std::string* error) {
     std::istringstream fields(line);
     TraceRecord record;
     char kind_char = '?';
+    std::string trailing;
     if (!(fields >> record.time >> kind_char >> record.page >> record.bytes) ||
         !KindFromChar(kind_char, &record.kind) || record.time < 0 ||
-        record.bytes <= 0) {
+        record.bytes <= 0 ||
+        // A record is exactly four fields; anything after `bytes` (e.g.
+        // "100 R 5 4096 junk") means a corrupted or mis-columned trace
+        // and must not be silently accepted.
+        static_cast<bool>(fields >> trailing)) {
       if (error != nullptr) {
         std::ostringstream message;
         message << "malformed trace record at line " << line_number << ": "

@@ -35,6 +35,23 @@ DmaTransfer MakeTransfer(std::uint64_t id, int bus,
   return transfer;
 }
 
+TEST(TemporalAlignerTest, RejectsMoreThanSixtyFourBuses) {
+  // Quorum tracking packs distinct-bus membership into a 64-bit mask
+  // keyed by bus id; the constructor must refuse configurations the mask
+  // cannot represent instead of silently aliasing bus 64 onto bit 0.
+  EXPECT_DEATH(TemporalAligner(EnabledConfig(), /*chips=*/4, /*buses=*/65,
+                               /*k=*/3, kT),
+               "precondition violated");
+}
+
+TEST(TemporalAlignerTest, AcceptsExactlySixtyFourBuses) {
+  TemporalAligner aligner(EnabledConfig(), /*chips=*/4, /*buses=*/64, /*k=*/3,
+                          kT);
+  DmaTransfer transfer = MakeTransfer(1, /*bus=*/63);
+  CreditAndGate(aligner, 0, &transfer, 512, /*now=*/0);
+  EXPECT_EQ(aligner.TotalPending(), 1);
+}
+
 TEST(TemporalAlignerTest, GateBuffersAndBlocks) {
   TemporalAligner aligner(EnabledConfig(), /*chips=*/4, /*buses=*/3, /*k=*/3,
                           kT);

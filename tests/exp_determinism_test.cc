@@ -19,6 +19,12 @@
 namespace dmasim {
 namespace {
 
+SweepOptions ThreadedOptions(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  return options;
+}
+
 WorkloadSpec SmallWorkload(WorkloadSpec spec) {
   spec.duration = 8 * kMillisecond;
   return spec;
@@ -85,9 +91,9 @@ ExperimentSpec DeterminismSweepSpec() {
 TEST(DeterminismTest, ParallelSweepMatchesSerialRunForRun) {
   const ExperimentSpec spec = DeterminismSweepSpec();
 
-  SweepRunner serial(SweepOptions{1});
+  SweepRunner serial(ThreadedOptions(1));
   const SweepResults serial_sweep = serial.Run(spec);
-  SweepRunner parallel(SweepOptions{4});
+  SweepRunner parallel(ThreadedOptions(4));
   const SweepResults parallel_sweep = parallel.Run(spec);
 
   ASSERT_EQ(serial_sweep.records.size(), parallel_sweep.records.size());
@@ -119,7 +125,7 @@ TEST(DeterminismTest, PinnedConfigChecksumIsStableAcrossKernelChanges) {
   spec.cp_limits = {0.05, 0.10};
   spec.seeds = {1, 2};
 
-  SweepRunner runner(SweepOptions{2});
+  SweepRunner runner(ThreadedOptions(2));
   const SweepResults sweep = runner.Run(spec);
   const std::string json =
       SweepToJson(sweep.summary, sweep.records, /*include_timing=*/false)
@@ -133,7 +139,7 @@ TEST(DeterminismTest, PinnedConfigChecksumIsStableAcrossKernelChanges) {
 
   // Re-running the same sweep must reproduce the bytes in-process on
   // every platform.
-  const SweepResults again = SweepRunner(SweepOptions{2}).Run(spec);
+  const SweepResults again = SweepRunner(ThreadedOptions(2)).Run(spec);
   EXPECT_EQ(json, SweepToJson(again.summary, again.records,
                               /*include_timing=*/false)
                       .Dump(true));
@@ -173,9 +179,9 @@ TEST(DeterminismTest, ChunkRunCoalescingIsArtifactInvisible) {
 TEST(DeterminismTest, ParallelSweepJsonIsByteIdenticalToSerial) {
   const ExperimentSpec spec = DeterminismSweepSpec();
 
-  SweepRunner serial(SweepOptions{1});
+  SweepRunner serial(ThreadedOptions(1));
   const SweepResults serial_sweep = serial.Run(spec);
-  SweepRunner parallel(SweepOptions{3});
+  SweepRunner parallel(ThreadedOptions(3));
   const SweepResults parallel_sweep = parallel.Run(spec);
 
   const std::string serial_json =

@@ -19,6 +19,12 @@
 namespace dmasim {
 namespace {
 
+SweepOptions ThreadedOptions(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  return options;
+}
+
 WorkloadSpec TinyWorkload() {
   WorkloadSpec spec = OltpStorageSpec();
   spec.duration = 5 * kMillisecond;
@@ -229,7 +235,7 @@ TEST(SweepRunnerTest, FailedConfigDoesNotAbortSweep) {
   spec.cp_limits = {0.10};
   spec.chip_counts = {32, -1};  // Second cell is invalid.
 
-  SweepRunner runner(SweepOptions{2});
+  SweepRunner runner(ThreadedOptions(2));
   const SweepResults sweep = runner.Run(spec);
   ASSERT_EQ(sweep.records.size(), 4u);
   EXPECT_EQ(sweep.summary.ok, 2);       // Valid cell's baseline + TA-PL.
@@ -248,7 +254,7 @@ TEST(SweepRunnerTest, ComputesDeltasAndMu) {
   spec.schemes = {TaScheme()};
   spec.cp_limits = {0.10};
 
-  SweepRunner runner(SweepOptions{1});
+  SweepRunner runner(ThreadedOptions(1));
   const SweepResults sweep = runner.Run(spec);
   const RunRecord* baseline = sweep.FindBaseline(0);
   const RunRecord* ta = sweep.Find(spec.workloads[0].name, TaScheme(), 0.10);
@@ -287,7 +293,7 @@ TEST(SweepRunnerTest, SinksSeeEveryRunAndSortedCompletion) {
   spec.cp_limits = {0.05, 0.10};
 
   CountingSink sink;
-  SweepRunner runner(SweepOptions{4});
+  SweepRunner runner(ThreadedOptions(4));
   runner.AddSink(&sink);
   const SweepResults sweep = runner.Run(spec);
   EXPECT_EQ(sink.streamed, static_cast<int>(sweep.records.size()));
@@ -304,7 +310,7 @@ TEST(SweepRunnerTest, NdjsonStreamsOneLinePerRun) {
 
   std::ostringstream stream;
   NdjsonStreamSink sink(&stream);
-  SweepRunner runner(SweepOptions{2});
+  SweepRunner runner(ThreadedOptions(2));
   runner.AddSink(&sink);
   runner.Run(spec);
 

@@ -19,6 +19,12 @@
 namespace dmasim {
 namespace {
 
+SweepOptions ThreadedOptions(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  return options;
+}
+
 TEST(ThreadPoolStressTest, ManyProducersOneCounter) {
   constexpr int kProducers = 8;
   constexpr int kTasksPerProducer = 400;
@@ -118,11 +124,11 @@ TEST(SweepThreadingTest, ConcurrentSweepRunnersDoNotInterfere) {
   SweepResults first_results;
   SweepResults second_results;
   std::thread first([&first_results]() {
-    SweepRunner runner(SweepOptions{.threads = 2});
+    SweepRunner runner(ThreadedOptions(2));
     first_results = runner.Run(TinySweepSpec("stress-a"));
   });
   std::thread second([&second_results]() {
-    SweepRunner runner(SweepOptions{.threads = 2});
+    SweepRunner runner(ThreadedOptions(2));
     second_results = runner.Run(TinySweepSpec("stress-b"));
   });
   first.join();

@@ -1,0 +1,181 @@
+// Unit tests for the observability building blocks: the metrics
+// registry, the bounded event tracer, and the Chrome-trace exporter's
+// event encoding.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace dmasim {
+namespace {
+
+TEST(MetricsRegistryTest, PointersAreLiveAndSnapshotFreezes) {
+  MetricsRegistry registry;
+  std::uint64_t* counter = registry.AddCounter("controller", "transfers");
+  double* gauge = registry.AddGauge("dma_ta", "slack");
+  Histogram* histogram =
+      registry.AddHistogram("server", "latency", 0.0, 100.0, 10);
+
+  *counter += 3;
+  *gauge = -12.5;
+  histogram->Add(5.0);
+  histogram->Add(95.0);
+
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+
+  EXPECT_EQ(snapshot[0].component, "controller");
+  EXPECT_EQ(snapshot[0].name, "transfers");
+  EXPECT_EQ(snapshot[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(snapshot[0].count, 3u);
+
+  EXPECT_EQ(snapshot[1].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(snapshot[1].value, -12.5);
+
+  EXPECT_EQ(snapshot[2].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(snapshot[2].lo, 0.0);
+  EXPECT_EQ(snapshot[2].hi, 100.0);
+  EXPECT_EQ(snapshot[2].total, 2u);
+  ASSERT_EQ(snapshot[2].bins.size(), 10u);
+  EXPECT_EQ(snapshot[2].bins[0], 1u);
+  EXPECT_EQ(snapshot[2].bins[9], 1u);
+
+  // The snapshot is a frozen copy: later updates don't leak into it.
+  *counter += 100;
+  EXPECT_EQ(snapshot[0].count, 3u);
+  // But live pointers keep working and a fresh snapshot sees them.
+  EXPECT_EQ(registry.Snapshot()[0].count, 103u);
+}
+
+TEST(MetricsRegistryTest, StableAddressesAcrossGrowth) {
+  MetricsRegistry registry;
+  std::uint64_t* first = registry.AddCounter("c", "first");
+  for (int i = 0; i < 1000; ++i) {
+    registry.AddCounter("c", "filler_" + std::to_string(i));
+  }
+  *first = 7;  // Must not be a dangling write after 1000 insertions.
+  EXPECT_EQ(registry.Snapshot()[0].count, 7u);
+  EXPECT_EQ(registry.size(), 1001u);
+}
+
+TEST(EventTracerTest, RecordsInOrderWithTypedEncoding) {
+  EventTracer tracer(/*capacity_events=*/1024);
+  tracer.PowerResidency(/*chip=*/3, /*state=*/2, /*start=*/100, /*end=*/250);
+  tracer.PowerTransition(/*chip=*/3, /*from=*/2, /*to=*/0, /*up=*/true,
+                         /*start=*/250, /*end=*/300);
+  tracer.Gate(/*now=*/400, /*chip=*/5, /*bus=*/1, /*transfer_id=*/42);
+  tracer.Release(/*now=*/500, /*chip=*/5, /*cause=*/2, /*count=*/4);
+  tracer.SlackSample(/*now=*/600, /*slack_ticks=*/-1.5e6, /*pending=*/9);
+
+  ASSERT_EQ(tracer.size(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  const ObsEvent& residency = tracer.At(0);
+  EXPECT_EQ(residency.kind, ObsEventKind::kPowerResidency);
+  EXPECT_EQ(residency.ts, 100);
+  EXPECT_EQ(residency.dur, 150);
+  EXPECT_EQ(residency.a, 2);
+  EXPECT_EQ(residency.b, 3);
+
+  const ObsEvent& transition = tracer.At(1);
+  EXPECT_EQ(transition.kind, ObsEventKind::kPowerTransition);
+  EXPECT_NE(transition.a >> 4, 0);        // up bit
+  EXPECT_EQ((transition.a >> 2) & 3, 2);  // from
+  EXPECT_EQ(transition.a & 3, 0);         // to
+
+  const ObsEvent& gate = tracer.At(2);
+  EXPECT_EQ(gate.kind, ObsEventKind::kGate);
+  EXPECT_EQ(gate.id, 42u);
+  EXPECT_EQ(gate.a, 1);
+  EXPECT_EQ(gate.b, 5);
+
+  const ObsEvent& release = tracer.At(3);
+  EXPECT_EQ(release.kind, ObsEventKind::kRelease);
+  EXPECT_EQ(release.a, 2);
+  EXPECT_EQ(release.c, 4u);
+
+  const ObsEvent& slack = tracer.At(4);
+  EXPECT_EQ(slack.kind, ObsEventKind::kSlackSample);
+  EXPECT_EQ(std::bit_cast<double>(slack.id), -1.5e6);
+  EXPECT_EQ(slack.c, 9u);
+}
+
+TEST(EventTracerTest, DropsAndCountsPastCapacity) {
+  // Capacity is granted in whole blocks, so the effective minimum is one
+  // block (kBlockEvents). Fill it and go 5 past the edge.
+  EventTracer tracer(/*capacity_events=*/10);
+  const std::size_t limit = EventTracer::kBlockEvents;
+  for (std::size_t i = 0; i < limit + 5; ++i) {
+    tracer.Gate(static_cast<Tick>(i), /*chip=*/0, /*bus=*/0, i);
+  }
+  EXPECT_EQ(tracer.size(), limit);
+  EXPECT_EQ(tracer.dropped(), 5u);
+  // The retained prefix is intact; nothing was overwritten.
+  EXPECT_EQ(tracer.At(0).id, 0u);
+  EXPECT_EQ(tracer.At(limit - 1).id, limit - 1);
+}
+
+TEST(EventTracerTest, GrowsAcrossBlockBoundary) {
+  EventTracer tracer(/*capacity_events=*/2 * EventTracer::kBlockEvents);
+  const std::size_t total = EventTracer::kBlockEvents + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    tracer.Gate(static_cast<Tick>(i), /*chip=*/1, /*bus=*/2, i);
+  }
+  EXPECT_EQ(tracer.size(), total);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.At(EventTracer::kBlockEvents).id,
+            static_cast<std::uint64_t>(EventTracer::kBlockEvents));
+  std::size_t seen = 0;
+  tracer.ForEach([&](const ObsEvent& event) {
+    EXPECT_EQ(event.id, seen);
+    ++seen;
+  });
+  EXPECT_EQ(seen, total);
+}
+
+TEST(ChromeTraceExportTest, EmitsExpectedPhasesAndMetadata) {
+  EventTracer tracer(/*capacity_events=*/64);
+  tracer.PowerResidency(/*chip=*/0, /*state=*/1, /*start=*/0,
+                        /*end=*/1000000);
+  tracer.Gate(/*now=*/500, /*chip=*/0, /*bus=*/2, /*transfer_id=*/7);
+  tracer.Release(/*now=*/900, /*chip=*/0, /*cause=*/0, /*count=*/1);
+  tracer.Transfer(/*start=*/100, /*end=*/2000, /*transfer_id=*/7,
+                  /*chip=*/0, /*bus=*/2, /*kind=*/1, /*gated=*/true,
+                  /*bytes=*/8192);
+  tracer.BusTransferStart(/*now=*/100, /*bus=*/2, /*transfer_id=*/7,
+                          /*bytes=*/8192);
+  tracer.ClientRequest(/*start=*/0, /*end=*/3000, /*is_write=*/false,
+                       /*bytes=*/4096);
+
+  std::ostringstream out;
+  WriteChromeTrace(tracer, out);
+  const std::string trace = out.str();
+
+  // Process/thread naming for the Perfetto UI.
+  EXPECT_NE(trace.find("\"memory chips\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dma-ta\""), std::string::npos);
+  EXPECT_NE(trace.find("\"chip 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"bus 2\""), std::string::npos);
+
+  // One of each phase kind made it out.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);  // residency
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);  // gate/release
+  EXPECT_NE(trace.find("\"ph\":\"b\""), std::string::npos);  // async begin
+  EXPECT_NE(trace.find("\"ph\":\"e\""), std::string::npos);  // async end
+  EXPECT_NE(trace.find("\"standby\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cause\":\"quorum\""), std::string::npos);
+  EXPECT_NE(trace.find("\"kind\":\"disk\""), std::string::npos);
+  EXPECT_NE(trace.find("\"gated\":true"), std::string::npos);
+
+  EXPECT_NE(trace.find("\"recorded_events\":6"), std::string::npos);
+  EXPECT_NE(trace.find("\"dropped_events\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmasim

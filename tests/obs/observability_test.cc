@@ -1,0 +1,283 @@
+// End-to-end tests of the observability layer: enabling it must not
+// change any simulation result, the event trace's power-state residency
+// must reconcile exactly with the chips' time/energy accounting, and the
+// exported artifacts must be structurally sound.
+//
+// Linked against dmasim_observed, which is always compiled with
+// DMASIM_OBS=2 regardless of the main library's level.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/memory_controller.h"
+#include "mem/power_policy.h"
+#include "obs/obs_config.h"
+#include "obs/simulation_obs.h"
+#include "obs/trace_export.h"
+#include "server/simulation_driver.h"
+#include "sim/simulator.h"
+#include "trace/workloads.h"
+
+static_assert(dmasim::kCompiledObsLevel >= 2,
+              "obs tests must link the level-2 library variant");
+
+namespace dmasim {
+namespace {
+
+WorkloadSpec ShortWorkload(Tick duration = 30 * kMillisecond) {
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = duration;
+  return spec;
+}
+
+SimulationOptions TaOptions(int obs_level) {
+  SimulationOptions options;
+  options.memory.dma.ta.enabled = true;
+  options.memory.dma.ta.mu = 4.0;  // Generous budget: gating fires.
+  options.obs_level = obs_level;
+  return options;
+}
+
+const MetricSample* FindMetric(const SimulationResults& results,
+                               const std::string& component,
+                               const std::string& name) {
+  for (const MetricSample& sample : results.metrics) {
+    if (sample.component == component && sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+// The contract the whole layer stands on: a fully-observed run produces
+// bit-identical simulation results to an unobserved one.
+TEST(ObservabilityTest, ObservedRunMatchesUnobservedRunExactly) {
+  const SimulationResults off = RunWorkload(ShortWorkload(), TaOptions(0));
+  const SimulationResults on = RunWorkload(ShortWorkload(), TaOptions(2));
+
+  EXPECT_EQ(off.energy.Total(), on.energy.Total());
+  for (int i = 0; i < kEnergyBucketCount; ++i) {
+    const auto bucket = static_cast<EnergyBucket>(i);
+    EXPECT_EQ(off.energy.Of(bucket), on.energy.Of(bucket));
+  }
+  EXPECT_EQ(off.executed_events, on.executed_events);
+  EXPECT_EQ(off.stepped_events, on.stepped_events);
+  EXPECT_EQ(off.controller.transfers_completed,
+            on.controller.transfers_completed);
+  EXPECT_EQ(off.server.reads, on.server.reads);
+  EXPECT_EQ(off.gated_requests, on.gated_requests);
+  EXPECT_EQ(off.releases_by_quorum, on.releases_by_quorum);
+  EXPECT_EQ(off.releases_by_slack, on.releases_by_slack);
+  EXPECT_EQ(off.client_response.Mean(), on.client_response.Mean());
+  EXPECT_EQ(off.utilization_factor, on.utilization_factor);
+
+  // The observed run actually observed something.
+  EXPECT_TRUE(off.metrics.empty());
+  EXPECT_FALSE(on.metrics.empty());
+  EXPECT_GT(on.obs_events, 0u);
+  EXPECT_EQ(on.obs_dropped_events, 0u);
+}
+
+TEST(ObservabilityTest, MetricsReconcileWithResults) {
+  const SimulationResults results =
+      RunWorkload(ShortWorkload(), TaOptions(2));
+
+  const MetricSample* completed =
+      FindMetric(results, "controller", "transfers_completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(completed->count, results.controller.transfers_completed);
+
+  const MetricSample* gated = FindMetric(results, "dma_ta", "gated_total");
+  ASSERT_NE(gated, nullptr);
+  EXPECT_EQ(gated->count, results.gated_requests);
+  EXPECT_GT(gated->count, 0u);
+
+  // Per-cause release counters partition the coarse quorum/slack split.
+  std::uint64_t by_cause = 0;
+  for (const MetricSample& sample : results.metrics) {
+    if (sample.component == "dma_ta" &&
+        sample.name.rfind("release_cause_", 0) == 0) {
+      by_cause += sample.count;
+    }
+  }
+  EXPECT_EQ(by_cause, results.releases_by_quorum + results.releases_by_slack);
+
+  // Live histograms saw the same populations as the running means.
+  const MetricSample* latency =
+      FindMetric(results, "controller", "transfer_latency_ticks");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(latency->total, results.transfer_latency.Count());
+  const MetricSample* response =
+      FindMetric(results, "server", "response_time_ticks");
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->total, results.client_response.Count());
+
+  // Aggregated chip counters match the energy-accounting world.
+  const MetricSample* wakeups = FindMetric(results, "chips", "wakeups");
+  ASSERT_NE(wakeups, nullptr);
+  EXPECT_GT(wakeups->count, 0u);
+}
+
+TEST(ObservabilityTest, MetricsOnlyLevelRecordsNoEvents) {
+  const SimulationResults results =
+      RunWorkload(ShortWorkload(), TaOptions(1));
+  EXPECT_FALSE(results.metrics.empty());
+  EXPECT_EQ(results.obs_events, 0u);
+  EXPECT_EQ(FindMetric(results, "tracer", "recorded_events"), nullptr);
+}
+
+TEST(ObservabilityTest, TraceFileIsWrittenAndStructurallySound) {
+  const std::string path =
+      testing::TempDir() + "/dmasim_obs_trace_test.json";
+  std::remove(path.c_str());
+  SimulationOptions options = TaOptions(2);
+  options.obs_trace_path = path;
+  const SimulationResults results = RunWorkload(ShortWorkload(), options);
+  EXPECT_GT(results.obs_events, 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(trace.find("memory chips"), std::string::npos);
+  EXPECT_NE(trace.find("\"recorded_events\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Component-level fixture with direct access to the tracer, for the
+// residency-reconciliation contract.
+class ObsReconcileFixture : public ::testing::Test {
+ protected:
+  void Build() {
+    MemorySystemConfig config;
+    config.chips = 4;
+    config.pages_per_chip = 16;
+    config.bus_count = 3;
+    config.chunk_bytes = 512;
+    policy_ = std::make_unique<DynamicThresholdPolicy>();
+    controller_ = std::make_unique<MemoryController>(&simulator_, config,
+                                                     policy_.get());
+    SimulationObserver::Options options;
+    options.level = 2;
+    observer_ = std::make_unique<SimulationObserver>(controller_.get(),
+                                                     nullptr, options);
+  }
+
+  Simulator simulator_;
+  std::unique_ptr<LowPowerPolicy> policy_;
+  std::unique_ptr<MemoryController> controller_;
+  std::unique_ptr<SimulationObserver> observer_;
+};
+
+TEST_F(ObsReconcileFixture, ResidencyEventsReconcileWithChipAccounting) {
+  Build();
+  // Sparse transfers so chips step down and wake repeatedly.
+  for (int i = 0; i < 20; ++i) {
+    simulator_.ScheduleAt(i * 2 * kMillisecond, [this, i]() {
+      controller_->StartDmaTransfer(i % 3,
+                                    static_cast<std::uint64_t>((i * 7) % 64),
+                                    8192, DmaKind::kNetwork, {});
+    });
+  }
+  simulator_.RunUntil(50 * kMillisecond);
+  observer_->Finish();
+
+  const EventTracer* tracer = observer_->tracer();
+  ASSERT_NE(tracer, nullptr);
+  ASSERT_GT(tracer->size(), 0u);
+  EXPECT_EQ(tracer->dropped(), 0u);
+
+  constexpr int kChips = 4;
+  Tick residency[kChips][kPowerStateCount] = {};
+  Tick transition[kChips] = {};
+  tracer->ForEach([&](const ObsEvent& event) {
+    const int chip = event.b;
+    switch (event.kind) {
+      case ObsEventKind::kPowerResidency:
+        ASSERT_LT(chip, kChips);
+        ASSERT_LT(event.a, kPowerStateCount);
+        residency[chip][event.a] += event.dur;
+        break;
+      case ObsEventKind::kPowerTransition:
+        ASSERT_LT(chip, kChips);
+        transition[chip] += event.dur;
+        break;
+      default:
+        break;
+    }
+  });
+
+  for (int i = 0; i < kChips; ++i) {
+    MemoryChip& chip = controller_->chip(i);
+    const ChipStats& stats = chip.stats();
+
+    // Active residency covers serving and both active-idle buckets.
+    const Tick active = stats.dma_serving + stats.cpu_serving +
+                        stats.migration_serving + stats.active_idle_dma +
+                        stats.active_idle_threshold;
+    EXPECT_EQ(residency[i][static_cast<int>(PowerState::kActive)], active)
+        << "chip " << i;
+
+    // Each low-power state's residency matches the stats slot exactly.
+    Tick low_power_total = 0;
+    for (int state = 1; state < kPowerStateCount; ++state) {
+      EXPECT_EQ(residency[i][state], stats.low_power[state])
+          << "chip " << i << " state " << state;
+      low_power_total += residency[i][state];
+    }
+    EXPECT_EQ(transition[i], stats.transition) << "chip " << i;
+
+    // Gap-free coverage: every accounted tick is in exactly one interval.
+    EXPECT_EQ(active + low_power_total + transition[i],
+              chip.accounted_until())
+        << "chip " << i;
+
+    // And the residency-implied low-power energy matches the accumulator.
+    double low_power_joules = 0.0;
+    for (int state = 1; state < kPowerStateCount; ++state) {
+      low_power_joules += PowerModel::EnergyJoules(
+          chip.model().StatePowerMw(static_cast<PowerState>(state)),
+          residency[i][state]);
+    }
+    EXPECT_NEAR(low_power_joules, chip.energy().Of(EnergyBucket::kLowPower),
+                1e-9 * (low_power_joules + 1.0))
+        << "chip " << i;
+  }
+}
+
+TEST_F(ObsReconcileFixture, ChromeExportContainsEveryRecordedEvent) {
+  Build();
+  for (int i = 0; i < 6; ++i) {
+    simulator_.ScheduleAt(i * kMillisecond, [this, i]() {
+      controller_->StartDmaTransfer(i % 3,
+                                    static_cast<std::uint64_t>(i), 8192,
+                                    DmaKind::kDisk, {});
+    });
+  }
+  simulator_.RunUntil(20 * kMillisecond);
+  observer_->Finish();
+
+  const EventTracer* tracer = observer_->tracer();
+  ASSERT_NE(tracer, nullptr);
+  std::ostringstream out;
+  WriteChromeTrace(*tracer, out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"io buses\""), std::string::npos);
+  EXPECT_NE(trace.find("\"memory chips\""), std::string::npos);
+  EXPECT_NE(
+      trace.find("\"recorded_events\":" + std::to_string(tracer->size())),
+      std::string::npos);
+  EXPECT_NE(trace.find("\"dropped_events\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -50,6 +50,50 @@ TEST(BufferCacheTest, CapacityRespected) {
   EXPECT_TRUE(cache.Contains(7));
 }
 
+TEST(BufferCacheTest, InsertAtExactCapacityEvictsExactlyOne) {
+  BufferCache cache(3);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);  // Now exactly full; nothing evicted yet.
+  EXPECT_EQ(cache.Size(), 3u);
+  const std::uint64_t evicted = cache.Insert(4);
+  EXPECT_EQ(evicted, 1u);  // The LRU page, and only it.
+  EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(BufferCacheTest, ReinsertPromotesToMru) {
+  BufferCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  // Re-inserting 1 must promote it (like a Lookup hit), so the next
+  // eviction takes 2, not 1.
+  EXPECT_EQ(cache.Insert(1), BufferCache::kNoEviction);
+  EXPECT_EQ(cache.Insert(3), 2u);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(BufferCacheTest, HitRatioOnEmptyCacheIsZero) {
+  BufferCache cache(4);
+  // No lookups yet: must be 0, not 0/0.
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 0.0);
+  EXPECT_EQ(cache.Hits(), 0u);
+  EXPECT_EQ(cache.Misses(), 0u);
+}
+
+TEST(BufferCacheTest, SingleEntryCacheCycles) {
+  BufferCache cache(1);
+  EXPECT_EQ(cache.Insert(1), BufferCache::kNoEviction);
+  EXPECT_EQ(cache.Insert(2), 1u);
+  EXPECT_EQ(cache.Insert(3), 2u);
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_TRUE(cache.Contains(3));
+}
+
 class ServerFixture : public ::testing::Test {
  protected:
   void Build(double forced_miss_ratio) {

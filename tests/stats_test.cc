@@ -1,5 +1,7 @@
 // Tests for statistics accumulators, histograms, energy bookkeeping, and
 // table formatting.
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -89,6 +91,41 @@ TEST(HistogramTest, BinCenters) {
   Histogram histogram(0.0, 10.0, 10);
   EXPECT_DOUBLE_EQ(histogram.BinCenter(0), 0.5);
   EXPECT_DOUBLE_EQ(histogram.BinCenter(9), 9.5);
+}
+
+TEST(HistogramTest, InfinitiesClampToEdgeBins) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(std::numeric_limits<double>::infinity());
+  histogram.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.BinValue(0), 1u);
+  EXPECT_EQ(histogram.BinValue(9), 1u);
+  EXPECT_EQ(histogram.TotalCount(), 2u);
+  EXPECT_EQ(histogram.NanCount(), 0u);
+}
+
+TEST(HistogramTest, NanIsCountedSeparately) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(std::numeric_limits<double>::quiet_NaN());
+  histogram.Add(5.0);
+  histogram.Add(std::numeric_limits<double>::quiet_NaN());
+  // NaN carries no ordering information: it lands in no bin and does not
+  // perturb TotalCount (and therefore quantiles).
+  EXPECT_EQ(histogram.NanCount(), 2u);
+  EXPECT_EQ(histogram.TotalCount(), 1u);
+  std::uint64_t binned = 0;
+  for (int bin = 0; bin < histogram.BinCount(); ++bin) {
+    binned += histogram.BinValue(bin);
+  }
+  EXPECT_EQ(binned, 1u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), histogram.BinCenter(5));
+}
+
+TEST(HistogramTest, QuantileUnaffectedByNonFiniteMix) {
+  Histogram histogram(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) histogram.Add(static_cast<double>(i));
+  const double median_before = histogram.Quantile(0.5);
+  histogram.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), median_before);
 }
 
 TEST(EnergyBreakdownTest, StartsEmpty) {

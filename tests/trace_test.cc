@@ -156,5 +156,46 @@ TEST(TraceIoTest, FailedParseLeavesOutputUntouched) {
   EXPECT_EQ(parsed, SmallTrace());
 }
 
+TEST(TraceIoTest, RejectsTrailingGarbage) {
+  // A record is exactly four fields; a fifth means a mis-columned trace.
+  std::istringstream input("5 R 17 8192 junk\n");
+  Trace parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTrace(input, &parsed, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("junk"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsTrailingNumericField) {
+  // Even a well-formed-looking extra number must not be dropped silently:
+  // it usually means the columns are shifted and `bytes` is wrong.
+  std::istringstream input("5 R 17 8192 100\n");
+  Trace parsed;
+  EXPECT_FALSE(ReadTrace(input, &parsed));
+}
+
+TEST(TraceIoTest, TrailingWhitespaceIsAccepted) {
+  std::istringstream input("5 R 17 8192   \n");
+  Trace parsed;
+  std::string error;
+  ASSERT_TRUE(ReadTrace(input, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].bytes, 8192);
+}
+
+TEST(TraceIoTest, ErrorReportsCorrectLineNumber) {
+  // Comments and blank lines still count toward the reported line number,
+  // so the message points at the actual file line.
+  std::istringstream input(
+      "# header\n"
+      "5 R 17 8192\n"
+      "\n"
+      "9 C 17 64 tail\n");
+  Trace parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTrace(input, &parsed, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dmasim

@@ -1,0 +1,239 @@
+// dmasim_check: bounded explicit-state model checker for the DMA-TA
+// protocol and the chip power-state machine (src/check).
+//
+// Explore mode (default) exhaustively enumerates every interleaving of
+// request arrivals, CPU accesses, power-policy step-downs, and time
+// advances for a small configuration, checking the protocol properties
+// at every state. On a violation it delta-debugs the trace to a
+// 1-minimal action sequence and (with --out) writes a replayable
+// counterexample file.
+//
+//   ./build/examples/dmasim_check --chips 2 --buses 2 --depth 12
+//   ./build/examples/dmasim_check --fault resync-skip --out ce.txt
+//   ./build/examples/dmasim_check --replay ce.txt
+//   ./build/examples/dmasim_check --seed-config config.txt
+//
+// Exit codes: 0 = explored clean (or --replay reproduced the recorded
+// violation), 1 = explore found a violation (or --replay failed to
+// reproduce), 2 = usage / input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/counterexample.h"
+#include "check/explorer.h"
+#include "check/minimizer.h"
+
+namespace {
+
+using namespace dmasim::check;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: dmasim_check [options]\n"
+      "  --chips N             memory chips, 1..4 (default 2)\n"
+      "  --buses N             I/O buses, 1..3 (default 2)\n"
+      "  --k N                 distinct-bus release quorum (default 2)\n"
+      "  --depth N             max choice-sequence length (default 12)\n"
+      "  --arrivals N          max DMA transfers injected (default 3)\n"
+      "  --cpu N               max CPU accesses injected (default 1)\n"
+      "  --epochs N            max epoch boundaries crossed (default 2)\n"
+      "  --mu F                slack factor mu (default 1.0)\n"
+      "  --t-request TICKS     one I/O-bus slot T (default 480000)\n"
+      "  --transfer-requests N DMA-memory requests per transfer (default 4)\n"
+      "  --epoch-length TICKS  checker epoch (default 1000000 = 1 us)\n"
+      "  --policy NAME         dynamic-threshold | static-nap |\n"
+      "                        static-powerdown (default static-nap)\n"
+      "  --fault NAME          none | resync-skip | lost-release |\n"
+      "                        stuck-deadline (default none)\n"
+      "  --max-states N        visited-state cap (default 1048576)\n"
+      "  --out FILE            write the minimized counterexample here\n"
+      "  --no-minimize         keep the raw violating trace\n"
+      "  --seed-config FILE    load 'key value' lines as the base config\n"
+      "  --replay FILE         re-execute a counterexample file instead of\n"
+      "                        exploring\n");
+}
+
+bool ParseInt(const char* text, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "dmasim_check: %s\n", message.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckerConfig config;
+  std::uint64_t max_states = 1u << 20;
+  std::string out_path;
+  std::string replay_path;
+  bool minimize = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    long long n = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg == "--no-minimize") {
+      minimize = false;
+    } else if (arg == "--seed-config") {
+      const char* path = value();
+      if (path == nullptr) return Fail("--seed-config needs a file");
+      std::string error;
+      if (!ReadConfigFile(path, &config, &error)) {
+        return Fail(std::string(path) + ": " + error);
+      }
+    } else if (arg == "--replay") {
+      const char* path = value();
+      if (path == nullptr) return Fail("--replay needs a file");
+      replay_path = path;
+    } else if (arg == "--out") {
+      const char* path = value();
+      if (path == nullptr) return Fail("--out needs a file");
+      out_path = path;
+    } else if (arg == "--policy") {
+      const char* name = value();
+      if (name == nullptr || !ParseCheckPolicy(name, &config.policy)) {
+        return Fail("--policy needs dynamic-threshold | static-nap | "
+                    "static-powerdown");
+      }
+    } else if (arg == "--fault") {
+      const char* name = value();
+      if (name == nullptr || !ParseCheckFault(name, &config.fault)) {
+        return Fail("--fault needs none | resync-skip | lost-release | "
+                    "stuck-deadline");
+      }
+    } else if (arg == "--mu") {
+      const char* text = value();
+      if (text == nullptr || !ParseDouble(text, &config.mu)) {
+        return Fail("--mu needs a number");
+      }
+    } else {
+      const char* text = value();
+      if (text == nullptr || !ParseInt(text, &n)) {
+        return Fail("unknown or incomplete option \"" + arg +
+                    "\" (see --help)");
+      }
+      if (arg == "--chips") {
+        config.chips = static_cast<int>(n);
+      } else if (arg == "--buses") {
+        config.buses = static_cast<int>(n);
+      } else if (arg == "--k") {
+        config.k = static_cast<int>(n);
+      } else if (arg == "--depth") {
+        config.max_depth = static_cast<int>(n);
+      } else if (arg == "--arrivals") {
+        config.max_arrivals = static_cast<int>(n);
+      } else if (arg == "--cpu") {
+        config.max_cpu_accesses = static_cast<int>(n);
+      } else if (arg == "--epochs") {
+        config.max_epochs = static_cast<int>(n);
+      } else if (arg == "--t-request") {
+        config.t_request = n;
+      } else if (arg == "--transfer-requests") {
+        config.transfer_requests = n;
+      } else if (arg == "--epoch-length") {
+        config.epoch_length = n;
+      } else if (arg == "--max-states") {
+        max_states = static_cast<std::uint64_t>(n);
+      } else {
+        return Fail("unknown option \"" + arg + "\" (see --help)");
+      }
+    }
+  }
+
+  if (!replay_path.empty()) {
+    Counterexample ce;
+    std::string error;
+    if (!ReadCounterexampleFile(replay_path, &ce, &error)) {
+      return Fail(replay_path + ": " + error);
+    }
+    std::string observed;
+    const bool reproduced = ReplayCounterexample(ce, &observed);
+    std::printf("replay of %s (%zu actions, fault %s):\n  recorded  %s\n"
+                "  observed  %s\n",
+                replay_path.c_str(), ce.actions.size(),
+                CheckFaultName(ce.config.fault), ce.property.c_str(),
+                observed.c_str());
+    if (!reproduced) {
+      std::printf("VIOLATION DID NOT REPRODUCE\n");
+      return 1;
+    }
+    std::printf("reproduced\n");
+    return 0;
+  }
+
+  std::printf(
+      "dmasim_check: chips=%d buses=%d k=%d depth=%d arrivals=%d cpu=%d "
+      "epochs=%d policy=%s fault=%s\n",
+      config.chips, config.buses, config.k, config.max_depth,
+      config.max_arrivals, config.max_cpu_accesses, config.max_epochs,
+      CheckPolicyName(config.policy), CheckFaultName(config.fault));
+
+  Explorer explorer(config, max_states);
+  const ExploreResult result = explorer.Run();
+  const ExploreStats& stats = result.stats;
+  std::printf(
+      "explored %llu states (%llu dedup hits, %llu actions applied)\n"
+      "frontier peak %zu, depth reached %d, terminal states %llu, "
+      "transitions audited %llu%s\n",
+      static_cast<unsigned long long>(stats.states_explored),
+      static_cast<unsigned long long>(stats.dedup_hits),
+      static_cast<unsigned long long>(stats.actions_applied),
+      stats.frontier_peak, stats.depth_reached,
+      static_cast<unsigned long long>(stats.terminal_states),
+      static_cast<unsigned long long>(stats.transitions_audited),
+      stats.truncated ? " [TRUNCATED at --max-states]" : "");
+
+  if (!result.violation.has_value()) {
+    std::printf("no violations\n");
+    return 0;
+  }
+
+  const ViolationTrace& trace = *result.violation;
+  std::printf("VIOLATION of %s\n  %s\n  raw trace: %zu actions\n",
+              trace.property.c_str(), trace.message.c_str(),
+              trace.actions.size());
+
+  std::vector<dmasim::check::Action> actions = trace.actions;
+  if (minimize) {
+    actions = MinimizeTrace(config, actions, trace.property);
+    std::printf("  minimized: %zu actions\n", actions.size());
+  }
+  for (const auto& action : actions) {
+    std::printf("    %s\n", FormatAction(action).c_str());
+  }
+
+  if (!out_path.empty()) {
+    Counterexample ce;
+    ce.config = config;
+    ce.property = trace.property;
+    ce.message = trace.message;
+    ce.actions = actions;
+    std::string error;
+    if (!WriteCounterexampleFile(ce, out_path, &error)) {
+      return Fail(error);
+    }
+    std::printf("counterexample written to %s\n", out_path.c_str());
+  }
+  return 1;
+}

@@ -1,0 +1,75 @@
+#include "check/action.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dmasim::check {
+
+std::uint16_t EncodeAction(const Action& action) {
+  DMASIM_EXPECTS(action.bus >= 0 && action.bus < 8);
+  DMASIM_EXPECTS(action.chip >= 0 && action.chip < 8);
+  return static_cast<std::uint16_t>(static_cast<unsigned>(action.kind) |
+                                    (static_cast<unsigned>(action.bus) << 2) |
+                                    (static_cast<unsigned>(action.chip) << 5));
+}
+
+Action DecodeAction(std::uint16_t word) {
+  Action action;
+  action.kind = static_cast<ActionKind>(word & 0x3u);
+  action.bus = static_cast<int>((word >> 2) & 0x7u);
+  action.chip = static_cast<int>((word >> 5) & 0x7u);
+  return action;
+}
+
+std::string FormatAction(const Action& action) {
+  char buffer[32];
+  switch (action.kind) {
+    case ActionKind::kArrive:
+      std::snprintf(buffer, sizeof(buffer), "arrive %d %d", action.bus,
+                    action.chip);
+      break;
+    case ActionKind::kCpuAccess:
+      std::snprintf(buffer, sizeof(buffer), "cpu %d", action.chip);
+      break;
+    case ActionKind::kStepDown:
+      std::snprintf(buffer, sizeof(buffer), "step-down %d", action.chip);
+      break;
+    case ActionKind::kAdvance:
+      std::snprintf(buffer, sizeof(buffer), "advance");
+      break;
+  }
+  return std::string(buffer);
+}
+
+bool ParseAction(const std::string& text, Action* out) {
+  std::istringstream stream(text);
+  std::string verb;
+  if (!(stream >> verb)) return false;
+  Action action;
+  if (verb == "arrive") {
+    action.kind = ActionKind::kArrive;
+    if (!(stream >> action.bus >> action.chip)) return false;
+  } else if (verb == "cpu") {
+    action.kind = ActionKind::kCpuAccess;
+    if (!(stream >> action.chip)) return false;
+  } else if (verb == "step-down") {
+    action.kind = ActionKind::kStepDown;
+    if (!(stream >> action.chip)) return false;
+  } else if (verb == "advance") {
+    action.kind = ActionKind::kAdvance;
+  } else {
+    return false;
+  }
+  if (action.bus < 0 || action.bus >= 8 || action.chip < 0 ||
+      action.chip >= 8) {
+    return false;
+  }
+  std::string trailing;
+  if (stream >> trailing) return false;  // Junk after the operands.
+  *out = action;
+  return true;
+}
+
+}  // namespace dmasim::check

@@ -1,0 +1,43 @@
+// The checker's choice alphabet: one Action is one nondeterministic step
+// the explorer can take from a protocol state. A counterexample is a
+// sequence of these; their compact uint16 encoding keeps BFS frontier
+// paths small (a full path is max_depth * 2 bytes).
+#ifndef DMASIM_CHECK_ACTION_H_
+#define DMASIM_CHECK_ACTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dmasim::check {
+
+enum class ActionKind : int {
+  kArrive = 0,   // First DMA-memory request of a new transfer (bus, chip).
+  kCpuAccess,    // Processor access to `chip`.
+  kStepDown,     // `chip`'s low-power policy fires its next step-down.
+  kAdvance,      // Time advances to the next deadline or epoch boundary.
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kAdvance;
+  int bus = 0;   // kArrive only.
+  int chip = 0;  // kArrive, kCpuAccess, kStepDown.
+
+  friend bool operator==(const Action& a, const Action& b) {
+    return a.kind == b.kind && a.bus == b.bus && a.chip == b.chip;
+  }
+};
+
+// Compact encoding: kind in bits 0-1, bus in bits 2-4, chip in bits 5-7.
+// Fields fit by construction (CheckerConfig caps chips at 4, buses at 3).
+std::uint16_t EncodeAction(const Action& action);
+Action DecodeAction(std::uint16_t word);
+
+// "arrive 1 0" / "cpu 0" / "step-down 1" / "advance" -- the line format
+// used in counterexample files.
+std::string FormatAction(const Action& action);
+// Parses FormatAction output; returns false on malformed input.
+bool ParseAction(const std::string& text, Action* out);
+
+}  // namespace dmasim::check
+
+#endif  // DMASIM_CHECK_ACTION_H_

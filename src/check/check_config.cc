@@ -1,0 +1,55 @@
+#include "check/check_config.h"
+
+namespace dmasim::check {
+
+const char* CheckFaultName(CheckFault fault) {
+  switch (fault) {
+    case CheckFault::kNone:
+      return "none";
+    case CheckFault::kResyncSkip:
+      return "resync-skip";
+    case CheckFault::kLostRelease:
+      return "lost-release";
+    case CheckFault::kStuckDeadline:
+      return "stuck-deadline";
+  }
+  return "?";
+}
+
+const char* CheckPolicyName(CheckPolicy policy) {
+  switch (policy) {
+    case CheckPolicy::kDynamicThreshold:
+      return "dynamic-threshold";
+    case CheckPolicy::kStaticNap:
+      return "static-nap";
+    case CheckPolicy::kStaticPowerdown:
+      return "static-powerdown";
+  }
+  return "?";
+}
+
+bool ParseCheckFault(const std::string& name, CheckFault* out) {
+  for (const CheckFault fault :
+       {CheckFault::kNone, CheckFault::kResyncSkip, CheckFault::kLostRelease,
+        CheckFault::kStuckDeadline}) {
+    if (name == CheckFaultName(fault)) {
+      *out = fault;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseCheckPolicy(const std::string& name, CheckPolicy* out) {
+  for (const CheckPolicy policy :
+       {CheckPolicy::kDynamicThreshold, CheckPolicy::kStaticNap,
+        CheckPolicy::kStaticPowerdown}) {
+    if (name == CheckPolicyName(policy)) {
+      *out = policy;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dmasim::check

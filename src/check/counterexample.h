@@ -1,0 +1,68 @@
+// Replayable counterexample files.
+//
+// A counterexample records everything needed to re-execute a violating
+// run with zero ambiguity: the full checker configuration, the violated
+// property, the diagnostic message, and the (minimized) action sequence.
+// The format is line-oriented text so a counterexample can be committed
+// as a test fixture, read in a code review, and parsed without any
+// dependencies:
+//
+//   dmasim-counterexample v1
+//   chips 2
+//   ...               (one "key value" line per CheckerConfig field)
+//   policy static-nap
+//   fault resync-skip
+//   property check.power-state-legality
+//   message chip 0: nap -> active over [0, 0]: resync took 0 ticks, ...
+//   actions 1
+//   cpu 0
+//   end
+#ifndef DMASIM_CHECK_COUNTEREXAMPLE_H_
+#define DMASIM_CHECK_COUNTEREXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "check/action.h"
+#include "check/check_config.h"
+
+namespace dmasim::check {
+
+struct Counterexample {
+  CheckerConfig config;
+  std::string property;
+  std::string message;  // Single line (newlines are replaced on write).
+  std::vector<Action> actions;
+};
+
+// Serializes to the line format above.
+std::string FormatCounterexample(const Counterexample& ce);
+
+// Parses FormatCounterexample output. On failure returns false and fills
+// `error` with a line-numbered diagnostic. Unknown keys are rejected
+// (a typo in a hand-edited fixture must not silently fall back to a
+// default bound).
+bool ParseCounterexampleText(const std::string& text, Counterexample* out,
+                             std::string* error);
+
+// File variants of the above.
+bool WriteCounterexampleFile(const Counterexample& ce, const std::string& path,
+                             std::string* error);
+bool ReadCounterexampleFile(const std::string& path, Counterexample* out,
+                            std::string* error);
+
+// Parses a bare "key value" configuration file (the counterexample
+// header without the envelope) -- the CLI's --seed-config input. Lines
+// that are empty or start with '#' are skipped.
+bool ReadConfigFile(const std::string& path, CheckerConfig* out,
+                    std::string* error);
+
+// Replays the counterexample through a fresh harness. Returns true when
+// a violation of the recorded property reproduces; `observed` (may be
+// null) receives the property/message actually observed, or a note that
+// nothing fired.
+bool ReplayCounterexample(const Counterexample& ce, std::string* observed);
+
+}  // namespace dmasim::check
+
+#endif  // DMASIM_CHECK_COUNTEREXAMPLE_H_

@@ -1,0 +1,129 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "check/state_hash.h"
+#include "util/check.h"
+
+namespace dmasim::check {
+
+bool ReplayActions(const std::vector<Action>& actions,
+                   ProtocolHarness* harness, std::size_t* applied) {
+  std::size_t count = 0;
+  for (const Action& action : actions) {
+    if (!harness->IsEnabled(action)) break;
+    const bool clean = harness->Apply(action);
+    ++count;
+    if (!clean) break;
+  }
+  if (applied != nullptr) *applied = count;
+  return count == actions.size() || harness->violation().has_value();
+}
+
+namespace {
+
+using Path = std::vector<std::uint16_t>;
+
+std::vector<Action> DecodePath(const Path& path) {
+  std::vector<Action> actions;
+  actions.reserve(path.size());
+  for (const std::uint16_t word : path) {
+    actions.push_back(DecodeAction(word));
+  }
+  return actions;
+}
+
+}  // namespace
+
+ExploreResult Explorer::Run() {
+  ExploreResult result;
+  ExploreStats& stats = result.stats;
+
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<Path> frontier;
+  std::vector<std::uint64_t> encoded;
+  std::vector<Action> enabled;
+
+  // A fresh harness per replay: states are recreated, never copied.
+  const auto replay = [&](const Path& path) {
+    auto harness = std::make_unique<ProtocolHarness>(config_);
+    for (const std::uint16_t word : path) {
+      harness->Apply(DecodeAction(word));
+      ++stats.actions_applied;
+    }
+    return harness;
+  };
+
+  {
+    const ProtocolHarness initial(config_);
+    initial.EncodeState(&encoded);
+    visited.insert(HashState(encoded));
+    stats.states_explored = 1;
+  }
+  frontier.push_back(Path{});
+
+  while (!frontier.empty()) {
+    stats.frontier_peak = std::max(stats.frontier_peak, frontier.size());
+    const Path path = std::move(frontier.front());
+    frontier.pop_front();
+    stats.depth_reached =
+        std::max(stats.depth_reached, static_cast<int>(path.size()));
+
+    const auto harness = replay(path);
+    stats.transitions_audited =
+        std::max(stats.transitions_audited, harness->transitions_checked());
+    DMASIM_CHECK(!harness->violation().has_value());
+
+    harness->EnabledActions(&enabled);
+    if (harness->Quiescent() || enabled.empty()) {
+      // Quiescent: nothing protocol-relevant left (remaining step-downs /
+      // empty epochs cannot move any property). Dead-end: no action at
+      // all. Both run the end-of-run pass (full drain, credit
+      // conservation) and are not expanded.
+      harness->CheckTerminal();
+      ++stats.terminal_states;
+      if (harness->violation().has_value()) {
+        result.violation = ViolationTrace{DecodePath(path),
+                                          harness->violation()->property,
+                                          harness->violation()->message};
+        return result;
+      }
+      continue;
+    }
+    if (static_cast<int>(path.size()) >= config_.max_depth) continue;
+
+    for (const Action& action : enabled) {
+      const auto child = replay(path);
+      const bool clean = child->Apply(action);
+      ++stats.actions_applied;
+      if (!clean) {
+        Path extended = path;
+        extended.push_back(EncodeAction(action));
+        result.violation = ViolationTrace{DecodePath(extended),
+                                          child->violation()->property,
+                                          child->violation()->message};
+        return result;
+      }
+      child->EncodeState(&encoded);
+      const std::uint64_t digest = HashState(encoded);
+      if (!visited.insert(digest).second) {
+        ++stats.dedup_hits;
+        continue;
+      }
+      ++stats.states_explored;
+      Path extended = path;
+      extended.push_back(EncodeAction(action));
+      frontier.push_back(std::move(extended));
+      if (visited.size() >= max_states_) {
+        stats.truncated = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dmasim::check

@@ -1,0 +1,75 @@
+// Bounded breadth-first exploration of the protocol harness.
+//
+// ProtocolHarness is deliberately non-copyable (gated requests hold
+// pointers into harness-owned transfer storage), so the explorer stores
+// *paths* (encoded action sequences) on its frontier and recreates any
+// state by replaying its path from the initial state. Expansion of one
+// node therefore costs O(branching * depth) action applications --
+// cheap, allocation-light steps -- in exchange for never copying live
+// aligner/FSM state.
+//
+// The visited set holds 64-bit FNV-1a digests of the canonical state
+// encoding (see state_hash.h for the collision analysis). Exploration
+// stops at the first property violation, at max_depth per path, and at
+// max_states total unique states (reported as truncation, never
+// silently).
+#ifndef DMASIM_CHECK_EXPLORER_H_
+#define DMASIM_CHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/action.h"
+#include "check/check_config.h"
+#include "check/protocol_harness.h"
+
+namespace dmasim::check {
+
+struct ExploreStats {
+  std::uint64_t states_explored = 0;  // Unique canonical states seen.
+  std::uint64_t dedup_hits = 0;       // Transitions into already-seen states.
+  std::uint64_t actions_applied = 0;  // Total harness steps incl. replays.
+  std::uint64_t terminal_states = 0;  // Quiescent / dead-end states checked.
+  std::uint64_t transitions_audited = 0;  // Power transitions validated.
+  std::size_t frontier_peak = 0;
+  int depth_reached = 0;
+  bool truncated = false;  // Hit the max_states cap before exhausting.
+};
+
+struct ViolationTrace {
+  std::vector<Action> actions;  // Prefix whose last action (or terminal
+                                // check) surfaced the violation.
+  std::string property;
+  std::string message;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::optional<ViolationTrace> violation;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const CheckerConfig& config,
+                    std::uint64_t max_states = 1u << 20)
+      : config_(config), max_states_(max_states) {}
+
+  ExploreResult Run();
+
+ private:
+  CheckerConfig config_;
+  std::uint64_t max_states_;
+};
+
+// Replays `actions` on a fresh harness. Stops early when an action is
+// not enabled (returns false) or a violation fires (returns true;
+// harness->violation() is set). `applied` (may be null) receives the
+// number of actions actually applied.
+bool ReplayActions(const std::vector<Action>& actions,
+                   ProtocolHarness* harness, std::size_t* applied);
+
+}  // namespace dmasim::check
+
+#endif  // DMASIM_CHECK_EXPLORER_H_

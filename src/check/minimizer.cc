@@ -1,0 +1,86 @@
+#include "check/minimizer.h"
+
+#include <algorithm>
+
+#include "check/explorer.h"
+#include "check/protocol_harness.h"
+#include "util/check.h"
+
+namespace dmasim::check {
+
+bool Reproduces(const CheckerConfig& config,
+                const std::vector<Action>& actions,
+                const std::string& property) {
+  ProtocolHarness harness(config);
+  std::size_t applied = 0;
+  const bool complete = ReplayActions(actions, &harness, &applied);
+  if (!harness.violation().has_value()) {
+    if (!complete) return false;  // An action was not enabled: invalid.
+    // Violation may only surface at the terminal pass (full drain).
+    std::vector<Action> enabled;
+    harness.EnabledActions(&enabled);
+    if (!harness.Quiescent() && !enabled.empty()) return false;
+    harness.CheckTerminal();
+    if (!harness.violation().has_value()) return false;
+  }
+  return property.empty() || harness.violation()->property == property;
+}
+
+namespace {
+
+std::vector<Action> WithoutRange(const std::vector<Action>& actions,
+                                 std::size_t begin, std::size_t end) {
+  std::vector<Action> candidate;
+  candidate.reserve(actions.size() - (end - begin));
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i < begin || i >= end) candidate.push_back(actions[i]);
+  }
+  return candidate;
+}
+
+}  // namespace
+
+std::vector<Action> MinimizeTrace(const CheckerConfig& config,
+                                  const std::vector<Action>& actions,
+                                  const std::string& property) {
+  DMASIM_EXPECTS(Reproduces(config, actions, property));
+  std::vector<Action> current = actions;
+
+  // ddmin: partition into `chunks` pieces, greedily drop any piece whose
+  // removal still reproduces; refine granularity when nothing drops.
+  std::size_t chunks = 2;
+  while (current.size() >= 2 && chunks <= current.size()) {
+    const std::size_t chunk_size =
+        (current.size() + chunks - 1) / chunks;  // ceil
+    bool removed = false;
+    for (std::size_t begin = 0; begin < current.size(); begin += chunk_size) {
+      const std::size_t end = std::min(begin + chunk_size, current.size());
+      std::vector<Action> candidate = WithoutRange(current, begin, end);
+      if (candidate.size() < current.size() &&
+          Reproduces(config, candidate, property)) {
+        current = std::move(candidate);
+        chunks = std::max<std::size_t>(2, chunks - 1);
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) chunks *= 2;
+  }
+
+  // One-at-a-time sweep to a 1-minimal fixpoint.
+  bool shrunk = true;
+  while (shrunk && current.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      std::vector<Action> candidate = WithoutRange(current, i, i + 1);
+      if (Reproduces(config, candidate, property)) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace dmasim::check

@@ -103,6 +103,14 @@ class TemporalAligner {
   }
   int TotalPending() const { return total_pending_; }
 
+  // Read-only view of `chip`'s gated requests, in gating order. This is
+  // the protocol checker's introspection seam (src/check): state
+  // canonicalization and the conservation properties need the buffered
+  // (bus, gated_at, deadline) triples, not just the count.
+  const std::vector<GatedRequest>& GatedFor(int chip) const {
+    return gated_[static_cast<std::size_t>(chip)];
+  }
+
   // Whether `chip`'s gated requests should be released at time `now`.
   bool ShouldRelease(int chip, Tick now) const;
 

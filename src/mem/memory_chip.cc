@@ -11,29 +11,22 @@ MemoryChip::MemoryChip(Simulator* simulator, const PowerModel* model,
       model_(model),
       policy_(policy),
       id_(id),
-      state_(RestingState(*policy)),
+      fsm_(RestingState(*policy)),
       accounted_until_(simulator->Now()),
-      power_mw_(model->StatePowerMw(state_)) {
-  if (state_ == PowerState::kActive) {
+      power_mw_(model->StatePowerMw(fsm_.state())) {
+  if (fsm_.state() == PowerState::kActive) {
     bucket_ = EnergyBucket::kActiveIdleThreshold;
     time_slot_ = &stats_.active_idle_threshold;
     ArmPolicyTimer();
   } else {
     bucket_ = EnergyBucket::kLowPower;
-    time_slot_ = &stats_.low_power[static_cast<int>(state_)];
+    time_slot_ = &stats_.low_power[static_cast<int>(fsm_.state())];
     ArmPolicyTimer();
   }
 }
 
 PowerState MemoryChip::RestingState(const LowPowerPolicy& policy) {
-  PowerState state = PowerState::kActive;
-  // Follow the policy's step-down chain to its terminal state.
-  for (int guard = 0; guard < kPowerStateCount; ++guard) {
-    const auto step = policy.NextStep(state);
-    if (!step.has_value()) break;
-    state = step->target;
-  }
-  return state;
+  return PowerFsm::RestingState(policy);
 }
 
 void MemoryChip::AccountTo(Tick when) {
@@ -68,8 +61,8 @@ void MemoryChip::Enqueue(ChipRequest request) {
   DMASIM_EXPECTS(request.bytes > 0);
   // Invalidate any pending idle timer: the chip is no longer idle.
   ++timer_generation_;
-  if (!serving_ && !transitioning_ && state_ == PowerState::kActive &&
-      !HasQueuedRequest()) {
+  if (!serving_ && !fsm_.transitioning() &&
+      fsm_.state() == PowerState::kActive && !HasQueuedRequest()) {
     // Idle active chip, empty queues: StartNextService would pop back
     // this very request, so serve it directly without the deque
     // round-trip. This is the common case on an uncontended chip.
@@ -87,8 +80,8 @@ void MemoryChip::Enqueue(ChipRequest request) {
       migration_queue_.push_back(std::move(request));
       break;
   }
-  if (serving_ || transitioning_) return;  // Picked up on completion.
-  if (state_ == PowerState::kActive) {
+  if (serving_ || fsm_.transitioning()) return;  // Picked up on completion.
+  if (fsm_.state() == PowerState::kActive) {
     StartNextService();
   } else {
     StartWake();
@@ -97,8 +90,8 @@ void MemoryChip::Enqueue(ChipRequest request) {
 
 void MemoryChip::BeginTransfer() {
   ++in_flight_transfers_;
-  if (!serving_ && !transitioning_ && state_ == PowerState::kActive &&
-      in_flight_transfers_ == 1) {
+  if (!serving_ && !fsm_.transitioning() &&
+      fsm_.state() == PowerState::kActive && in_flight_transfers_ == 1) {
     // Re-attribute idle-active time. The idle-threshold timer is disarmed:
     // in the real 8-byte-request system, gaps within an in-flight transfer
     // (12 memory cycles) are always below the step-down threshold, so the
@@ -113,8 +106,8 @@ void MemoryChip::BeginTransfer() {
 void MemoryChip::EndTransfer() {
   DMASIM_EXPECTS(in_flight_transfers_ > 0);
   --in_flight_transfers_;
-  if (!serving_ && !transitioning_ && state_ == PowerState::kActive &&
-      in_flight_transfers_ == 0) {
+  if (!serving_ && !fsm_.transitioning() &&
+      fsm_.state() == PowerState::kActive && in_flight_transfers_ == 0) {
     SetAccounting(EnergyBucket::kActiveIdleThreshold, model_->active_mw,
                   &stats_.active_idle_threshold);
     ArmPolicyTimer();
@@ -122,8 +115,8 @@ void MemoryChip::EndTransfer() {
 }
 
 void MemoryChip::StartNextService() {
-  DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK_EQ(state_, PowerState::kActive);
+  DMASIM_CHECK(!serving_ && !fsm_.transitioning());
+  DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   DMASIM_CHECK(HasQueuedRequest());
 
   ServeRequest(PopNextRequest());
@@ -238,8 +231,8 @@ void MemoryChip::ServeDone() {
 }
 
 void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
-  DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK_EQ(state_, PowerState::kActive);
+  DMASIM_CHECK(!serving_ && !fsm_.transitioning());
+  DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
   DMASIM_CHECK_LE(issue, completion);
   // Idle-DMA gap up to the issue, then the serving interval, then back to
@@ -256,8 +249,8 @@ void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
 }
 
 void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
-  DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK_EQ(state_, PowerState::kActive);
+  DMASIM_CHECK(!serving_ && !fsm_.transitioning());
+  DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
   AccountTo(issue);
   bucket_ = EnergyBucket::kActiveServing;
@@ -273,7 +266,7 @@ void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
 void MemoryChip::ObsCloseResidency(Tick now) {
   if (obs_tracer_ == nullptr) return;
   if (now > obs_interval_start_) {
-    obs_tracer_->PowerResidency(id_, static_cast<int>(state_),
+    obs_tracer_->PowerResidency(id_, static_cast<int>(fsm_.state()),
                                 obs_interval_start_, now);
   }
   obs_interval_start_ = now;
@@ -283,14 +276,15 @@ void MemoryChip::FlushObsResidency() {
   if (obs_tracer_ == nullptr) return;
   const Tick now = accounted_until_;
   if (now > obs_interval_start_) {
-    if (transitioning_) {
+    if (fsm_.transitioning()) {
       // Mid-transition at flush time: emit the partial transition so the
       // trace's interval totals still cover every accounted tick.
-      obs_tracer_->PowerTransition(id_, static_cast<int>(state_),
-                                   static_cast<int>(transition_target_),
-                                   transition_up_, obs_interval_start_, now);
+      obs_tracer_->PowerTransition(id_, static_cast<int>(fsm_.state()),
+                                   static_cast<int>(fsm_.transition_target()),
+                                   fsm_.transition_up(), obs_interval_start_,
+                                   now);
     } else {
-      obs_tracer_->PowerResidency(id_, static_cast<int>(state_),
+      obs_tracer_->PowerResidency(id_, static_cast<int>(fsm_.state()),
                                   obs_interval_start_, now);
     }
   }
@@ -299,8 +293,8 @@ void MemoryChip::FlushObsResidency() {
 #endif
 
 void MemoryChip::BecomeIdleActive() {
-  DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK_EQ(state_, PowerState::kActive);
+  DMASIM_CHECK(!serving_ && !fsm_.transitioning());
+  DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   if (in_flight_transfers_ > 0) {
     SetAccounting(EnergyBucket::kActiveIdleDma, model_->active_mw,
                   &stats_.active_idle_dma);
@@ -313,28 +307,24 @@ void MemoryChip::BecomeIdleActive() {
 
 void MemoryChip::ArmPolicyTimer() {
   // See BeginTransfer: no step-down while a DMA transfer is in flight.
-  if (state_ == PowerState::kActive && in_flight_transfers_ > 0) return;
-  const auto step = policy_->NextStep(state_);
+  if (fsm_.state() == PowerState::kActive && in_flight_transfers_ > 0) return;
+  const auto step = policy_->NextStep(fsm_.state());
   if (!step.has_value()) return;
   const std::uint64_t generation = ++timer_generation_;
-  const PowerState expected_state = state_;
+  const PowerState expected_state = fsm_.state();
   const PowerState target = step->target;
   simulator_->ScheduleAfter(step->after_idle, [this, generation,
                                                expected_state, target]() {
     if (timer_generation_ != generation) return;  // Timer was cancelled.
-    if (serving_ || transitioning_ || HasQueuedRequest()) return;
-    if (state_ != expected_state) return;
+    if (serving_ || fsm_.transitioning() || HasQueuedRequest()) return;
+    if (fsm_.state() != expected_state) return;
     StartStepDown(target);
   });
 }
 
 void MemoryChip::StartWake() {
-  DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK_NE(state_, PowerState::kActive);
-  const Transition& transition = model_->UpTransition(state_);
-  transitioning_ = true;
-  transition_up_ = true;
-  transition_target_ = PowerState::kActive;
+  DMASIM_CHECK(!serving_);
+  const Transition& transition = fsm_.BeginWake(*model_);
 #if DMASIM_AUDIT_LEVEL >= 1
   audit_transition_start_ = simulator_->Now();
 #endif
@@ -347,12 +337,8 @@ void MemoryChip::StartWake() {
 }
 
 void MemoryChip::StartStepDown(PowerState target) {
-  DMASIM_CHECK(!serving_ && !transitioning_);
-  DMASIM_CHECK_NE(target, PowerState::kActive);
-  const Transition& transition = model_->DownTransition(target);
-  transitioning_ = true;
-  transition_up_ = false;
-  transition_target_ = target;
+  DMASIM_CHECK(!serving_);
+  const Transition& transition = fsm_.BeginStepDown(target, *model_);
 #if DMASIM_AUDIT_LEVEL >= 1
   audit_transition_start_ = simulator_->Now();
 #endif
@@ -365,29 +351,28 @@ void MemoryChip::StartStepDown(PowerState target) {
 }
 
 void MemoryChip::TransitionDone() {
-  DMASIM_CHECK(transitioning_);
+  DMASIM_CHECK(fsm_.transitioning());
 #if DMASIM_AUDIT_LEVEL >= 1
   if (audit_sink_ != nullptr) {
-    audit_sink_->OnPowerTransition(id_, state_, transition_target_,
-                                   transition_up_, audit_transition_start_,
-                                   simulator_->Now());
+    audit_sink_->OnPowerTransition(id_, fsm_.state(), fsm_.transition_target(),
+                                   fsm_.transition_up(),
+                                   audit_transition_start_, simulator_->Now());
   }
 #endif
 #if DMASIM_OBS >= 2
   if (obs_tracer_ != nullptr) {
-    obs_tracer_->PowerTransition(id_, static_cast<int>(state_),
-                                 static_cast<int>(transition_target_),
-                                 transition_up_, obs_interval_start_,
+    obs_tracer_->PowerTransition(id_, static_cast<int>(fsm_.state()),
+                                 static_cast<int>(fsm_.transition_target()),
+                                 fsm_.transition_up(), obs_interval_start_,
                                  simulator_->Now());
     obs_interval_start_ = simulator_->Now();
   }
 #endif
-  transitioning_ = false;
-  state_ = transition_target_;
+  const bool woke = fsm_.CompleteTransition();
 
-  if (transition_up_) {
+  if (woke) {
     ++stats_.wakeups;
-    DMASIM_CHECK_EQ(state_, PowerState::kActive);
+    DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
     if (HasQueuedRequest()) {
       StartNextService();
     } else {
@@ -402,8 +387,8 @@ void MemoryChip::TransitionDone() {
     StartWake();
     return;
   }
-  SetAccounting(EnergyBucket::kLowPower, model_->StatePowerMw(state_),
-                &stats_.low_power[static_cast<int>(state_)]);
+  SetAccounting(EnergyBucket::kLowPower, model_->StatePowerMw(fsm_.state()),
+                &stats_.low_power[static_cast<int>(fsm_.state())]);
   ArmPolicyTimer();
 }
 

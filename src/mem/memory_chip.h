@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "audit/audit_config.h"
+#include "mem/power_fsm.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
 #include "obs/obs_config.h"
@@ -92,10 +93,7 @@ class MemoryChip {
 
   // True when a newly arriving DMA-memory request would find the chip in a
   // low-power mode (the condition under which DMA-TA may delay it).
-  bool InLowPowerForGating() const {
-    if (transitioning_) return !transition_up_;
-    return state_ != PowerState::kActive;
-  }
+  bool InLowPowerForGating() const { return fsm_.InLowPowerForGating(); }
 
   // --- Chunk-run coalescing support (see MemoryController) ---------------
 
@@ -104,8 +102,9 @@ class MemoryChip {
   // transfer. Under these conditions the controller may serve a run of
   // chunks in one event and replay the chip-side accounting afterwards.
   bool CanCoalesceDmaRun() const {
-    return !serving_ && !transitioning_ && state_ == PowerState::kActive &&
-           in_flight_transfers_ == 1 && !HasQueuedRequest();
+    return !serving_ && !fsm_.transitioning() &&
+           fsm_.state() == PowerState::kActive && in_flight_transfers_ == 1 &&
+           !HasQueuedRequest();
   }
 
   // Replays one full DMA chunk cycle that happened in the past: idle-DMA
@@ -118,9 +117,9 @@ class MemoryChip {
   // (in the past) and its ServeDone is rescheduled as a real event.
   void ResumeCoalescedService(Tick issue, ChipRequest request);
 
-  PowerState power_state() const { return state_; }
+  PowerState power_state() const { return fsm_.state(); }
   bool serving() const { return serving_; }
-  bool transitioning() const { return transitioning_; }
+  bool transitioning() const { return fsm_.transitioning(); }
   int in_flight_transfers() const { return in_flight_transfers_; }
   int id() const { return id_; }
   std::size_t QueuedRequests() const {
@@ -186,11 +185,11 @@ class MemoryChip {
   const LowPowerPolicy* policy_;
   int id_;
 
-  PowerState state_ = PowerState::kActive;
+  // The extracted power-state machine (shared with the protocol checker;
+  // see mem/power_fsm.h). The chip layers serving, queueing, timers, and
+  // energy accounting on top of it.
+  PowerFsm fsm_;
   bool serving_ = false;
-  bool transitioning_ = false;
-  bool transition_up_ = false;
-  PowerState transition_target_ = PowerState::kActive;
   int in_flight_transfers_ = 0;
   std::uint64_t timer_generation_ = 0;
 

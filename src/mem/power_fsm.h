@@ -1,0 +1,90 @@
+// Power-state machine of one RDRAM chip, extracted from MemoryChip so
+// that other drivers can step the exact transition rules the simulator
+// uses. MemoryChip embeds one PowerFsm and layers event scheduling and
+// energy accounting on top; the protocol checker (src/check) embeds one
+// per abstract chip and steps it directly, which is what makes its
+// exploration exercise the *real* state machine rather than a model of
+// it.
+//
+// The machine is deliberately passive: Begin* only flips the bookkeeping
+// and hands back the model's transition descriptor — the caller decides
+// when the transition completes (MemoryChip schedules an event for
+// `duration` ticks later; the checker completes it atomically and feeds
+// the start/end pair to the power-state auditor).
+#ifndef DMASIM_MEM_POWER_FSM_H_
+#define DMASIM_MEM_POWER_FSM_H_
+
+#include "mem/power_model.h"
+#include "mem/power_policy.h"
+#include "util/check.h"
+
+namespace dmasim {
+
+class PowerFsm {
+ public:
+  explicit PowerFsm(PowerState initial) : state_(initial) {}
+
+  PowerState state() const { return state_; }
+  bool transitioning() const { return transitioning_; }
+  bool transition_up() const { return transition_up_; }
+  PowerState transition_target() const { return transition_target_; }
+
+  // True when a newly arriving DMA-memory request would find the chip in
+  // a low-power mode (the condition under which DMA-TA may delay it).
+  bool InLowPowerForGating() const {
+    if (transitioning_) return !transition_up_;
+    return state_ != PowerState::kActive;
+  }
+
+  // Begins waking to active from the current low-power state. Returns
+  // `model`'s transition descriptor (power draw + resync latency).
+  const Transition& BeginWake(const PowerModel& model) {
+    DMASIM_CHECK(!transitioning_);
+    DMASIM_CHECK_NE(state_, PowerState::kActive);
+    transitioning_ = true;
+    transition_up_ = true;
+    transition_target_ = PowerState::kActive;
+    return model.UpTransition(state_);
+  }
+
+  // Begins stepping down to `target` (a strictly lower-power state).
+  const Transition& BeginStepDown(PowerState target, const PowerModel& model) {
+    DMASIM_CHECK(!transitioning_);
+    DMASIM_CHECK_NE(target, PowerState::kActive);
+    transitioning_ = true;
+    transition_up_ = false;
+    transition_target_ = target;
+    return model.DownTransition(target);
+  }
+
+  // Completes the in-flight transition; returns true when it was a wake.
+  bool CompleteTransition() {
+    DMASIM_CHECK(transitioning_);
+    transitioning_ = false;
+    state_ = transition_target_;
+    return transition_up_;
+  }
+
+  // Deepest state `policy` lets an idle chip settle into (the natural
+  // initial state for a freshly simulated chip).
+  static PowerState RestingState(const LowPowerPolicy& policy) {
+    PowerState state = PowerState::kActive;
+    // Follow the policy's step-down chain to its terminal state.
+    for (int guard = 0; guard < kPowerStateCount; ++guard) {
+      const auto step = policy.NextStep(state);
+      if (!step.has_value()) break;
+      state = step->target;
+    }
+    return state;
+  }
+
+ private:
+  PowerState state_;
+  bool transitioning_ = false;
+  bool transition_up_ = false;
+  PowerState transition_target_ = PowerState::kActive;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_MEM_POWER_FSM_H_

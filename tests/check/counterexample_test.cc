@@ -1,0 +1,169 @@
+// Tests of the counterexample file format: lossless round-trip,
+// line-numbered parse diagnostics, replay semantics, and the committed
+// fixture under tests/check/data/ (the same file the full-simulator
+// replay suite re-executes).
+#include "check/counterexample.h"
+
+#include <gtest/gtest.h>
+
+#include "check/check_config.h"
+#include "check/explorer.h"
+
+#ifndef DMASIM_SOURCE_DIR
+#error "DMASIM_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace dmasim::check {
+namespace {
+
+Counterexample ResyncCounterexample() {
+  Counterexample ce;
+  ce.config.fault = CheckFault::kResyncSkip;
+  ce.property = "check.power-state-legality";
+  ce.message = "chip 0 woke in zero ticks";
+  ce.actions = {{ActionKind::kCpuAccess, 0, 0}};
+  return ce;
+}
+
+TEST(CounterexampleTest, FormatParsesBackLosslessly) {
+  Counterexample ce = ResyncCounterexample();
+  ce.config.chips = 3;
+  ce.config.buses = 3;
+  ce.config.mu = 1.5;
+  ce.config.epoch_length = 2 * kMicrosecond;
+  ce.config.policy = CheckPolicy::kStaticPowerdown;
+  ce.actions.push_back({ActionKind::kArrive, 2, 1});
+  ce.actions.push_back({ActionKind::kStepDown, 0, 2});
+  ce.actions.push_back({ActionKind::kAdvance, 0, 0});
+
+  Counterexample parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCounterexampleText(FormatCounterexample(ce), &parsed,
+                                      &error))
+      << error;
+  EXPECT_EQ(parsed.config.chips, 3);
+  EXPECT_EQ(parsed.config.buses, 3);
+  EXPECT_DOUBLE_EQ(parsed.config.mu, 1.5);
+  EXPECT_EQ(parsed.config.epoch_length, 2 * kMicrosecond);
+  EXPECT_EQ(parsed.config.policy, CheckPolicy::kStaticPowerdown);
+  EXPECT_EQ(parsed.config.fault, CheckFault::kResyncSkip);
+  EXPECT_EQ(parsed.property, ce.property);
+  EXPECT_EQ(parsed.message, ce.message);
+  ASSERT_EQ(parsed.actions.size(), ce.actions.size());
+  for (std::size_t i = 0; i < ce.actions.size(); ++i) {
+    EXPECT_EQ(parsed.actions[i], ce.actions[i]) << i;
+  }
+}
+
+TEST(CounterexampleTest, MultilineMessagesAreFlattenedOnWrite) {
+  Counterexample ce = ResyncCounterexample();
+  ce.message = "first line\nsecond line";
+  Counterexample parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCounterexampleText(FormatCounterexample(ce), &parsed,
+                                      &error))
+      << error;
+  EXPECT_EQ(parsed.message, "first line second line");
+}
+
+TEST(CounterexampleTest, BadHeaderIsRejectedWithLineNumber) {
+  Counterexample parsed;
+  std::string error;
+  EXPECT_FALSE(ParseCounterexampleText("bogus\n", &parsed, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+}
+
+TEST(CounterexampleTest, UnknownKeyIsRejectedWithLineNumber) {
+  std::string text = FormatCounterexample(ResyncCounterexample());
+  // Inject a typo'd key right after the header (line 2).
+  text.insert(text.find('\n') + 1, "chps 2\n");
+  Counterexample parsed;
+  std::string error;
+  EXPECT_FALSE(ParseCounterexampleText(text, &parsed, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("chps"), std::string::npos) << error;
+}
+
+TEST(CounterexampleTest, MalformedActionIsRejected) {
+  Counterexample ce = ResyncCounterexample();
+  std::string text = FormatCounterexample(ce);
+  const std::size_t at = text.find("cpu 0\n");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 5, "cpu x");
+  Counterexample parsed;
+  std::string error;
+  EXPECT_FALSE(ParseCounterexampleText(text, &parsed, &error));
+  EXPECT_NE(error.find("malformed action"), std::string::npos) << error;
+}
+
+TEST(CounterexampleTest, TruncatedActionListIsRejected) {
+  Counterexample ce = ResyncCounterexample();
+  std::string text = FormatCounterexample(ce);
+  const std::size_t at = text.find("cpu 0\n");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at);  // Drop the action line and the trailing "end".
+  Counterexample parsed;
+  std::string error;
+  EXPECT_FALSE(ParseCounterexampleText(text, &parsed, &error));
+  EXPECT_NE(error.find("end of input"), std::string::npos) << error;
+}
+
+TEST(CounterexampleTest, ReplayReproducesASeededFault) {
+  const Counterexample ce = ResyncCounterexample();
+  std::string observed;
+  EXPECT_TRUE(ReplayCounterexample(ce, &observed));
+  EXPECT_NE(observed.find("check.power-state-legality"), std::string::npos)
+      << observed;
+}
+
+TEST(CounterexampleTest, ReplayFailsCleanlyWithoutTheFault) {
+  Counterexample ce = ResyncCounterexample();
+  ce.config.fault = CheckFault::kNone;  // Pristine model: nothing fires.
+  std::string observed;
+  EXPECT_FALSE(ReplayCounterexample(ce, &observed));
+  EXPECT_EQ(observed, "no violation reproduced");
+}
+
+TEST(CounterexampleTest, CommittedResyncFixtureReplays) {
+  const std::string path =
+      std::string(DMASIM_SOURCE_DIR) +
+      "/tests/check/data/resync_skip.counterexample";
+  Counterexample ce;
+  std::string error;
+  ASSERT_TRUE(ReadCounterexampleFile(path, &ce, &error)) << error;
+  EXPECT_EQ(ce.config.fault, CheckFault::kResyncSkip);
+  EXPECT_EQ(ce.property, "check.power-state-legality");
+  ASSERT_FALSE(ce.actions.empty());
+
+  std::string observed;
+  EXPECT_TRUE(ReplayCounterexample(ce, &observed)) << observed;
+}
+
+TEST(CounterexampleTest, WriteAndReadFileRoundTrips) {
+  CheckerConfig config;
+  config.fault = CheckFault::kResyncSkip;
+  Explorer explorer(config);
+  const ExploreResult result = explorer.Run();
+  ASSERT_TRUE(result.violation.has_value());
+
+  Counterexample ce;
+  ce.config = config;
+  ce.property = result.violation->property;
+  ce.message = result.violation->message;
+  ce.actions = result.violation->actions;
+
+  const std::string path =
+      ::testing::TempDir() + "/dmasim_check_roundtrip.counterexample";
+  std::string error;
+  ASSERT_TRUE(WriteCounterexampleFile(ce, path, &error)) << error;
+  Counterexample loaded;
+  ASSERT_TRUE(ReadCounterexampleFile(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.property, ce.property);
+  ASSERT_EQ(loaded.actions.size(), ce.actions.size());
+  std::string observed;
+  EXPECT_TRUE(ReplayCounterexample(loaded, &observed)) << observed;
+}
+
+}  // namespace
+}  // namespace dmasim::check

@@ -1,0 +1,207 @@
+// Unit tests of the protocol checker's stepping seam: the harness must
+// mirror MemoryController's decision sequence exactly (gate on arrival
+// to a low chip, quorum/deadline/epoch releases, CPU priority, the
+// activation debit taken while the chip is still low) and surface each
+// seeded fault as the right property violation.
+#include "check/protocol_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "check/check_config.h"
+
+namespace dmasim::check {
+namespace {
+
+Action Arrive(int bus, int chip) { return {ActionKind::kArrive, bus, chip}; }
+Action Cpu(int chip) { return {ActionKind::kCpuAccess, 0, chip}; }
+Action StepDown(int chip) { return {ActionKind::kStepDown, 0, chip}; }
+Action Advance() { return {ActionKind::kAdvance, 0, 0}; }
+
+TEST(ProtocolHarnessTest, InitialStateRestsPerPolicy) {
+  CheckerConfig config;  // static-nap.
+  ProtocolHarness harness(config);
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kNap);
+  EXPECT_EQ(harness.fsm(1).state(), PowerState::kNap);
+  EXPECT_FALSE(harness.violation().has_value());
+  EXPECT_FALSE(harness.Quiescent());
+
+  CheckerConfig deep = config;
+  deep.policy = CheckPolicy::kStaticPowerdown;
+  ProtocolHarness deep_harness(deep);
+  EXPECT_EQ(deep_harness.fsm(0).state(), PowerState::kPowerdown);
+}
+
+TEST(ProtocolHarnessTest, ArrivalToLowChipGatesFirstRequest) {
+  ProtocolHarness harness(CheckerConfig{});
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  EXPECT_TRUE(harness.aligner().HasGated(0));
+  EXPECT_EQ(harness.aligner().TotalPending(), 1);
+  EXPECT_TRUE(harness.record(0).gated_ever);
+  EXPECT_FALSE(harness.record(0).served);
+  // The chip stays asleep; only the first request was credited.
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kNap);
+  EXPECT_EQ(harness.aligner().slack().arrivals(), 1u);
+}
+
+TEST(ProtocolHarnessTest, QuorumReleaseWakesChipAndDebitsWhileLow) {
+  CheckerConfig config;  // k = 2, two buses.
+  ProtocolHarness harness(config);
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  ASSERT_TRUE(harness.Apply(Arrive(1, 0)));  // Second distinct bus: quorum.
+  EXPECT_EQ(harness.aligner().last_release_cause(), ReleaseCause::kQuorum);
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kActive);
+  EXPECT_EQ(harness.served_count(), 2);
+  EXPECT_TRUE(harness.record(0).served);
+  EXPECT_TRUE(harness.record(1).served);
+  EXPECT_EQ(harness.aligner().TotalPending(), 0);
+  EXPECT_EQ(harness.transitions_checked(), 1u);  // One validated wake.
+  // Slack: 2 first-request credits accrued before the release; the
+  // release debits the nap resync (60 ns) for both pending requests
+  // while the chip is still napping, then serving credits the remaining
+  // 2 * (n - 1) requests.
+  const double t = static_cast<double>(config.t_request);
+  const double expected = 2.0 * config.mu * t      // First-request credits.
+                          - 2.0 * 60000.0          // Activation debit.
+                          + 2.0 * 3.0 * config.mu * t;  // Lockstep credits.
+  EXPECT_DOUBLE_EQ(harness.aligner().slack().slack(), expected);
+}
+
+TEST(ProtocolHarnessTest, CpuAccessReleasesGatedWithPriority) {
+  ProtocolHarness harness(CheckerConfig{});
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  ASSERT_TRUE(harness.Apply(Cpu(0)));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kActive);
+  EXPECT_TRUE(harness.record(0).served);
+  EXPECT_EQ(harness.aligner().TotalPending(), 0);
+}
+
+TEST(ProtocolHarnessTest, DeadlineAdvanceReleasesAtTheBudget) {
+  CheckerConfig config;
+  config.epoch_length = 50 * kMicrosecond;  // Keep epochs out of the way.
+  ProtocolHarness harness(config);
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  ASSERT_TRUE(harness.Apply(Advance()));
+  // deadline = gated_at + n * mu * T = 4 * 480000.
+  EXPECT_EQ(harness.now(), 4 * 480000);
+  EXPECT_EQ(harness.aligner().last_release_cause(), ReleaseCause::kDeadline);
+  EXPECT_TRUE(harness.record(0).served);
+  EXPECT_EQ(harness.record(0).released_at, harness.now());
+}
+
+TEST(ProtocolHarnessTest, EpochExhaustionReleasesTheOldestChip) {
+  CheckerConfig config;  // 1 us epochs: the epoch debit exhausts slack.
+  ProtocolHarness harness(config);
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  ASSERT_TRUE(harness.Apply(Advance()));
+  EXPECT_EQ(harness.now(), config.epoch_length);
+  ASSERT_EQ(harness.aligner().last_epoch_causes().size(), 1u);
+  EXPECT_EQ(harness.aligner().last_epoch_causes()[0],
+            ReleaseCause::kEpochExhausted);
+  EXPECT_TRUE(harness.record(0).served);
+}
+
+TEST(ProtocolHarnessTest, StepDownFollowsThePolicyChain) {
+  CheckerConfig config;
+  config.policy = CheckPolicy::kDynamicThreshold;
+  ProtocolHarness harness(config);
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kPowerdown);  // Resting.
+  ASSERT_TRUE(harness.Apply(Cpu(0)));  // Wake chip 0.
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kActive);
+  ASSERT_TRUE(harness.Apply(StepDown(0)));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kStandby);
+  ASSERT_TRUE(harness.Apply(StepDown(0)));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kNap);
+  ASSERT_TRUE(harness.Apply(StepDown(0)));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kPowerdown);
+  EXPECT_FALSE(harness.IsEnabled(StepDown(0)));  // Chain exhausted.
+  EXPECT_FALSE(harness.violation().has_value());
+}
+
+TEST(ProtocolHarnessTest, DrainedRunPassesTheTerminalChecks) {
+  CheckerConfig config;
+  config.max_arrivals = 1;
+  config.max_cpu_accesses = 0;
+  config.max_epochs = 1;
+  ProtocolHarness harness(config);
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  ASSERT_TRUE(harness.Apply(Advance()));  // Epoch exhausts slack: release.
+  ASSERT_TRUE(harness.Quiescent());
+  harness.CheckTerminal();
+  EXPECT_FALSE(harness.violation().has_value());
+}
+
+TEST(ProtocolHarnessTest, EncodingIsDeterministicAndStateSensitive) {
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  {
+    ProtocolHarness harness(CheckerConfig{});
+    ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+    harness.EncodeState(&a);
+  }
+  {
+    ProtocolHarness harness(CheckerConfig{});
+    ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+    harness.EncodeState(&b);
+  }
+  EXPECT_EQ(a, b);  // Same path, same canonical state.
+  {
+    ProtocolHarness harness(CheckerConfig{});
+    ASSERT_TRUE(harness.Apply(Arrive(0, 1)));  // Different target chip.
+    harness.EncodeState(&b);
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(ProtocolHarnessTest, ResyncSkipFaultViolatesPowerStateLegality) {
+  CheckerConfig config;
+  config.fault = CheckFault::kResyncSkip;
+  ProtocolHarness harness(config);
+  EXPECT_FALSE(harness.Apply(Cpu(0)));  // Wake from nap takes 0 ticks.
+  ASSERT_TRUE(harness.violation().has_value());
+  EXPECT_EQ(harness.violation()->property, "check.power-state-legality");
+  EXPECT_NE(harness.violation()->message.find("resync"), std::string::npos);
+}
+
+TEST(ProtocolHarnessTest, LostReleaseFaultViolatesConservation) {
+  CheckerConfig config;
+  config.fault = CheckFault::kLostRelease;
+  ProtocolHarness harness(config);
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  EXPECT_FALSE(harness.Apply(Arrive(1, 0)));  // Quorum release drops one.
+  ASSERT_TRUE(harness.violation().has_value());
+  EXPECT_EQ(harness.violation()->property, "check.conservation");
+}
+
+TEST(ProtocolHarnessTest, StuckDeadlineFaultViolatesTheDelayBound) {
+  CheckerConfig config;
+  config.fault = CheckFault::kStuckDeadline;
+  config.epoch_length = 50 * kMicrosecond;  // Deadline fires first.
+  ProtocolHarness harness(config);
+  ASSERT_TRUE(harness.Apply(Arrive(0, 0)));
+  ASSERT_TRUE(harness.Apply(Advance()));   // Re-check skipped by the fault.
+  EXPECT_FALSE(harness.Apply(Advance()));  // Time moves past the deadline.
+  ASSERT_TRUE(harness.violation().has_value());
+  // The stuck release eventually escapes through the epoch valve with a
+  // stale deadline (deadline-honored) or trips the periodic delay bound,
+  // whichever check sees it first.
+  EXPECT_TRUE(harness.violation()->property == "check.deadline-honored" ||
+              harness.violation()->property == "check.bounded-release-delay")
+      << harness.violation()->property;
+}
+
+TEST(ProtocolHarnessTest, EnabledActionsMatchIsEnabled) {
+  ProtocolHarness harness(CheckerConfig{});
+  std::vector<Action> enabled;
+  harness.EnabledActions(&enabled);
+  EXPECT_FALSE(enabled.empty());
+  for (const Action& action : enabled) {
+    EXPECT_TRUE(harness.IsEnabled(action)) << FormatAction(action);
+  }
+  // No gated requests and epochs remaining: advance targets the epoch.
+  EXPECT_TRUE(harness.IsEnabled(Advance()));
+  // Static-nap chips at rest have no further step-down.
+  EXPECT_FALSE(harness.IsEnabled(StepDown(0)));
+}
+
+}  // namespace
+}  // namespace dmasim::check

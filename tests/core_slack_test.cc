@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
 namespace dmasim {
 namespace {
 
@@ -68,6 +72,74 @@ TEST(SlackAccountTest, ExposesParameters) {
   SlackAccount slack(2.5, 480, 64);
   EXPECT_DOUBLE_EQ(slack.mu(), 2.5);
   EXPECT_EQ(slack.t_request(), 480);
+}
+
+TEST(SlackAccountTest, ExactDebitToZeroCrossesTheExhaustionBoundary) {
+  // Exhausted() is slack <= 0: a debit landing exactly on zero must
+  // already trip it, since zero slack means no budget for further
+  // gating. mu * T and the debit are integer-valued doubles, so the
+  // subtraction is exact -- no epsilon needed.
+  SlackAccount slack(1.0, 100, 1000);
+  slack.CreditArrival();  // Balance: 100.
+  EXPECT_FALSE(slack.Exhausted());
+  slack.DebitEpoch(/*epoch_length=*/100, /*pending_requests=*/1);
+  EXPECT_DOUBLE_EQ(slack.slack(), 0.0);
+  EXPECT_TRUE(slack.Exhausted());
+}
+
+TEST(SlackAccountTest, OverdrawAccumulatesAndCreditsRecover) {
+  // Debits past zero are the paper's design (the epoch charge is
+  // pessimistic), so the account must keep an accurate negative balance
+  // and climb back out credit by credit instead of clamping at zero.
+  SlackAccount slack(1.0, 100, 1000);
+  slack.CreditArrival();  // Balance: 100.
+  slack.DebitActivation(/*activation_latency=*/70, /*pending_requests=*/3);
+  EXPECT_DOUBLE_EQ(slack.slack(), -110.0);
+  slack.DebitCpuService(/*service_time=*/20, /*pending_requests=*/2);
+  EXPECT_DOUBLE_EQ(slack.slack(), -150.0);
+  slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), -50.0);
+  EXPECT_TRUE(slack.Exhausted());
+  slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), 50.0);
+  EXPECT_FALSE(slack.Exhausted());
+}
+
+TEST(SlackAccountTest, AccrualSaturatesExactlyAtTheCapNearTickLimits) {
+  // A tick value this large (2^60 ps, about 13 days of simulated time)
+  // stresses the int64 -> double path: 2^60 and 4 * 2^60 are exactly
+  // representable, so saturation must land on the cap bit-exactly with
+  // no overflow to infinity and no drift from repeated clamping.
+  const Tick huge_t = Tick{1} << 60;
+  SlackAccount slack(1.0, huge_t, /*cap_requests=*/4.0);
+  for (int i = 0; i < 100; ++i) slack.CreditArrival();
+  EXPECT_DOUBLE_EQ(slack.slack(), 4.0 * static_cast<double>(huge_t));
+  EXPECT_DOUBLE_EQ(slack.slack(), slack.cap());
+  EXPECT_EQ(slack.arrivals(), 100u);
+}
+
+TEST(SlackAccountTest, ArrivalCounterIsSixtyFourBitsWide) {
+  // The arrival counter feeds the checker's conservation equation; a
+  // 32-bit counter would wrap within a long run. Pin the width so a
+  // future refactor cannot silently narrow it.
+  SlackAccount slack(1.0, 100, 1000);
+  static_assert(
+      std::is_same_v<decltype(slack.arrivals()), std::uint64_t>,
+      "arrivals() must stay a 64-bit counter");
+  EXPECT_EQ(slack.arrivals(), 0u);
+}
+
+TEST(SlackAccountTest, HugeOverdrawStaysFiniteNearTheTickLimit) {
+  // Worst-case epoch debit: a near-maximal epoch length charged to a
+  // large pending count. The product (~2^60 * 10^4) is far inside
+  // double range; the balance must stay finite and ordered so the
+  // release valve (Exhausted) still fires.
+  const Tick huge_epoch = Tick{1} << 60;
+  SlackAccount slack(1.0, 100, 1000);
+  slack.DebitEpoch(huge_epoch, /*pending_requests=*/10000);
+  EXPECT_TRUE(std::isfinite(slack.slack()));
+  EXPECT_LT(slack.slack(), 0.0);
+  EXPECT_TRUE(slack.Exhausted());
 }
 
 }  // namespace

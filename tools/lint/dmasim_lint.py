@@ -19,6 +19,15 @@ rests on, which generic linters cannot know about:
   float-energy        Energy accounting uses double + integer ticks
                       everywhere; a single float truncation breaks the
                       auditor's bit-exact shadow accounting.
+  counter-narrowing   No static_cast of tick/energy expressions to an
+                      integer type narrower than 64 bits in the hot-path
+                      directories: ticks are int64 picoseconds, so a
+                      32-bit truncation wraps after ~2 ms of simulated
+                      time and corrupts every derived statistic.
+  float-compare       No ==/!= against floating-point literals in the
+                      hot-path directories; after arithmetic, exact
+                      equality is a latent heisenbug. Compare against an
+                      epsilon or restructure to integer ticks.
   header-guard        Guards follow DMASIM_<DIR>_<FILE>_H_.
 
 A finding can be waived with a comment on the same or preceding line:
@@ -61,6 +70,21 @@ FLOAT_RE = re.compile(r"\bfloat\b")
 UNORDERED_DECL_RE = re.compile(
     r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<.*?>\s+(\w+)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(\w+)\s*\)")
+# static_cast to an integer type narrower than 64 bits. The opening paren
+# is included so the balanced argument can be extracted and inspected.
+NARROW_CAST_RE = re.compile(
+    r"\bstatic_cast\s*<\s*(?:std\s*::\s*)?"
+    r"(?:int|unsigned(?:\s+int)?|short|u?int(?:8|16|32)_t)\s*>\s*\(")
+# Identifiers that mark a cast argument as a 64-bit tick or energy
+# counter. Heuristic by design: names follow the repo's conventions
+# (Tick-typed locals/members, *_at timestamps, joules/energy doubles).
+TICK_ENERGY_TOKEN_RE = re.compile(
+    r"\b(?:Tick|[Nn]ow|ticks?|deadline\w*|duration\w*|elapsed\w*|"
+    r"epoch\w*|\w+_at\b|joules\w*|energy\w*|residency\w*)")
+# A floating-point literal: 1.0, .5, 2.5e3, 1e-9, with optional f suffix.
+_FLOAT_LITERAL = r"(?:(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
+FLOAT_COMPARE_RE = re.compile(
+    rf"(?:{_FLOAT_LITERAL})\s*(?:==|!=)(?!=)|(?:==|!=)\s*[-+]?{_FLOAT_LITERAL}")
 
 
 class Finding(NamedTuple):
@@ -147,6 +171,23 @@ def in_hot_path(rel_path: str) -> bool:
     return any(rel_path.startswith(prefix + "/") for prefix in HOT_PATH_DIRS)
 
 
+def balanced_argument(line: str, open_index: int) -> str:
+    """The parenthesized argument starting at `open_index` ('(').
+
+    Single-line only: an argument spilling to the next line is returned
+    up to the line end, which is enough for the token heuristics.
+    """
+    depth = 0
+    for i in range(open_index, len(line)):
+        if line[i] == "(":
+            depth += 1
+        elif line[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return line[open_index + 1:i]
+    return line[open_index + 1:]
+
+
 def expected_guard(rel_path: str) -> str:
     # src/core/slack_account.h -> DMASIM_CORE_SLACK_ACCOUNT_H_
     parts = pathlib.PurePosixPath(rel_path).parts[1:]  # Drop leading src/.
@@ -184,6 +225,21 @@ def check_file(rel_path: str, text: str) -> List[Finding]:
                        "heap allocation in a hot-path directory; only "
                        "placement new on preallocated storage is "
                        "allocation-free")
+            for match in NARROW_CAST_RE.finditer(line):
+                argument = balanced_argument(line, match.end() - 1)
+                # sizeof(Tick) is a size, not a counter value.
+                argument = re.sub(r"\bsizeof\s*\([^)]*\)", "", argument)
+                if TICK_ENERGY_TOKEN_RE.search(argument):
+                    report(index, "counter-narrowing",
+                           "static_cast of a tick/energy counter to a "
+                           "<64-bit integer type; ticks are int64 "
+                           "picoseconds and wrap a 32-bit value after "
+                           "~2 ms of simulated time")
+            if FLOAT_COMPARE_RE.search(line):
+                report(index, "float-compare",
+                       "==/!= against a floating-point literal in a "
+                       "hot-path directory; compare with an epsilon or "
+                       "use integer ticks")
         if FLOAT_RE.search(line):
             report(index, "float-energy",
                    "float arithmetic; energy accounting is double + "
@@ -228,9 +284,14 @@ def scan(root: pathlib.Path) -> List[Finding]:
     return findings
 
 
-def print_findings(findings: Iterable[Finding]) -> None:
+def print_findings(findings: Iterable[Finding], fmt: str = "text") -> None:
     for f in findings:
-        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        if fmt == "github":
+            # GitHub Actions workflow command: annotates the PR diff line.
+            print(f"::error file={f.path},line={f.line},"
+                  f"title=dmasim-lint [{f.rule}]::{f.message}")
+        else:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
 
 
 def self_test(fixtures_root: pathlib.Path) -> int:
@@ -265,13 +326,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="repository root (default: this script's repo)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the rules against tools/lint/fixtures")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format; 'github' emits "
+                             "::error workflow commands that annotate PRs")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return self_test(pathlib.Path(__file__).resolve().parent / "fixtures")
 
     findings = scan(args.root)
-    print_findings(findings)
+    print_findings(findings, args.format)
     if findings:
         print(f"dmasim_lint: {len(findings)} finding(s)")
         return 1

@@ -1,0 +1,31 @@
+// Fixture: float-compare -- exact ==/!= against floating-point literals
+// in a hot-path directory.
+#include <cmath>
+
+namespace dmasim {
+
+struct FloatCompare {
+  double slack = 0.0;
+  double mu = 1.0;
+
+  bool Bad() {
+    bool exhausted = (slack == 0.0);          // expect-lint: float-compare
+    bool unit = (mu != 1.0);                  // expect-lint: float-compare
+    bool sci = (slack == 1e-9);               // expect-lint: float-compare
+    bool flipped = (2.5 == mu);               // expect-lint: float-compare
+    return exhausted || unit || sci || flipped;
+  }
+
+  bool Fine() {
+    // Epsilon comparisons and ordering comparisons are the idiom.
+    bool near_zero = std::fabs(slack) < 1e-9;
+    bool depleted = slack <= 0.0;
+    // Integer equality is untouched by this rule.
+    bool two = (static_cast<long long>(mu) == 2);
+    // A waived exact compare documents why the value is bit-stable.
+    bool exact = (mu == 0.0);  // dmasim-lint: allow(float-compare)
+    return near_zero || depleted || two || exact;
+  }
+};
+
+}  // namespace dmasim

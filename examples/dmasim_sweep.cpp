@@ -22,6 +22,7 @@
 #include "exp/result_sink.h"
 #include "exp/sweep_runner.h"
 #include "exp/thread_pool.h"
+#include "mon/scheme_parser.h"
 #include "obs/obs_config.h"
 #include "trace/workloads.h"
 
@@ -99,6 +100,13 @@ Execution:
   --audit            run every simulation under the invariant auditor
                      (abort on violation; needs a library built with
                      -DDMASIM_AUDIT_LEVEL>=1, see DESIGN.md)
+  --monitor          estimate page popularity online with the region
+                     monitor (src/mon) instead of the oracle per-page
+                     tracker; scheme labels gain a "+mon" suffix and the
+                     artifact a per-run "monitor" section
+  --scheme-file PATH load declarative DAMOS-style scheme rules from PATH
+                     (one rule per line; see DESIGN.md section 13) and
+                     apply them at every aggregation; implies --monitor
 
 Output:
   --out PATH         write the full JSON artifact to PATH
@@ -233,6 +241,14 @@ int main(int argc, char** argv) {
       spec.base.obs_level = 2;
     } else if (arg == "--audit") {
       spec.base.audit_level = 2;
+    } else if (arg == "--monitor") {
+      spec.base.memory.monitor.enabled = true;
+    } else if (arg == "--scheme-file") {
+      const std::string path = next();
+      const SchemeParseResult parsed = ParseSchemeFile(path);
+      if (!parsed.ok()) Fail(parsed.error);
+      spec.base.memory.monitor.rules = parsed.rules;
+      spec.base.memory.monitor.enabled = true;
     } else if (arg == "--ndjson") {
       ndjson = true;
     } else if (arg == "--no-table") {

@@ -342,6 +342,46 @@ void SimulationAudit::RegisterStandardInvariants() {
         return false;
       });
 
+  // Access-monitor region discipline: the split/merge machinery must
+  // keep the region list inside the [min_regions, max_regions] budget and
+  // tiling the logical page space exactly (sorted, gap-free, covering
+  // [0, pages)). A violated tiling would silently misattribute samples.
+  auditor_.Register(
+      "monitor-region-budget", AuditPhase::kEndOfRun | AuditPhase::kPeriodic,
+      [this](std::string* message) {
+        const RegionMonitor* monitor = controller_->monitor();
+        if (monitor == nullptr) return true;
+        const std::vector<MonitorRegion>& regions = monitor->regions();
+        const MonitorConfig& config = monitor->config();
+        const int count = static_cast<int>(regions.size());
+        if (count < config.min_regions || count > config.max_regions) {
+          *message = Format(
+              "monitor holds %d regions, outside the [%d, %d] budget", count,
+              config.min_regions, config.max_regions);
+          return false;
+        }
+        std::uint64_t expected_start = 0;
+        for (const MonitorRegion& region : regions) {
+          if (region.start != expected_start || region.end <= region.start) {
+            *message = Format(
+                "monitor region [%llu, %llu) breaks the tiling at %llu",
+                static_cast<unsigned long long>(region.start),
+                static_cast<unsigned long long>(region.end),
+                static_cast<unsigned long long>(expected_start));
+            return false;
+          }
+          expected_start = region.end;
+        }
+        if (expected_start != monitor->pages()) {
+          *message = Format(
+              "monitor regions cover %llu pages of %llu",
+              static_cast<unsigned long long>(expected_start),
+              static_cast<unsigned long long>(monitor->pages()));
+          return false;
+        }
+        return true;
+      });
+
   // DMA-TA lockstep: only the first request of a transfer may be gated,
   // so a transfer never pays the alignment delay twice. (Level 2 also
   // checks the stronger per-chunk form inline in DeliverChunk: after the

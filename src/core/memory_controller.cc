@@ -63,6 +63,15 @@ MemoryController::MemoryController(Simulator* simulator,
       config.RequestTime());
   if (config.dma.ta.enabled) ScheduleEpoch();
   if (config.dma.pl.enabled) ScheduleLayoutInterval();
+
+  if (config.monitor.enabled) {
+    // dmasim-lint: allow(heap-alloc) -- one-time construction.
+    monitor_ = std::make_unique<RegionMonitor>(config_.monitor,
+                                               config.TotalPages(),
+                                               config.chips);
+    ScheduleMonitorSample();
+    ScheduleMonitorAggregation();
+  }
 }
 
 MemoryController::~MemoryController() = default;
@@ -456,10 +465,53 @@ void MemoryController::ScheduleLayoutInterval() {
                             [this]() { RunLayoutInterval(); });
 }
 
+void MemoryController::ScheduleMonitorSample() {
+  simulator_->ScheduleAfter(config_.monitor.sampling_interval, [this]() {
+    // Occupancy probe: attribute each in-flight transfer not yet seen by
+    // an earlier probe to its region (edge-triggered; see DmaTransfer).
+    // Invisible to the simulated hardware, so coalesced runs need no
+    // settling — the kernel's pending-event horizon guarantees that any
+    // transfer completing before this event has already been released,
+    // and a mid-run descriptor's page/chip fields are stable.
+    monitor_->BeginProbe();
+    pool_.ForEachActive([this](DmaTransfer& transfer) {
+      if (transfer.monitor_seen) return;
+      transfer.monitor_seen = true;
+      monitor_->ObserveTransfer(transfer.physical_page, transfer.chip_index);
+    });
+    ScheduleMonitorSample();
+  });
+}
+
+void MemoryController::ScheduleMonitorAggregation() {
+  simulator_->ScheduleAfter(config_.monitor.aggregation_interval, [this]() {
+    // Aggregation: age/merge regions and apply the demote-chip schemes.
+    // TryStepDown refuses on any chip with queued work or an in-flight
+    // transfer, and a coalesced run's chip always has in-flight >= 1, so
+    // runs again need no settling.
+    const std::vector<int>& demote = monitor_->Aggregate();
+    for (int chip_index : demote) {
+      if (chips_[static_cast<std::size_t>(chip_index)]->TryStepDown()) {
+        monitor_->NoteDemotionApplied();
+      }
+    }
+    ScheduleMonitorAggregation();
+  });
+}
+
 void MemoryController::RunLayoutInterval() {
   // Migration copies contend with any coalesced run's chips.
   SettleAllRuns(simulator_->Now());
-  const LayoutPlan plan = layout_.Plan(popularity_.counts(), page_to_chip_);
+  // With the monitor enabled the layout planner sees the monitored
+  // popularity estimate instead of the oracle per-page counts; the oracle
+  // tracker keeps recording either way so the estimate can be scored
+  // against it (hotness error).
+  const std::vector<std::uint32_t>* counts = &popularity_.counts();
+  if (monitor_ != nullptr) {
+    counts = &monitor_->MaterializeCounts();
+    monitor_->RecordHotnessError(popularity_.counts());
+  }
+  const LayoutPlan plan = layout_.Plan(*counts, page_to_chip_);
   if (!plan.moves.empty()) ++stats_.migration_rounds;
   stats_.deferred_migrations += static_cast<std::uint64_t>(plan.deferred_moves);
   for (const PageMove& move : plan.moves) {

@@ -28,6 +28,8 @@
 #include "mem/memory_chip.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
+#include "mon/monitor_config.h"
+#include "mon/region_monitor.h"
 #include "obs/obs_config.h"
 #include "sim/inline_function.h"
 #include "sim/simulator.h"
@@ -73,6 +75,11 @@ struct MemorySystemConfig {
   bool coalesce_chunk_runs = true;
 
   DmaAwareConfig dma;
+
+  // Online access monitor + declarative schemes (src/mon). Disabled by
+  // default; when disabled the controller schedules no monitor events and
+  // runs bit-identically to a build without the monitor.
+  MonitorConfig monitor;
 
   std::uint64_t TotalPages() const {
     return static_cast<std::uint64_t>(chips) *
@@ -142,6 +149,8 @@ class MemoryController : public DmaRequestSink {
   const ControllerStats& stats() const { return stats_; }
   const TemporalAligner& aligner() const { return *aligner_; }
   const PopularityTracker& popularity() const { return popularity_; }
+  // Null unless config.monitor.enabled.
+  const RegionMonitor* monitor() const { return monitor_.get(); }
 
   // DMA transfers started per chip (shows how PL concentrates traffic).
   const std::vector<std::uint64_t>& TransfersPerChip() const {
@@ -188,6 +197,8 @@ class MemoryController : public DmaRequestSink {
   void ScheduleEpoch();
   void ScheduleLayoutInterval();
   void RunLayoutInterval();
+  void ScheduleMonitorSample();
+  void ScheduleMonitorAggregation();
 
   // --- Chunk-run coalescing ----------------------------------------------
   // A "run" serves consecutive chunks of one transfer that exclusively
@@ -218,6 +229,7 @@ class MemoryController : public DmaRequestSink {
   std::unique_ptr<TemporalAligner> aligner_;
   PopularityTracker popularity_;
   LayoutManager layout_;
+  std::unique_ptr<RegionMonitor> monitor_;  // Null when disabled.
 
   TransferPool pool_;
   std::uint64_t next_transfer_id_ = 1;

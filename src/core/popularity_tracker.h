@@ -15,6 +15,12 @@ namespace dmasim {
 
 class PopularityTracker {
  public:
+  // Pin for the running total: far enough below 2^64 that a bulk record
+  // can never wrap it, unreachable by any real workload. Without the pin
+  // a saturated total would wrap to a tiny value and silently invert
+  // every popularity share derived from it.
+  static constexpr std::uint64_t kTotalPin = std::uint64_t{1} << 60;
+
   explicit PopularityTracker(std::uint64_t pages, std::uint32_t max_count = 0xFFFF)
       : counts_(pages, 0), max_count_(max_count) {
     DMASIM_EXPECTS(pages > 0);
@@ -26,7 +32,19 @@ class PopularityTracker {
     DMASIM_EXPECTS(page < counts_.size());
     std::uint32_t& count = counts_[page];
     if (count < max_count_) ++count;
-    ++total_;
+    if (total_ < kTotalPin) ++total_;
+  }
+
+  // Records `weight` transfers at once (same saturation behaviour as
+  // `weight` single records; lets boundary tests reach the pins without
+  // 2^60 iterations).
+  void Record(std::uint64_t page, std::uint64_t weight) {
+    DMASIM_EXPECTS(page < counts_.size());
+    std::uint32_t& count = counts_[page];
+    const std::uint64_t headroom = max_count_ - count;
+    count += static_cast<std::uint32_t>(weight < headroom ? weight : headroom);
+    const std::uint64_t total_headroom = kTotalPin - total_;
+    total_ += weight < total_headroom ? weight : total_headroom;
   }
 
   // Right-shifts every counter by one bit (the paper's aging scheme).

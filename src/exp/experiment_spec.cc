@@ -62,6 +62,23 @@ std::string ValidateOptions(const SimulationOptions& options) {
     return "pl.groups must be in [1, chips]";
   }
   if (options.server.disks <= 0) return "disks must be positive";
+  if (memory.monitor.enabled) {
+    const MonitorConfig& monitor = memory.monitor;
+    if (monitor.sampling_interval <= 0) {
+      return "monitor.sampling_interval must be positive";
+    }
+    if (monitor.aggregation_interval <= 0) {
+      return "monitor.aggregation_interval must be positive";
+    }
+    if (monitor.min_regions < 1) return "monitor.min_regions must be >= 1";
+    if (monitor.max_regions < monitor.min_regions) {
+      return "monitor.max_regions must be >= monitor.min_regions";
+    }
+    if (static_cast<std::uint64_t>(monitor.min_regions) >
+        memory.TotalPages()) {
+      return "monitor.min_regions must be <= total pages";
+    }
+  }
   return "";
 }
 

@@ -123,6 +123,24 @@ Json SimulationResultsToJson(const SimulationResults& results) {
     json.Set("obs_events", results.obs_events);
     json.Set("obs_dropped_events", results.obs_dropped_events);
   }
+
+  // Same contract for the access monitor: only monitored runs carry the
+  // section, so default-options artifacts keep their pinned bytes.
+  if (results.monitor.enabled) {
+    Json monitor = Json::Object();
+    monitor.Set("regions", results.monitor.regions);
+    monitor.Set("probes", results.monitor.probes);
+    monitor.Set("observations", results.monitor.observations);
+    monitor.Set("splits", results.monitor.splits);
+    monitor.Set("merges", results.monitor.merges);
+    monitor.Set("aggregations", results.monitor.aggregations);
+    monitor.Set("scheme_matches", results.monitor.scheme_matches);
+    monitor.Set("demotions_requested", results.monitor.demotions_requested);
+    monitor.Set("demotions_applied", results.monitor.demotions_applied);
+    monitor.Set("overhead_fraction", results.monitor.overhead_fraction);
+    monitor.Set("hotness_error", results.monitor.hotness_error);
+    json.Set("monitor", std::move(monitor));
+  }
   return json;
 }
 

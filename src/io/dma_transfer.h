@@ -62,6 +62,19 @@ struct DmaTransfer {
   std::int64_t run_chunks_left = 0;
   std::uint64_t run_generation = 0;
 
+  // True while the descriptor is checked out of its TransferPool
+  // (maintained by the pool, not Reset). The access monitor's occupancy
+  // probes walk the pool's slabs and must skip free slots.
+  bool pool_active = false;
+
+  // True once an occupancy probe has attributed this transfer to its
+  // region. Observation is edge-triggered — a transfer counts once, at
+  // the first sampling tick that finds it in flight — because in-flight
+  // residency is dominated by bus queueing, and re-counting a queued
+  // transfer at every probe would weight pages by congestion rather than
+  // access frequency.
+  bool monitor_seen = false;
+
   std::int64_t RemainingToIssue() const { return total_bytes - issued_bytes; }
   bool Complete() const { return completed_bytes >= total_bytes; }
   bool FirstChunk() const { return issued_bytes == 0; }
@@ -88,6 +101,7 @@ struct DmaTransfer {
     run_active = false;
     run_next_issue = 0;
     run_chunks_left = 0;
+    monitor_seen = false;
   }
 };
 

@@ -33,18 +33,36 @@ class TransferPool {
     DmaTransfer* transfer = free_.back();
     free_.pop_back();
     transfer->Reset();
+    transfer->pool_active = true;
     ++active_;
     return transfer;
   }
 
   void Release(DmaTransfer* transfer) {
     DMASIM_EXPECTS(transfer != nullptr);
+    DMASIM_EXPECTS(transfer->pool_active);
     DMASIM_EXPECTS(active_ > 0);
+    transfer->pool_active = false;
     --active_;
     free_.push_back(transfer);
   }
 
   std::uint64_t ActiveCount() const { return active_; }
+
+  // Visits every checked-out descriptor in slab order (deterministic:
+  // slabs and slots are visited by allocation order, independent of the
+  // free-list state). This is the access monitor's occupancy probe; the
+  // paper's workloads keep at most a few dozen descriptors in flight, so
+  // the walk touches one slab and is cheap enough for a per-microsecond
+  // sampling event. Non-const so the probe can mark descriptors seen.
+  template <typename Fn>
+  void ForEachActive(Fn&& fn) {
+    for (const std::unique_ptr<DmaTransfer[]>& block : blocks_) {
+      for (std::size_t i = 0; i < kBlockSize; ++i) {
+        if (block[i].pool_active) fn(block[i]);
+      }
+    }
+  }
 
  private:
   static constexpr std::size_t kBlockSize = 256;

@@ -322,6 +322,19 @@ void MemoryChip::ArmPolicyTimer() {
   });
 }
 
+bool MemoryChip::TryStepDown() {
+  if (serving_ || fsm_.transitioning() || HasQueuedRequest()) return false;
+  if (in_flight_transfers_ > 0) return false;
+  const auto step = policy_->NextStep(fsm_.state());
+  if (!step.has_value()) return false;
+  // Invalidate the armed idle timer: its threshold step would otherwise
+  // fire mid-transition (harmless — it re-checks state — but the
+  // generation bump keeps the cancellation explicit).
+  ++timer_generation_;
+  StartStepDown(step->target);
+  return true;
+}
+
 void MemoryChip::StartWake() {
   DMASIM_CHECK(!serving_);
   const Transition& transition = fsm_.BeginWake(*model_);

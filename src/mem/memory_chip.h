@@ -95,6 +95,15 @@ class MemoryChip {
   // low-power mode (the condition under which DMA-TA may delay it).
   bool InLowPowerForGating() const { return fsm_.InLowPowerForGating(); }
 
+  // Steps the chip down to its policy's next lower state immediately,
+  // without waiting for the idle threshold (the access monitor's
+  // demote-chip scheme action). Refuses — returning false — unless the
+  // chip is genuinely quiescent: not serving, not transitioning, nothing
+  // queued, no DMA transfer in flight, and the policy has a lower state
+  // to offer. Cancels the pending idle timer so the demotion and the
+  // threshold path cannot race.
+  bool TryStepDown();
+
   // --- Chunk-run coalescing support (see MemoryController) ---------------
 
   // True when the chip's near future is fully determined by the single

@@ -1,0 +1,146 @@
+#include "mon/scheme_parser.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace dmasim {
+
+namespace {
+
+// Parses one bound field: `*` maps to `wildcard`, anything else must be
+// a full unsigned decimal number.
+bool ParseBound(const std::string& field, std::uint64_t wildcard,
+                std::uint64_t* out) {
+  if (field == "*") {
+    *out = wildcard;
+    return true;
+  }
+  if (field.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // Overflow.
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseAction(const std::string& field, SchemeAction* out) {
+  if (field == "migrate-hot") {
+    *out = SchemeAction::kMigrateHot;
+    return true;
+  }
+  if (field == "pin-cold") {
+    *out = SchemeAction::kPinCold;
+    return true;
+  }
+  if (field == "demote-chip") {
+    *out = SchemeAction::kDemoteChip;
+    return true;
+  }
+  return false;
+}
+
+std::string LineError(int line_number, const std::string& reason,
+                      const std::string& line) {
+  std::ostringstream message;
+  message << "malformed scheme rule at line " << line_number << ": " << reason
+          << ": " << line;
+  return message.str();
+}
+
+}  // namespace
+
+std::string SchemeActionName(SchemeAction action) {
+  switch (action) {
+    case SchemeAction::kMigrateHot:
+      return "migrate-hot";
+    case SchemeAction::kPinCold:
+      return "pin-cold";
+    case SchemeAction::kDemoteChip:
+      return "demote-chip";
+  }
+  return "?";
+}
+
+SchemeParseResult ParseSchemes(std::istream& is) {
+  SchemeParseResult result;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    // Strip comments before tokenizing so `1 1 * * 0 migrate-hot # hot`
+    // stays valid.
+    const std::size_t hash = line.find('#');
+    const std::string code = hash == std::string::npos
+                                 ? line
+                                 : line.substr(0, hash);
+    std::istringstream fields(code);
+    std::string size_lo, size_hi, acc_lo, acc_hi, age_lo, action;
+    if (!(fields >> size_lo)) continue;  // Blank / comment-only line.
+    if (!(fields >> size_hi >> acc_lo >> acc_hi >> age_lo >> action)) {
+      result.error = LineError(line_number, "expected 6 fields", line);
+      return result;
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      result.error = LineError(
+          line_number, "trailing garbage '" + trailing + "'", line);
+      return result;
+    }
+
+    SchemeRule rule;
+    if (!ParseBound(size_lo, 0, &rule.size_lo) ||
+        !ParseBound(size_hi, UINT64_MAX, &rule.size_hi)) {
+      result.error = LineError(line_number, "bad size range", line);
+      return result;
+    }
+    if (!ParseBound(acc_lo, 0, &rule.acc_lo) ||
+        !ParseBound(acc_hi, UINT64_MAX, &rule.acc_hi)) {
+      result.error = LineError(line_number, "bad access range", line);
+      return result;
+    }
+    if (!ParseBound(age_lo, 0, &rule.age_lo)) {
+      result.error = LineError(line_number, "bad age bound", line);
+      return result;
+    }
+    if (rule.size_lo > rule.size_hi) {
+      result.error =
+          LineError(line_number, "size range out of order", line);
+      return result;
+    }
+    if (rule.acc_lo > rule.acc_hi) {
+      result.error =
+          LineError(line_number, "access range out of order", line);
+      return result;
+    }
+    if (!ParseAction(action, &rule.action)) {
+      result.error =
+          LineError(line_number, "unknown action '" + action + "'", line);
+      return result;
+    }
+    result.rules.push_back(rule);
+  }
+  return result;
+}
+
+SchemeParseResult ParseSchemeString(const std::string& text) {
+  std::istringstream is(text);
+  return ParseSchemes(is);
+}
+
+SchemeParseResult ParseSchemeFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    SchemeParseResult result;
+    result.error = "cannot open scheme file: " + path;
+    return result;
+  }
+  return ParseSchemes(is);
+}
+
+}  // namespace dmasim

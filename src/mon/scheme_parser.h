@@ -1,0 +1,54 @@
+// Parser for the line-oriented scheme format (DAMOS spirit).
+//
+// One rule per line, six whitespace-separated fields:
+//
+//   <size_lo> <size_hi> <acc_lo> <acc_hi> <age_lo> <action>
+//
+// Sizes are region sizes in pages, access bounds are per-page sampled
+// hit counts (total window hits for demote-chip rules), age is in
+// aggregation intervals. `*` is a wildcard (0 for a lower
+// bound, unbounded for an upper bound). Actions: migrate-hot, pin-cold,
+// demote-chip. `#` starts a comment; blank lines are skipped.
+//
+//   # Isolated hot pages go to the hot chip groups.
+//   1 1 8 * 0 migrate-hot
+//   # Large regions cold for 4+ aggregations never leave the cold group.
+//   64 * 0 1 4 pin-cold
+//   # Chips with no sampled traffic for 8 aggregations step down early.
+//   * * 0 0 8 demote-chip
+//
+// Malformed input is rejected with a line-numbered diagnostic, the same
+// contract as the trace and counterexample readers: trailing garbage,
+// out-of-order ranges, and unknown actions are errors, not warnings.
+#ifndef DMASIM_MON_SCHEME_PARSER_H_
+#define DMASIM_MON_SCHEME_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mon/monitor_config.h"
+
+namespace dmasim {
+
+// Human-readable action name ("migrate-hot", ...).
+std::string SchemeActionName(SchemeAction action);
+
+struct SchemeParseResult {
+  std::vector<SchemeRule> rules;
+  // Empty on success; otherwise a diagnostic carrying the 1-based line
+  // number of the first malformed rule.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+// Parses rules from a stream / string / file. A failed file open is an
+// error naming the path.
+SchemeParseResult ParseSchemes(std::istream& is);
+SchemeParseResult ParseSchemeString(const std::string& text);
+SchemeParseResult ParseSchemeFile(const std::string& path);
+
+}  // namespace dmasim
+
+#endif  // DMASIM_MON_SCHEME_PARSER_H_

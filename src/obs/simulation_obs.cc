@@ -146,6 +146,27 @@ void SimulationObserver::RegisterMetrics() {
     server_slots_.cpu_accesses = registry_.AddCounter("server",
                                                       "cpu_accesses");
   }
+
+  if (controller_->monitor() != nullptr) {
+    monitor_slots_.regions = registry_.AddCounter("monitor", "regions");
+    monitor_slots_.probes = registry_.AddCounter("monitor", "probes");
+    monitor_slots_.observations =
+        registry_.AddCounter("monitor", "observations");
+    monitor_slots_.splits = registry_.AddCounter("monitor", "splits");
+    monitor_slots_.merges = registry_.AddCounter("monitor", "merges");
+    monitor_slots_.aggregations =
+        registry_.AddCounter("monitor", "aggregations");
+    monitor_slots_.scheme_matches =
+        registry_.AddCounter("monitor", "scheme_matches");
+    monitor_slots_.demotions_requested =
+        registry_.AddCounter("monitor", "demotions_requested");
+    monitor_slots_.demotions_applied =
+        registry_.AddCounter("monitor", "demotions_applied");
+    monitor_slots_.overhead_fraction =
+        registry_.AddGauge("monitor", "overhead_fraction");
+    monitor_slots_.hotness_error =
+        registry_.AddGauge("monitor", "hotness_error");
+  }
 }
 
 void SimulationObserver::Finish() {
@@ -215,6 +236,24 @@ void SimulationObserver::Finish() {
     *server_slots_.hits = stats.hits;
     *server_slots_.misses = stats.misses;
     *server_slots_.cpu_accesses = stats.cpu_accesses;
+  }
+
+  if (controller_->monitor() != nullptr) {
+    const RegionMonitor& monitor = *controller_->monitor();
+    *monitor_slots_.regions = monitor.regions().size();
+    *monitor_slots_.probes = monitor.stats().probes;
+    *monitor_slots_.observations = monitor.stats().observations;
+    *monitor_slots_.splits = monitor.stats().splits;
+    *monitor_slots_.merges = monitor.stats().merges;
+    *monitor_slots_.aggregations = monitor.stats().aggregations;
+    *monitor_slots_.scheme_matches = monitor.stats().scheme_region_matches;
+    *monitor_slots_.demotions_requested = monitor.stats().demotions_requested;
+    *monitor_slots_.demotions_applied = monitor.stats().demotions_applied;
+    // CollectEnergy (above) synced every chip to the current simulated
+    // time, so any chip's accounted_until is "now" for the fraction.
+    *monitor_slots_.overhead_fraction =
+        monitor.OverheadFraction(controller_->chip(0).accounted_until());
+    *monitor_slots_.hotness_error = monitor.latest_hotness_error();
   }
 
 #if DMASIM_OBS >= 2

@@ -117,6 +117,20 @@ class SimulationObserver {
     std::uint64_t* misses = nullptr;
     std::uint64_t* cpu_accesses = nullptr;
   } server_slots_;
+  // Registered only when the controller runs with the access monitor.
+  struct MonitorSlots {
+    std::uint64_t* regions = nullptr;
+    std::uint64_t* probes = nullptr;
+    std::uint64_t* observations = nullptr;
+    std::uint64_t* splits = nullptr;
+    std::uint64_t* merges = nullptr;
+    std::uint64_t* aggregations = nullptr;
+    std::uint64_t* scheme_matches = nullptr;
+    std::uint64_t* demotions_requested = nullptr;
+    std::uint64_t* demotions_applied = nullptr;
+    double* overhead_fraction = nullptr;
+    double* hotness_error = nullptr;
+  } monitor_slots_;
 
 #if DMASIM_OBS >= 2
   std::uint64_t* releases_by_cause_[kReleaseCauseCount] = {};

@@ -94,9 +94,18 @@ std::unique_ptr<LowPowerPolicy> MakePolicy(
 }
 
 std::string SchemeName(const MemorySystemConfig& config) {
-  if (!config.dma.ta.enabled) return "baseline";
-  if (!config.dma.pl.enabled) return "DMA-TA";
-  return "DMA-TA-PL(" + std::to_string(config.dma.pl.groups) + ")";
+  std::string name;
+  if (!config.dma.ta.enabled) {
+    name = "baseline";
+  } else if (!config.dma.pl.enabled) {
+    name = "DMA-TA";
+  } else {
+    name = "DMA-TA-PL(" + std::to_string(config.dma.pl.groups) + ")";
+  }
+  // The suffix (like the JSON monitor section) appears only when the
+  // monitor is on, so default-config artifacts stay byte-identical.
+  if (config.monitor.enabled) name += "+mon";
+  return name;
 }
 
 double SimulationResults::EnergySavingsVs(
@@ -188,6 +197,22 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   results.executed_events = simulator.ExecutedEvents();
   results.stepped_events = simulator.SteppedEvents();
   results.hottest_chip_share = controller.HottestChipShare();
+  if (controller.monitor() != nullptr) {
+    const RegionMonitor& monitor = *controller.monitor();
+    results.monitor.enabled = true;
+    results.monitor.regions = static_cast<int>(monitor.regions().size());
+    results.monitor.probes = monitor.stats().probes;
+    results.monitor.observations = monitor.stats().observations;
+    results.monitor.splits = monitor.stats().splits;
+    results.monitor.merges = monitor.stats().merges;
+    results.monitor.aggregations = monitor.stats().aggregations;
+    results.monitor.scheme_matches = monitor.stats().scheme_region_matches;
+    results.monitor.demotions_requested = monitor.stats().demotions_requested;
+    results.monitor.demotions_applied = monitor.stats().demotions_applied;
+    results.monitor.overhead_fraction =
+        monitor.OverheadFraction(simulator.Now());
+    results.monitor.hotness_error = monitor.latest_hotness_error();
+  }
 #if DMASIM_OBS >= 1
   if (observer != nullptr) {
     observer->Finish();

@@ -79,6 +79,26 @@ struct SimulationOptions {
   std::size_t obs_trace_capacity = std::size_t{1} << 20;
 };
 
+// Access-monitor outcome of one run (zero/default unless the run was
+// monitored).
+struct MonitorSummary {
+  bool enabled = false;
+  int regions = 0;  // Final region count.
+  std::uint64_t probes = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t aggregations = 0;
+  std::uint64_t scheme_matches = 0;
+  std::uint64_t demotions_requested = 0;
+  std::uint64_t demotions_applied = 0;
+  // Simulated monitoring cost as a fraction of the run's duration.
+  double overhead_fraction = 0.0;
+  // Latest estimated-vs-oracle hotness error (total variation; -1 when
+  // never computed, i.e. no layout interval ran).
+  double hotness_error = -1.0;
+};
+
 struct SimulationResults {
   std::string workload;
   std::string scheme;
@@ -109,6 +129,9 @@ struct SimulationResults {
   std::vector<MetricSample> metrics;
   std::uint64_t obs_events = 0;
   std::uint64_t obs_dropped_events = 0;
+
+  // Access-monitor outcome (disabled unless the run was monitored).
+  MonitorSummary monitor;
 
   // Fractional energy saving relative to `baseline` (positive = better).
   double EnergySavingsVs(const SimulationResults& baseline) const;

@@ -91,6 +91,33 @@ TEST(SimulationAuditTest, EndOfRunOnlyLevelStillChecks) {
   EXPECT_EQ(results.audit_failures, 0u);
 }
 
+TEST(SimulationAuditTest, MonitoredRunPassesRegionBudgetInvariant) {
+  // The access monitor's split/merge churn runs under the periodic
+  // monitor-region-budget invariant: region count within
+  // [min_regions, max_regions] and the region list a gap-free sorted
+  // tiling of the page space, judged at every level-2 audit point.
+  SimulationOptions options = AuditedOptions();
+  options.memory.dma.ta.enabled = true;
+  options.memory.dma.ta.mu = 2.0;
+  options.memory.dma.pl.enabled = true;
+  options.memory.monitor.enabled = true;
+  SchemeRule hot;
+  hot.size_lo = 1;
+  hot.size_hi = 1;
+  hot.acc_lo = 8;
+  hot.action = SchemeAction::kMigrateHot;
+  options.memory.monitor.rules.push_back(hot);
+
+  const SimulationResults results = RunWorkload(ShortWorkload(), options);
+  EXPECT_GT(results.audit_checks, 0u);
+  EXPECT_EQ(results.audit_failures, 0u);
+  // Splits actually happened, so the budget invariant judged a live
+  // region map rather than the untouched initial tiling.
+  EXPECT_GT(results.monitor.splits, 0u);
+  EXPECT_GE(results.monitor.regions, 32);
+  EXPECT_LE(results.monitor.regions, 1024);
+}
+
 TEST(SimulationAuditTest, SeededResyncFaultIsCaught) {
   // Corrupt the model the chips actually run -- waking from nap takes
   // zero time, i.e. the resync delay is skipped -- while the auditor

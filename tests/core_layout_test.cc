@@ -1,6 +1,7 @@
 // Tests for popularity tracking and popularity-based layout planning.
 #include "core/layout_manager.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -22,6 +23,47 @@ TEST(PopularityTrackerTest, RecordsAndSaturates) {
   EXPECT_EQ(tracker.Count(5), 3u);  // Saturated.
   EXPECT_EQ(tracker.Count(6), 0u);
   EXPECT_EQ(tracker.total(), 4u);
+}
+
+TEST(PopularityTrackerTest, BulkRecordMatchesRepeatedSingles) {
+  PopularityTracker bulk(8, /*max_count=*/100);
+  PopularityTracker singles(8, /*max_count=*/100);
+  bulk.Record(2, 37);
+  for (int i = 0; i < 37; ++i) singles.Record(2);
+  EXPECT_EQ(bulk.Count(2), singles.Count(2));
+  EXPECT_EQ(bulk.total(), singles.total());
+}
+
+TEST(PopularityTrackerTest, BulkRecordSaturatesAtCounterBoundary) {
+  PopularityTracker tracker(8, /*max_count=*/10);
+  tracker.Record(3, 9);
+  EXPECT_EQ(tracker.Count(3), 9u);  // One below the cap.
+  tracker.Record(3, 1);
+  EXPECT_EQ(tracker.Count(3), 10u);  // Exactly at the cap.
+  tracker.Record(3, 1);
+  EXPECT_EQ(tracker.Count(3), 10u);  // Pinned, not wrapped.
+  tracker.Record(3, UINT64_MAX);     // Far past the cap in one step.
+  EXPECT_EQ(tracker.Count(3), 10u);
+  // The total keeps counting past per-page saturation.
+  EXPECT_GT(tracker.total(), 10u);
+}
+
+TEST(PopularityTrackerTest, TotalPinsInsteadOfWrapping) {
+  PopularityTracker tracker(4);
+  // Reach the pin exactly, then overshoot: the total must stick at the
+  // pin. Without the pin this wraps and silently inverts every
+  // popularity share computed from it.
+  tracker.Record(0, PopularityTracker::kTotalPin - 1);
+  EXPECT_EQ(tracker.total(), PopularityTracker::kTotalPin - 1);
+  tracker.Record(1);
+  EXPECT_EQ(tracker.total(), PopularityTracker::kTotalPin);
+  tracker.Record(2);  // Single-record path at the pin.
+  EXPECT_EQ(tracker.total(), PopularityTracker::kTotalPin);
+  tracker.Record(3, UINT64_MAX);  // Bulk path at the pin.
+  EXPECT_EQ(tracker.total(), PopularityTracker::kTotalPin);
+  // Aging still drains a pinned total.
+  tracker.Age();
+  EXPECT_EQ(tracker.total(), PopularityTracker::kTotalPin >> 1);
 }
 
 TEST(PopularityTrackerTest, AgingHalvesCounts) {
@@ -190,6 +232,99 @@ TEST(LayoutManagerTest, DeterministicPlan) {
     EXPECT_EQ(a.moves[i].page, b.moves[i].page);
     EXPECT_EQ(a.moves[i].to_chip, b.moves[i].to_chip);
   }
+}
+
+TEST(LayoutManagerTest, FewerHotPagesThanGroupsLeavesNoEmptyGroup) {
+  // One hot page with 4 groups requested: the exponential ladder needs
+  // 1+2+4 chips but only 3 can be hot, so the ladder must clip to the
+  // structural minimum rather than emit empty hot groups.
+  LayoutManager manager(TestConfig(/*groups=*/4), kChips, kPagesPerChip);
+  std::vector<std::uint32_t> counts(kPages, 0);
+  counts[5] = 100;
+  const LayoutPlan plan = manager.Plan(counts, StripedLayout());
+  EXPECT_EQ(plan.hot_chips, kChips - 1);  // Clamped, one chip stays cold.
+  ASSERT_EQ(plan.group_of_chip.size(), static_cast<std::size_t>(kChips));
+  // Every group id in [0, group_count) owns at least one chip.
+  std::vector<int> chips_in_group(static_cast<std::size_t>(plan.group_count),
+                                  0);
+  for (int group : plan.group_of_chip) {
+    ASSERT_GE(group, 0);
+    ASSERT_LT(group, plan.group_count);
+    ++chips_in_group[static_cast<std::size_t>(group)];
+  }
+  for (int group = 0; group < plan.group_count; ++group) {
+    EXPECT_GT(chips_in_group[static_cast<std::size_t>(group)], 0)
+        << "group " << group << " owns no chips";
+  }
+}
+
+TEST(LayoutManagerTest, TiedCountsBreakDeterministically) {
+  // Pages with identical counts compete for the last hot slots; the
+  // ranking must break ties the same way on every call (sweeps replan
+  // from equal state in parallel and the artifact checksum is pinned).
+  LayoutManager manager(TestConfig(), kChips, kPagesPerChip);
+  std::vector<std::uint32_t> counts(kPages, 0);
+  for (std::uint64_t page = 1; page < 9; ++page) counts[page] = 7;
+
+  const LayoutPlan first = manager.Plan(counts, StripedLayout());
+  // Interleave a different planning problem to dirty the scratch
+  // buffers, then replay the tied input: the plan must not change.
+  std::vector<std::uint32_t> other(kPages, 1);
+  other[30] = 50;
+  (void)manager.Plan(other, StripedLayout());
+  const LayoutPlan second = manager.Plan(counts, StripedLayout());
+
+  ASSERT_EQ(first.moves.size(), second.moves.size());
+  for (std::size_t i = 0; i < first.moves.size(); ++i) {
+    EXPECT_EQ(first.moves[i].page, second.moves[i].page);
+    EXPECT_EQ(first.moves[i].from_chip, second.moves[i].from_chip);
+    EXPECT_EQ(first.moves[i].to_chip, second.moves[i].to_chip);
+  }
+  EXPECT_EQ(first.hot_chips, second.hot_chips);
+  EXPECT_EQ(first.group_of_chip, second.group_of_chip);
+}
+
+TEST(LayoutManagerTest, ShrinkingHotSetReplansWithoutOccupancyDrift) {
+  // Interval 1: a wide hot set claims two chips. Interval 2: most pages
+  // went cold, the hot set shrinks to one chip. The second plan must
+  // work from the migrated layout and keep occupancy exact.
+  LayoutManager manager(TestConfig(/*groups=*/2), kChips, kPagesPerChip);
+  auto layout = StripedLayout();
+
+  std::vector<std::uint32_t> counts(kPages, 0);
+  for (std::uint64_t page = 0; page < 24; ++page) counts[page] = 10;
+  const LayoutPlan wide = manager.Plan(counts, layout);
+  EXPECT_GT(wide.hot_chips, 1);
+  for (const PageMove& move : wide.moves) {
+    ASSERT_EQ(layout[move.page], move.from_chip);
+    layout[move.page] = move.to_chip;
+  }
+
+  // Cooldown: only three pages stay hot.
+  std::fill(counts.begin(), counts.end(), 0u);
+  counts[0] = 20;
+  counts[1] = 20;
+  counts[2] = 20;
+  const LayoutPlan narrow = manager.Plan(counts, layout);
+  EXPECT_EQ(narrow.hot_chips, 1);
+  EXPECT_LT(narrow.hot_chips, wide.hot_chips);
+
+  std::vector<int> occupancy(kChips, 0);
+  for (std::uint64_t page = 0; page < kPages; ++page) {
+    ++occupancy[layout[page]];
+  }
+  for (const PageMove& move : narrow.moves) {
+    ASSERT_EQ(layout[move.page], move.from_chip);
+    layout[move.page] = move.to_chip;
+    --occupancy[move.from_chip];
+    ++occupancy[move.to_chip];
+  }
+  for (int chip = 0; chip < kChips; ++chip) {
+    EXPECT_EQ(occupancy[chip], kPagesPerChip);
+  }
+  // The hot prefix (pages 0 and 1 cover the 60% share) ends on the
+  // single remaining hot chip.
+  EXPECT_EQ(layout[0], layout[1]);
 }
 
 // Property test: random popularity vectors never produce invalid plans.

@@ -1,0 +1,117 @@
+// End-to-end acceptance tests for the online access monitor: on the
+// paper's OLTP storage workload, DMA-TA-PL fed by the monitored
+// popularity estimate must recover at least 90% of the energy saving the
+// oracle tracker achieves, at no more than 1% simulated monitoring
+// overhead -- and a monitored run must be exactly reproducible.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mon/scheme_parser.h"
+#include "server/simulation_driver.h"
+#include "trace/workloads.h"
+
+namespace dmasim {
+namespace {
+
+// Short enough to keep the suite fast, long enough for the monitor to
+// pass several aging horizons (the recovery margin is stable from
+// ~200 ms on; see examples/monitor_eval.cpp for the full experiment).
+constexpr Tick kDuration = 200 * kMillisecond;
+constexpr double kCpLimit = 0.10;
+
+SimulationOptions MonitoredOptions(const SimulationOptions& oracle_options) {
+  SimulationOptions options = oracle_options;
+  options.memory.monitor.enabled = true;
+  const SchemeParseResult schemes = ParseSchemeString(
+      "1 1 8 * 0 migrate-hot\n"
+      "64 * 0 1 4 pin-cold\n"
+      "* * 0 0 8 demote-chip\n");
+  EXPECT_TRUE(schemes.ok()) << schemes.error;
+  options.memory.monitor.rules = schemes.rules;
+  return options;
+}
+
+TEST(MonitorIntegrationTest, MonitoredPlRecoversOracleSavings) {
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = kDuration;
+  const Trace trace = GenerateWorkload(spec);
+
+  SimulationOptions options;
+  const SimulationResults baseline = RunTrace(
+      trace, spec.miss_ratio, spec.duration, options, spec.name);
+  const CpCalibration calibration = Calibrate(baseline);
+
+  SimulationOptions oracle_options = options;
+  oracle_options.memory.dma.ta.enabled = true;
+  oracle_options.memory.dma.ta.mu = calibration.MuFor(kCpLimit);
+  oracle_options.memory.dma.pl.enabled = true;
+  const SimulationResults oracle = RunTrace(
+      trace, spec.miss_ratio, spec.duration, oracle_options, spec.name);
+
+  const SimulationResults monitored =
+      RunTrace(trace, spec.miss_ratio, spec.duration,
+               MonitoredOptions(oracle_options), spec.name);
+
+  const double oracle_savings = oracle.EnergySavingsVs(baseline);
+  const double monitored_savings = monitored.EnergySavingsVs(baseline);
+  ASSERT_GT(oracle_savings, 0.0);
+
+  // The ISSUE acceptance gates.
+  EXPECT_GE(monitored_savings, 0.9 * oracle_savings)
+      << "monitored PL recovers only "
+      << 100.0 * monitored_savings / oracle_savings
+      << "% of the oracle saving";
+  EXPECT_LE(monitored.monitor.overhead_fraction, 0.01);
+
+  // The monitored run must also stay inside the calibrated CP-Limit.
+  EXPECT_LE(monitored.ResponseDegradationVs(baseline), kCpLimit);
+
+  // Monitor summary plumbed through the driver.
+  EXPECT_TRUE(monitored.monitor.enabled);
+  EXPECT_FALSE(oracle.monitor.enabled);
+  EXPECT_GT(monitored.monitor.probes, 0u);
+  EXPECT_GT(monitored.monitor.observations, 0u);
+  EXPECT_GT(monitored.monitor.aggregations, 0u);
+  EXPECT_GE(monitored.monitor.hotness_error, 0.0);
+  EXPECT_LE(monitored.monitor.hotness_error, 1.0);
+  EXPECT_GT(monitored.controller.migrations, 0u);
+
+  // Scheme labels distinguish the popularity sources; the suffix appears
+  // only when the monitor is on (default artifacts keep their bytes).
+  EXPECT_NE(monitored.scheme.find("DMA-TA-PL"), std::string::npos);
+  EXPECT_NE(monitored.scheme.find("+mon"), std::string::npos);
+  EXPECT_EQ(oracle.scheme.find("+mon"), std::string::npos);
+}
+
+TEST(MonitorDeterminismTest, MonitoredRunIsReproducible) {
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = 50 * kMillisecond;
+  const Trace trace = GenerateWorkload(spec);
+
+  SimulationOptions options;
+  options.memory.dma.ta.enabled = true;
+  options.memory.dma.ta.mu = 2.0;
+  options.memory.dma.pl.enabled = true;
+  const SimulationOptions monitored = MonitoredOptions(options);
+
+  const SimulationResults a = RunTrace(
+      trace, spec.miss_ratio, spec.duration, monitored, spec.name);
+  const SimulationResults b = RunTrace(
+      trace, spec.miss_ratio, spec.duration, monitored, spec.name);
+
+  EXPECT_EQ(a.energy.Total(), b.energy.Total());
+  EXPECT_EQ(a.controller.migrations, b.controller.migrations);
+  EXPECT_EQ(a.monitor.probes, b.monitor.probes);
+  EXPECT_EQ(a.monitor.observations, b.monitor.observations);
+  EXPECT_EQ(a.monitor.splits, b.monitor.splits);
+  EXPECT_EQ(a.monitor.merges, b.monitor.merges);
+  EXPECT_EQ(a.monitor.regions, b.monitor.regions);
+  EXPECT_EQ(a.monitor.scheme_matches, b.monitor.scheme_matches);
+  EXPECT_EQ(a.monitor.overhead_fraction, b.monitor.overhead_fraction);
+  EXPECT_EQ(a.monitor.hotness_error, b.monitor.hotness_error);
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -1,0 +1,140 @@
+// Tests for the scheme parser: the full accepted grammar, and the
+// rejection contract — every malformed input is refused with a
+// diagnostic naming the 1-based line it came from.
+#include "mon/scheme_parser.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dmasim {
+namespace {
+
+TEST(SchemeParserTest, ParsesAllActionsAndWildcards) {
+  const SchemeParseResult result = ParseSchemeString(
+      "1 1 8 * 0 migrate-hot\n"
+      "64 * 0 1 4 pin-cold\n"
+      "* * 0 0 8 demote-chip\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.rules.size(), 3u);
+
+  EXPECT_EQ(result.rules[0].size_lo, 1u);
+  EXPECT_EQ(result.rules[0].size_hi, 1u);
+  EXPECT_EQ(result.rules[0].acc_lo, 8u);
+  EXPECT_EQ(result.rules[0].acc_hi, UINT64_MAX);
+  EXPECT_EQ(result.rules[0].age_lo, 0u);
+  EXPECT_EQ(result.rules[0].action, SchemeAction::kMigrateHot);
+
+  EXPECT_EQ(result.rules[1].size_lo, 64u);
+  EXPECT_EQ(result.rules[1].size_hi, UINT64_MAX);
+  EXPECT_EQ(result.rules[1].acc_hi, 1u);
+  EXPECT_EQ(result.rules[1].age_lo, 4u);
+  EXPECT_EQ(result.rules[1].action, SchemeAction::kPinCold);
+
+  EXPECT_EQ(result.rules[2].size_lo, 0u);  // `*` lower bound.
+  EXPECT_EQ(result.rules[2].action, SchemeAction::kDemoteChip);
+}
+
+TEST(SchemeParserTest, SkipsBlanksAndComments) {
+  const SchemeParseResult result = ParseSchemeString(
+      "# full-line comment\n"
+      "\n"
+      "   \n"
+      "1 1 8 * 0 migrate-hot # trailing comment is fine\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.rules.size(), 1u);
+}
+
+TEST(SchemeParserTest, EmptyInputYieldsNoRules) {
+  const SchemeParseResult result = ParseSchemeString("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.rules.empty());
+}
+
+TEST(SchemeParserTest, RuleMatchingIsInclusiveOnBothEnds) {
+  const SchemeParseResult result =
+      ParseSchemeString("2 4 3 9 5 migrate-hot\n");
+  ASSERT_TRUE(result.ok());
+  const SchemeRule& rule = result.rules[0];
+  EXPECT_TRUE(rule.MatchesRegion(2, 3, 5));
+  EXPECT_TRUE(rule.MatchesRegion(4, 9, 7));
+  EXPECT_FALSE(rule.MatchesRegion(1, 5, 5));   // Size below.
+  EXPECT_FALSE(rule.MatchesRegion(5, 5, 5));   // Size above.
+  EXPECT_FALSE(rule.MatchesRegion(3, 2, 5));   // Access below.
+  EXPECT_FALSE(rule.MatchesRegion(3, 10, 5));  // Access above.
+  EXPECT_FALSE(rule.MatchesRegion(3, 5, 4));   // Too young.
+}
+
+// --- Rejection contract -------------------------------------------------
+// Each malformed input names the exact line. The line number matters:
+// scheme files are hand-edited configs and "something is wrong somewhere"
+// diagnostics do not survive contact with a 30-line file.
+
+struct BadScheme {
+  const char* text;
+  const char* expected_fragment;
+};
+
+class SchemeParserRejectionTest
+    : public ::testing::TestWithParam<BadScheme> {};
+
+TEST_P(SchemeParserRejectionTest, RejectsWithLineNumber) {
+  const SchemeParseResult result = ParseSchemeString(GetParam().text);
+  ASSERT_FALSE(result.ok()) << "accepted: " << GetParam().text;
+  EXPECT_NE(result.error.find(GetParam().expected_fragment),
+            std::string::npos)
+      << "error was: " << result.error;
+  EXPECT_TRUE(result.rules.empty() || !result.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SchemeParserRejectionTest,
+    ::testing::Values(
+        // Too few fields.
+        BadScheme{"1 1 8 *\n", "at line 1: expected 6 fields"},
+        // Trailing garbage after a complete rule.
+        BadScheme{"1 1 8 * 0 migrate-hot extra\n",
+                  "at line 1: trailing garbage 'extra'"},
+        // Out-of-order ranges.
+        BadScheme{"4 2 0 * 0 pin-cold\n",
+                  "at line 1: size range out of order"},
+        BadScheme{"1 1 9 3 0 migrate-hot\n",
+                  "at line 1: access range out of order"},
+        // Unknown action.
+        BadScheme{"1 1 8 * 0 promote\n",
+                  "at line 1: unknown action 'promote'"},
+        // Non-numeric bounds.
+        BadScheme{"one 1 8 * 0 migrate-hot\n", "at line 1: bad size range"},
+        BadScheme{"1 1 8 * never migrate-hot\n",
+                  "at line 1: bad age bound"},
+        BadScheme{"1 1 -3 * 0 migrate-hot\n",
+                  "at line 1: bad access range"},
+        // Decimal overflow is rejected, not wrapped.
+        BadScheme{"1 99999999999999999999 0 * 0 pin-cold\n",
+                  "at line 1: bad size range"},
+        // The diagnostic points at the offending line, not line 1:
+        // comments and valid rules above it still count.
+        BadScheme{"# header\n"
+                  "1 1 8 * 0 migrate-hot\n"
+                  "\n"
+                  "64 * 0 1 4 pin-cool\n",
+                  "at line 4: unknown action 'pin-cool'"},
+        BadScheme{"1 1 8 * 0 migrate-hot\n"
+                  "1 1 8 *\n",
+                  "at line 2: expected 6 fields"}));
+
+TEST(SchemeParserTest, MissingFileNamesThePath) {
+  const SchemeParseResult result =
+      ParseSchemeFile("/nonexistent/no.scheme");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("/nonexistent/no.scheme"), std::string::npos);
+}
+
+TEST(SchemeParserTest, ActionNamesRoundTrip) {
+  EXPECT_EQ(SchemeActionName(SchemeAction::kMigrateHot), "migrate-hot");
+  EXPECT_EQ(SchemeActionName(SchemeAction::kPinCold), "pin-cold");
+  EXPECT_EQ(SchemeActionName(SchemeAction::kDemoteChip), "demote-chip");
+}
+
+}  // namespace
+}  // namespace dmasim

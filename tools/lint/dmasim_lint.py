@@ -48,7 +48,7 @@ import re
 import sys
 from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
 
-HOT_PATH_DIRS = ("src/sim", "src/mem", "src/io", "src/core")
+HOT_PATH_DIRS = ("src/sim", "src/mem", "src/io", "src/core", "src/mon")
 
 SUPPRESS_RE = re.compile(r"//.*?dmasim-lint:\s*allow\(([a-z-]+)\)")
 EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")

@@ -96,6 +96,9 @@ Axes (comma-separated lists; the cross product is the run grid):
 Execution:
   --duration-ms N    simulated milliseconds per run (default: preset)
   --threads N        worker threads (default: all hardware threads)
+  --sim-threads N    worker threads inside each simulation's sharded
+                     event kernel (default: 1 = serial; any value is
+                     bit-identical — see DESIGN.md section 14)
   --name NAME        sweep name recorded in the artifact (default: sweep)
   --audit            run every simulation under the invariant auditor
                      (abort on violation; needs a library built with
@@ -229,6 +232,9 @@ int main(int argc, char** argv) {
       duration_ms = ParseDouble(next());
     } else if (arg == "--threads") {
       sweep_options.threads = static_cast<int>(ParseDouble(next()));
+    } else if (arg == "--sim-threads") {
+      spec.base.sim_threads = static_cast<int>(ParseDouble(next()));
+      if (spec.base.sim_threads < 1) Fail("--sim-threads must be >= 1");
     } else if (arg == "--name") {
       spec.name = next();
     } else if (arg == "--out") {

@@ -1,0 +1,162 @@
+// fleet_scenario — a production-scale fleet on the sharded kernel.
+//
+// Simulates many memory-controller domains (default 32 domains x 32
+// chips = 1024 chips, 32768 client streams each = ~1M streams) with a
+// fraction of streams homed on remote domains, and executes the whole
+// fleet with the conservative-lookahead sharded engine. The run is
+// bit-identical for every --sim-threads value; the printed fingerprint
+// is the proof the determinism suite pins.
+//
+// Examples:
+//   fleet_scenario --sim-threads 8
+//   fleet_scenario --domains 8 --duration-ms 50 --workload dss
+//   fleet_scenario --sim-threads 4 --fingerprint-only
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/fleet_driver.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace dmasim;
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::cerr << "fleet_scenario: " << message << "\n"
+            << "Run with --help for usage.\n";
+  std::exit(2);
+}
+
+void PrintUsage() {
+  std::cout <<
+      R"(Usage: fleet_scenario [options]
+  --domains N          memory-controller domains / engine shards
+                       (default: 32)
+  --sim-threads N      engine worker threads (default: 1 = serial;
+                       results are bit-identical for any value)
+  --duration-ms N      simulated milliseconds (default: 20)
+  --workload NAME      per-domain workload: oltp-st, synth-st, oltp-db,
+                       synth-db, dss (default: oltp-st)
+  --chips N            memory chips per domain (default: 32)
+  --streams N          client streams per domain (default: 32768)
+  --remote-fraction F  fraction of streams homed remotely
+                       (default: 0.05)
+  --remote-latency-us N  one-way fleet hop, also the engine lookahead
+                       (default: 20)
+  --seed N             workload seed (default: preset)
+  --fingerprint-only   print only the run fingerprint (for scripting)
+  --help               this text
+)";
+}
+
+WorkloadSpec WorkloadByFlag(const std::string& flag) {
+  if (flag == "oltp-st") return OltpStorageSpec();
+  if (flag == "synth-st") return SyntheticStorageSpec();
+  if (flag == "oltp-db") return OltpDatabaseSpec();
+  if (flag == "synth-db") return SyntheticDatabaseSpec();
+  if (flag == "dss") return DssStorageSpec();
+  Fail("unknown workload '" + flag + "'");
+}
+
+double ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') Fail("bad number '" + text + "'");
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FleetOptions options;
+  options.domains = 32;
+  options.streams_per_domain = 32768;
+  std::string workload_flag = "oltp-st";
+  double duration_ms = 20.0;
+  double seed = -1.0;
+  bool fingerprint_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Fail("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--domains") {
+      options.domains = static_cast<int>(ParseDouble(next()));
+      if (options.domains < 1) Fail("--domains must be >= 1");
+    } else if (arg == "--sim-threads") {
+      options.sim_threads = static_cast<int>(ParseDouble(next()));
+      if (options.sim_threads < 1) Fail("--sim-threads must be >= 1");
+    } else if (arg == "--duration-ms") {
+      duration_ms = ParseDouble(next());
+      if (duration_ms <= 0.0) Fail("--duration-ms must be > 0");
+    } else if (arg == "--workload") {
+      workload_flag = next();
+    } else if (arg == "--chips") {
+      options.base.memory.chips = static_cast<int>(ParseDouble(next()));
+    } else if (arg == "--streams") {
+      options.streams_per_domain =
+          static_cast<std::uint64_t>(ParseDouble(next()));
+    } else if (arg == "--remote-fraction") {
+      options.remote_fraction = ParseDouble(next());
+    } else if (arg == "--remote-latency-us") {
+      options.remote_latency =
+          static_cast<Tick>(ParseDouble(next()) * kMicrosecond);
+    } else if (arg == "--seed") {
+      seed = ParseDouble(next());
+    } else if (arg == "--fingerprint-only") {
+      fingerprint_only = true;
+    } else {
+      Fail("unknown option '" + arg + "'");
+    }
+  }
+
+  options.workload = WorkloadByFlag(workload_flag);
+  options.workload.duration = static_cast<Tick>(duration_ms * kMillisecond);
+  if (seed >= 0.0) options.workload.seed = static_cast<std::uint64_t>(seed);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const FleetResults fleet = RunFleet(options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  if (fingerprint_only) {
+    std::cout << fleet.Fingerprint() << "\n";
+    return 0;
+  }
+
+  const double events_per_second =
+      wall_seconds > 0.0
+          ? static_cast<double>(fleet.stepped_events) / wall_seconds
+          : 0.0;
+  std::cout << "fleet: " << options.domains << " domains x "
+            << options.base.memory.chips << " chips ("
+            << options.domains * options.base.memory.chips
+            << " chips total), "
+            << options.domains * options.streams_per_domain
+            << " client streams, workload " << options.workload.name << "\n"
+            << "engine: " << options.sim_threads << " thread(s), "
+            << fleet.engine.windows << " windows, "
+            << fleet.engine.delivered_messages << " cross-shard messages, "
+            << fleet.engine.mailbox_spills << " mailbox spills\n"
+            << "events: " << fleet.stepped_events << " in " << wall_seconds
+            << " s wall (" << events_per_second << " events/s)\n"
+            << "remote reads: " << fleet.remote_sent << " sent, "
+            << fleet.remote_completed << " completed, mean response "
+            << fleet.remote_response.Mean() / kMicrosecond << " us\n"
+            << "local reads: mean response "
+            << fleet.client_response.Mean() / kMicrosecond << " us over "
+            << fleet.client_response.Count() << " requests\n"
+            << "energy: " << fleet.energy.Total() << " J\n"
+            << "fingerprint: " << fleet.Fingerprint() << "\n";
+  return 0;
+}

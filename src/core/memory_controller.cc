@@ -489,9 +489,10 @@ void MemoryController::ScheduleMonitorAggregation() {
     // TryStepDown refuses on any chip with queued work or an in-flight
     // transfer, and a coalesced run's chip always has in-flight >= 1, so
     // runs again need no settling.
-    const std::vector<int>& demote = monitor_->Aggregate();
-    for (int chip_index : demote) {
-      if (chips_[static_cast<std::size_t>(chip_index)]->TryStepDown()) {
+    const std::vector<ChipDemotion>& demote = monitor_->Aggregate();
+    for (const ChipDemotion& demotion : demote) {
+      if (chips_[static_cast<std::size_t>(demotion.chip)]->TryStepDown(
+              demotion.depth)) {
         monitor_->NoteDemotionApplied();
       }
     }

@@ -322,16 +322,29 @@ void MemoryChip::ArmPolicyTimer() {
   });
 }
 
-bool MemoryChip::TryStepDown() {
+bool MemoryChip::TryStepDown(int depth) {
+  DMASIM_EXPECTS(depth >= 1);
   if (serving_ || fsm_.transitioning() || HasQueuedRequest()) return false;
   if (in_flight_transfers_ > 0) return false;
   const auto step = policy_->NextStep(fsm_.state());
   if (!step.has_value()) return false;
+  // Follow the policy's step chain `depth` states down (clamped at the
+  // chain's end) and make the whole descent one transition. A deeper
+  // single transition is legal — the FSM and the power-state auditor
+  // only require a strictly lower target with that target's down
+  // transition time — and cheaper than stepping through the
+  // intermediate states one aggregation interval apart.
+  PowerState target = step->target;
+  for (int i = 1; i < depth; ++i) {
+    const auto deeper = policy_->NextStep(target);
+    if (!deeper.has_value()) break;
+    target = deeper->target;
+  }
   // Invalidate the armed idle timer: its threshold step would otherwise
   // fire mid-transition (harmless — it re-checks state — but the
   // generation bump keeps the cancellation explicit).
   ++timer_generation_;
-  StartStepDown(step->target);
+  StartStepDown(target);
   return true;
 }
 

@@ -95,14 +95,16 @@ class MemoryChip {
   // low-power mode (the condition under which DMA-TA may delay it).
   bool InLowPowerForGating() const { return fsm_.InLowPowerForGating(); }
 
-  // Steps the chip down to its policy's next lower state immediately,
-  // without waiting for the idle threshold (the access monitor's
-  // demote-chip scheme action). Refuses — returning false — unless the
-  // chip is genuinely quiescent: not serving, not transitioning, nothing
-  // queued, no DMA transfer in flight, and the policy has a lower state
-  // to offer. Cancels the pending idle timer so the demotion and the
-  // threshold path cannot race.
-  bool TryStepDown();
+  // Steps the chip down `depth` policy steps below its current state in
+  // one transition, without waiting for the idle threshold (the access
+  // monitor's demote-chip scheme action; depth > 1 follows the policy's
+  // step chain — e.g. Active -> Nap — and clamps at the chain's end).
+  // Refuses — returning false — unless the chip is genuinely quiescent:
+  // not serving, not transitioning, nothing queued, no DMA transfer in
+  // flight, and the policy has a lower state to offer. Cancels the
+  // pending idle timer so the demotion and the threshold path cannot
+  // race.
+  bool TryStepDown(int depth = 1);
 
   // --- Chunk-run coalescing support (see MemoryController) ---------------
 

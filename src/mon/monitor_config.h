@@ -50,6 +50,12 @@ struct SchemeRule {
   std::uint64_t acc_hi = UINT64_MAX;
   std::uint64_t age_lo = 0;
   SchemeAction action = SchemeAction::kMigrateHot;
+  // kDemoteChip only: how many policy steps below the chip's current
+  // state the demotion targets (1 = the policy's next state; larger
+  // values follow the policy chain deeper — e.g. Active -> Nap in one
+  // transition — clamped at the chain's end). Written `demote-chip:N`
+  // in the scheme file.
+  int demote_depth = 1;
 
   bool MatchesRegion(std::uint64_t size, std::uint64_t hits,
                      std::uint64_t age) const {

@@ -124,7 +124,7 @@ void RegionMonitor::SplitAtSample(std::size_t index, std::uint64_t page) {
   if (left.size() > 0) regions_.insert(it, left);
 }
 
-const std::vector<int>& RegionMonitor::Aggregate() {
+const std::vector<ChipDemotion>& RegionMonitor::Aggregate() {
   ++stats_.aggregations;
   stats_.busy_ticks +=
       config_.region_cost * static_cast<Tick>(regions_.size());
@@ -189,7 +189,8 @@ void RegionMonitor::ApplyChipRules() {
       if (rule.action != SchemeAction::kDemoteChip) continue;
       if (rule.MatchesRegion(chip_pages, chip_window_hits_[chip],
                              chip_idle_streak_[chip])) {
-        chips_to_demote_.push_back(static_cast<int>(chip));
+        chips_to_demote_.push_back(
+            {static_cast<int>(chip), rule.demote_depth});
         ++stats_.demotions_requested;
         break;  // First matching rule wins, as for regions.
       }

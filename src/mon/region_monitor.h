@@ -52,6 +52,14 @@ struct MonitorRegion {
   std::uint64_t size() const { return end - start; }
 };
 
+// One chip demotion requested by the demote-chip schemes: which chip,
+// and how many policy steps below its current state to target (the
+// matched rule's `demote_depth`).
+struct ChipDemotion {
+  int chip = 0;
+  int depth = 1;
+};
+
 struct MonitorStats {
   std::uint64_t probes = 0;
   std::uint64_t observations = 0;  // Transfers attributed (once each).
@@ -89,10 +97,10 @@ class RegionMonitor {
   // --- Aggregation (called from the controller's aggregation event) ------
 
   // Ages regions, merges cold neighbours back under the budget, applies
-  // the chip-level (demote-chip) rules. Returns the chips the schemes
-  // want stepped down; the caller owns the actual power transition and
-  // reports back via NoteDemotionApplied().
-  const std::vector<int>& Aggregate();
+  // the chip-level (demote-chip) rules. Returns the demotions (chip +
+  // depth) the schemes want; the caller owns the actual power
+  // transition and reports back via NoteDemotionApplied().
+  const std::vector<ChipDemotion>& Aggregate();
   void NoteDemotionApplied() { ++stats_.demotions_applied; }
 
   // --- Layout feed (called at popularity-layout intervals) ---------------
@@ -145,7 +153,7 @@ class RegionMonitor {
   // the demote-chip predicate tests).
   std::vector<std::uint64_t> chip_window_hits_;
   std::vector<std::uint32_t> chip_idle_streak_;
-  std::vector<int> chips_to_demote_;
+  std::vector<ChipDemotion> chips_to_demote_;
 
   std::vector<std::uint32_t> materialized_;
 

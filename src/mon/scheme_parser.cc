@@ -118,10 +118,35 @@ SchemeParseResult ParseSchemes(std::istream& is) {
           LineError(line_number, "access range out of order", line);
       return result;
     }
-    if (!ParseAction(action, &rule.action)) {
+    // An action may carry a `:N` suffix; only demote-chip accepts one
+    // (its demotion depth in policy steps).
+    std::string action_base = action;
+    std::string depth_suffix;
+    const std::size_t colon = action.find(':');
+    if (colon != std::string::npos) {
+      action_base = action.substr(0, colon);
+      depth_suffix = action.substr(colon + 1);
+    }
+    if (!ParseAction(action_base, &rule.action)) {
       result.error =
-          LineError(line_number, "unknown action '" + action + "'", line);
+          LineError(line_number, "unknown action '" + action_base + "'",
+                    line);
       return result;
+    }
+    if (colon != std::string::npos) {
+      if (rule.action != SchemeAction::kDemoteChip) {
+        result.error = LineError(
+            line_number,
+            "depth suffix is only valid for demote-chip", line);
+        return result;
+      }
+      std::uint64_t depth = 0;
+      if (!ParseBound(depth_suffix, 0, &depth) || depth < 1 || depth > 64) {
+        result.error = LineError(
+            line_number, "bad demote depth '" + depth_suffix + "'", line);
+        return result;
+      }
+      rule.demote_depth = static_cast<int>(depth);
     }
     result.rules.push_back(rule);
   }

@@ -8,7 +8,10 @@
 // hit counts (total window hits for demote-chip rules), age is in
 // aggregation intervals. `*` is a wildcard (0 for a lower
 // bound, unbounded for an upper bound). Actions: migrate-hot, pin-cold,
-// demote-chip. `#` starts a comment; blank lines are skipped.
+// demote-chip. A demote-chip action takes an optional `:N` depth suffix
+// (N >= 1 policy steps below the current state, default 1), so a rule
+// for long-idle chips can target nap or powerdown directly instead of
+// one state at a time. `#` starts a comment; blank lines are skipped.
 //
 //   # Isolated hot pages go to the hot chip groups.
 //   1 1 8 * 0 migrate-hot
@@ -16,6 +19,8 @@
 //   64 * 0 1 4 pin-cold
 //   # Chips with no sampled traffic for 8 aggregations step down early.
 //   * * 0 0 8 demote-chip
+//   # Chips idle for 32 aggregations drop two states in one transition.
+//   * * 0 0 32 demote-chip:2
 //
 // Malformed input is rejected with a line-numbered diagnostic, the same
 // contract as the trace and counterexample readers: trailing garbage,

@@ -24,6 +24,7 @@ SimulationObserver::SimulationObserver(MemoryController* controller,
                                        const Options& options)
     : controller_(controller),
       server_(server),
+      simulator_(options.simulator),
       level_(std::clamp(options.level, 0, kCompiledObsLevel)) {
   DMASIM_EXPECTS(controller_ != nullptr);
   if (level_ < 1) return;
@@ -138,6 +139,24 @@ void SimulationObserver::RegisterMetrics() {
   bus_slots_.transfers_started =
       registry_.AddCounter("buses", "transfers_started");
 
+  if (simulator_ != nullptr) {
+    sim_slots_.executed_events =
+        registry_.AddCounter("sim", "executed_events");
+    sim_slots_.stepped_events = registry_.AddCounter("sim", "stepped_events");
+    sim_slots_.calendar_bucket_loads =
+        registry_.AddCounter("sim", "calendar_bucket_loads");
+    sim_slots_.calendar_cascades =
+        registry_.AddCounter("sim", "calendar_cascades");
+    sim_slots_.calendar_overflow_refills =
+        registry_.AddCounter("sim", "calendar_overflow_refills");
+    sim_slots_.calendar_max_bucket_events =
+        registry_.AddCounter("sim", "calendar_max_bucket_events");
+    sim_slots_.calendar_max_cascade_events =
+        registry_.AddCounter("sim", "calendar_max_cascade_events");
+    sim_slots_.calendar_max_overflow_events =
+        registry_.AddCounter("sim", "calendar_max_overflow_events");
+  }
+
   if (server_ != nullptr) {
     server_slots_.reads = registry_.AddCounter("server", "reads");
     server_slots_.writes = registry_.AddCounter("server", "writes");
@@ -227,6 +246,18 @@ void SimulationObserver::Finish() {
   for (int i = 0; i < controller_->bus_count(); ++i) {
     *bus_slots_.chunks_issued += controller_->bus(i).ChunksIssued();
     *bus_slots_.transfers_started += controller_->bus(i).TransfersStarted();
+  }
+
+  if (simulator_ != nullptr) {
+    const Simulator::CalendarStats& calendar = simulator_->calendar_stats();
+    *sim_slots_.executed_events = simulator_->ExecutedEvents();
+    *sim_slots_.stepped_events = simulator_->SteppedEvents();
+    *sim_slots_.calendar_bucket_loads = calendar.bucket_loads;
+    *sim_slots_.calendar_cascades = calendar.cascades;
+    *sim_slots_.calendar_overflow_refills = calendar.overflow_refills;
+    *sim_slots_.calendar_max_bucket_events = calendar.max_bucket_events;
+    *sim_slots_.calendar_max_cascade_events = calendar.max_cascade_events;
+    *sim_slots_.calendar_max_overflow_events = calendar.max_overflow_events;
   }
 
   if (server_ != nullptr) {

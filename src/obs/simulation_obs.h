@@ -24,6 +24,7 @@
 #include "mem/power_model.h"
 #include "obs/metrics.h"
 #include "server/data_server.h"
+#include "sim/simulator.h"
 
 #if DMASIM_OBS >= 2
 #include "obs/event_trace.h"
@@ -39,6 +40,10 @@ class SimulationObserver {
     int level = 1;
     // Event-trace buffer bound; events past it are dropped and counted.
     std::size_t trace_capacity = std::size_t{1} << 20;
+    // When set, the event kernel's calendar-queue internals (bucket
+    // occupancy, cascades, overflow refills) are exported as `sim.*`
+    // metrics. Must outlive the observer.
+    const Simulator* simulator = nullptr;
   };
 
   // Attaches to `controller` (and its chips and buses) and `server`
@@ -72,6 +77,7 @@ class SimulationObserver {
 
   MemoryController* controller_;
   DataServer* server_;
+  const Simulator* simulator_;
   int level_;
 
   MetricsRegistry registry_;
@@ -110,6 +116,17 @@ class SimulationObserver {
     std::uint64_t* chunks_issued = nullptr;
     std::uint64_t* transfers_started = nullptr;
   } bus_slots_;
+  // Registered only when Options::simulator is set.
+  struct SimSlots {
+    std::uint64_t* executed_events = nullptr;
+    std::uint64_t* stepped_events = nullptr;
+    std::uint64_t* calendar_bucket_loads = nullptr;
+    std::uint64_t* calendar_cascades = nullptr;
+    std::uint64_t* calendar_overflow_refills = nullptr;
+    std::uint64_t* calendar_max_bucket_events = nullptr;
+    std::uint64_t* calendar_max_cascade_events = nullptr;
+    std::uint64_t* calendar_max_overflow_events = nullptr;
+  } sim_slots_;
   struct ServerSlots {
     std::uint64_t* reads = nullptr;
     std::uint64_t* writes = nullptr;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "audit/audit_config.h"
+#include "exp/thread_pool.h"
+#include "sim/sharded_engine.h"
 #include "sim/simulator.h"
 
 #if DMASIM_AUDIT_LEVEL >= 1
@@ -108,6 +110,42 @@ std::string SchemeName(const MemorySystemConfig& config) {
   return name;
 }
 
+void CollectRunResults(Simulator* simulator, MemoryController* controller,
+                       DataServer* server, SimulationResults* results) {
+  results->duration = simulator->Now();
+  results->energy = controller->CollectEnergy();
+  results->utilization_factor = controller->UtilizationFactor();
+  results->client_response = server->ResponseTime();
+  results->chunk_service = controller->ChunkServiceTime();
+  results->transfer_latency = controller->TransferLatency();
+  results->controller = controller->stats();
+  results->server = server->stats();
+  results->gated_requests = controller->aligner().TotalGated();
+  results->releases_by_quorum = controller->aligner().ReleasedByQuorum();
+  results->releases_by_slack = controller->aligner().ReleasedBySlack();
+  results->max_gated_buffer_bytes = controller->aligner().MaxBufferedBytes();
+  results->executed_events = simulator->ExecutedEvents();
+  results->stepped_events = simulator->SteppedEvents();
+  results->hottest_chip_share = controller->HottestChipShare();
+  results->calendar = simulator->calendar_stats();
+  if (controller->monitor() != nullptr) {
+    const RegionMonitor& monitor = *controller->monitor();
+    results->monitor.enabled = true;
+    results->monitor.regions = static_cast<int>(monitor.regions().size());
+    results->monitor.probes = monitor.stats().probes;
+    results->monitor.observations = monitor.stats().observations;
+    results->monitor.splits = monitor.stats().splits;
+    results->monitor.merges = monitor.stats().merges;
+    results->monitor.aggregations = monitor.stats().aggregations;
+    results->monitor.scheme_matches = monitor.stats().scheme_region_matches;
+    results->monitor.demotions_requested = monitor.stats().demotions_requested;
+    results->monitor.demotions_applied = monitor.stats().demotions_applied;
+    results->monitor.overhead_fraction =
+        monitor.OverheadFraction(simulator->Now());
+    results->monitor.hotness_error = monitor.latest_hotness_error();
+  }
+}
+
 double SimulationResults::EnergySavingsVs(
     const SimulationResults& baseline) const {
   const double base = baseline.energy.Total();
@@ -164,12 +202,25 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
     SimulationObserver::Options obs_options;
     obs_options.level = std::min(options.obs_level, DMASIM_OBS);
     obs_options.trace_capacity = options.obs_trace_capacity;
+    obs_options.simulator = &simulator;
     observer = std::make_unique<SimulationObserver>(&controller, &server,
                                                     obs_options);
   }
 #endif
 
-  simulator.RunUntil(duration + options.drain);
+  const Tick end = duration + options.drain;
+  if (options.sim_threads != 1) {
+    // Route through the sharded engine. One controller = one shard (one
+    // memory-controller domain), so the windowed execution is exactly
+    // the serial order; the trailing RunUntil settles the clock at
+    // `end` the same way the serial branch does.
+    ShardedEngine::Options engine_options;
+    ShardedEngine engine(engine_options);
+    engine.AddShard(&simulator, [](const ShardMessage&) {});
+    ThreadPool pool(options.sim_threads);
+    engine.Run(end, &pool);
+  }
+  simulator.RunUntil(end);
 
   SimulationResults results;
 #if DMASIM_AUDIT_LEVEL >= 1
@@ -182,37 +233,7 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   results.workload = workload_name;
   results.scheme = SchemeName(options.memory) + "/" +
                    PolicyKindName(options.policy);
-  results.duration = simulator.Now();
-  results.energy = controller.CollectEnergy();
-  results.utilization_factor = controller.UtilizationFactor();
-  results.client_response = server.ResponseTime();
-  results.chunk_service = controller.ChunkServiceTime();
-  results.transfer_latency = controller.TransferLatency();
-  results.controller = controller.stats();
-  results.server = server.stats();
-  results.gated_requests = controller.aligner().TotalGated();
-  results.releases_by_quorum = controller.aligner().ReleasedByQuorum();
-  results.releases_by_slack = controller.aligner().ReleasedBySlack();
-  results.max_gated_buffer_bytes = controller.aligner().MaxBufferedBytes();
-  results.executed_events = simulator.ExecutedEvents();
-  results.stepped_events = simulator.SteppedEvents();
-  results.hottest_chip_share = controller.HottestChipShare();
-  if (controller.monitor() != nullptr) {
-    const RegionMonitor& monitor = *controller.monitor();
-    results.monitor.enabled = true;
-    results.monitor.regions = static_cast<int>(monitor.regions().size());
-    results.monitor.probes = monitor.stats().probes;
-    results.monitor.observations = monitor.stats().observations;
-    results.monitor.splits = monitor.stats().splits;
-    results.monitor.merges = monitor.stats().merges;
-    results.monitor.aggregations = monitor.stats().aggregations;
-    results.monitor.scheme_matches = monitor.stats().scheme_region_matches;
-    results.monitor.demotions_requested = monitor.stats().demotions_requested;
-    results.monitor.demotions_applied = monitor.stats().demotions_applied;
-    results.monitor.overhead_fraction =
-        monitor.OverheadFraction(simulator.Now());
-    results.monitor.hotness_error = monitor.latest_hotness_error();
-  }
+  CollectRunResults(&simulator, &controller, &server, &results);
 #if DMASIM_OBS >= 1
   if (observer != nullptr) {
     observer->Finish();

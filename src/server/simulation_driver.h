@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/obs_config.h"
 #include "server/data_server.h"
+#include "sim/simulator.h"
 #include "stats/energy.h"
 #include "trace/trace.h"
 #include "trace/workloads.h"
@@ -49,6 +50,13 @@ struct SimulationOptions {
   // Extra simulated time after the last trace record, letting in-flight
   // transfers, gated requests, and migrations finish.
   Tick drain = 10 * kMillisecond;
+  // Worker threads for the sharded engine (sim/sharded_engine.h). A
+  // single-controller run is one shard — one memory-controller domain —
+  // so any value routes through the engine's windowed execution with
+  // identical results (the determinism suite pins this); real
+  // parallelism needs the multi-domain fleet driver. 1 = the plain
+  // serial kernel.
+  int sim_threads = 1;
 
   // --- Runtime invariant auditing (src/audit/) ---------------------------
   // Active only when the library is compiled with DMASIM_AUDIT_LEVEL >= 1;
@@ -120,6 +128,9 @@ struct SimulationResults {
   std::uint64_t executed_events = 0;  // Logical (coalescing-invariant).
   std::uint64_t stepped_events = 0;   // Actual queue pops.
   double hottest_chip_share = 0.0;
+  // Calendar-queue internals of the run's kernel (bucket loads,
+  // cascades, overflow refills, occupancy peaks).
+  Simulator::CalendarStats calendar;
 
   // Invariant auditor outcome (zero unless the run was audited).
   std::uint64_t audit_checks = 0;
@@ -144,6 +155,13 @@ struct SimulationResults {
 // Human-readable scheme label for a memory config ("baseline", "DMA-TA",
 // "DMA-TA-PL(2)").
 std::string SchemeName(const MemorySystemConfig& config);
+
+// Fills the per-system metric block of `results` — duration, energy,
+// latencies, controller/server/monitor statistics, kernel counters —
+// from one simulated system's components. Shared by RunTrace and the
+// fleet driver (which calls it once per domain).
+void CollectRunResults(Simulator* simulator, MemoryController* controller,
+                       DataServer* server, SimulationResults* results);
 
 // Runs `trace` (with the given forced miss ratio, < 0 for cache-driven
 // misses) against `options` for `duration` + drain.

@@ -1,0 +1,122 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "exp/thread_pool.h"
+
+namespace dmasim {
+
+ShardedEngine::ShardedEngine(const Options& options) : options_(options) {
+  DMASIM_EXPECTS(options.lookahead >= 0);
+}
+
+int ShardedEngine::AddShard(Simulator* simulator, MessageHandler handler) {
+  DMASIM_EXPECTS(simulator != nullptr);
+  DMASIM_EXPECTS(handler);
+  DMASIM_EXPECTS(!running_);
+  shards_.emplace_back(simulator, handler, options_.mailbox_capacity);
+  return static_cast<int>(shards_.size()) - 1;
+}
+
+void ShardedEngine::Send(int src, int dst, Tick deliver_at,
+                         std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) {
+  DMASIM_EXPECTS(src >= 0 && src < shard_count());
+  DMASIM_EXPECTS(dst >= 0 && dst < shard_count());
+  DMASIM_EXPECTS(src != dst);
+  // The conservative-synchronization invariant: nothing may be addressed
+  // into a window any shard could already have executed past. During a
+  // window `current_horizon_` is the horizon; violating this would be a
+  // missing-latency bug in the caller, so it is a hard check.
+  DMASIM_CHECK_GE(deliver_at, current_horizon_);
+  Shard& shard = shards_[static_cast<std::size_t>(src)];
+  ShardMessage message;
+  message.deliver_at = deliver_at;
+  message.send_seq = shard.next_send_seq++;
+  message.a = a;
+  message.b = b;
+  message.c = c;
+  message.src = static_cast<std::uint32_t>(src);
+  message.dst = static_cast<std::uint32_t>(dst);
+  message.kind = kind;
+  shard.outbox.Push(message);
+}
+
+void ShardedEngine::DeliverMail() {
+  pending_.clear();
+  for (Shard& shard : shards_) {
+    shard.outbox.Drain(&pending_);
+  }
+  if (pending_.empty()) return;
+  // (deliver_at, src, send_seq) is a total order — send_seq is unique
+  // per source — so plain sort is deterministic.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const ShardMessage& x, const ShardMessage& y) {
+              if (x.deliver_at != y.deliver_at) {
+                return x.deliver_at < y.deliver_at;
+              }
+              if (x.src != y.src) return x.src < y.src;
+              return x.send_seq < y.send_seq;
+            });
+  for (const ShardMessage& message : pending_) {
+    if (options_.record_deliveries) deliveries_.push_back(message);
+    ++stats_.delivered_messages;
+    shards_[message.dst].handler(message);
+  }
+}
+
+void ShardedEngine::Run(Tick until, ThreadPool* pool) {
+  DMASIM_EXPECTS(shard_count() > 0);
+  DMASIM_EXPECTS(until < std::numeric_limits<Tick>::max());
+  const int n = shard_count();
+  if (n > 1) DMASIM_EXPECTS(options_.lookahead > 0);
+  running_ = true;
+
+  while (true) {
+    Tick min_next = Simulator::kNoPendingEvent;
+    for (Shard& shard : shards_) {
+      min_next = std::min(min_next, shard.simulator->NextPendingTick());
+    }
+    if (min_next == Simulator::kNoPendingEvent || min_next > until) break;
+
+    // Horizon: one lookahead past the global minimum, clipped to the run
+    // bound (events at exactly `until` still execute: bound + 1).
+    Tick horizon = until + 1;
+    if (n > 1) {
+      const Tick max_tick = std::numeric_limits<Tick>::max();
+      const Tick reach = max_tick - options_.lookahead;
+      const Tick by_lookahead =
+          min_next <= reach ? min_next + options_.lookahead : max_tick;
+      horizon = std::min(horizon, by_lookahead);
+    }
+    current_horizon_ = horizon;
+
+    if (pool != nullptr && n > 1) {
+      for (Shard& shard : shards_) {
+        Shard* task_shard = &shard;
+        pool->Submit([this, task_shard, horizon]() {
+          RunWindow(task_shard, horizon);
+        });
+      }
+      pool->Wait();
+    } else {
+      for (Shard& shard : shards_) {
+        RunWindow(&shard, horizon);
+      }
+    }
+    ++stats_.windows;
+    DeliverMail();
+  }
+
+  stats_.mailbox_spills = 0;
+  stats_.max_mailbox_occupancy = 0;
+  for (const Shard& shard : shards_) {
+    stats_.mailbox_spills += shard.outbox.stats().spilled;
+    stats_.max_mailbox_occupancy = std::max(
+        stats_.max_mailbox_occupancy, shard.outbox.stats().max_occupancy);
+  }
+  running_ = false;
+}
+
+}  // namespace dmasim

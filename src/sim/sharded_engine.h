@@ -1,0 +1,157 @@
+// Sharded deterministic execution of multiple event kernels.
+//
+// One simulation is split into shards — one per memory-controller domain,
+// each owning its chips, buses, and clients around a private `Simulator`
+// — that advance in conservative-lookahead windows:
+//
+//   1. The coordinator computes the global minimum pending event time
+//      across all shards, `t_min`, and a horizon `H = t_min + L` where
+//      `L` is the minimum cross-shard latency (bus transfer + controller
+//      dispatch; the fleet driver derives it from the remote-hop
+//      latency).
+//   2. Every shard independently — and, with a thread pool, in parallel
+//      — executes all of its events with timestamp < H.
+//   3. At the window barrier, cross-shard messages produced during the
+//      window are drained from the per-shard SPSC mailboxes, sorted into
+//      the deterministic total order (deliver_at, src, send_seq), and
+//      handed to the destination shards' handlers, which schedule them
+//      as ordinary events.
+//
+// Safety: any message sent by an event executing at time t carries
+// deliver_at >= t + L >= t_min + L = H, so no shard can have advanced
+// past a delivery time — conservative synchronization needs no rollback.
+// Determinism: the window sequence is a pure function of shard states at
+// barriers, every shard's intra-window execution keeps the kernel's
+// exact (time, seq) order, and barrier delivery order is sorted on a
+// total key — so an N-thread run is bit-identical to a 1-thread run of
+// the same shard set, which is what the pinned-checksum suites assert.
+// See DESIGN.md section 14.
+#ifndef DMASIM_SIM_SHARDED_ENGINE_H_
+#define DMASIM_SIM_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/inline_function.h"
+#include "sim/simulator.h"
+#include "sim/spsc_mailbox.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+class ThreadPool;  // exp/thread_pool.h; only the .cc needs the definition.
+
+// One cross-shard event. The engine routes and orders it; the meaning of
+// `kind` and the payload words belongs to the shard handlers (the fleet
+// driver uses them for remote client requests and their replies).
+struct ShardMessage {
+  Tick deliver_at = 0;
+  std::uint64_t send_seq = 0;  // Per-source sequence, assigned by Send.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<ShardMessage>);
+
+class ShardedEngine {
+ public:
+  // Delivery handler: runs at the window barrier (single-threaded, in
+  // the deterministic delivery order) and typically schedules an event
+  // into the destination shard's simulator at `message.deliver_at`.
+  using MessageHandler = TrivialCallback<void(const ShardMessage&), 24>;
+
+  struct Options {
+    // Conservative lookahead L: the minimum cross-shard latency. Every
+    // Send's deliver_at must be >= the current window horizon, which
+    // Send enforces. Required > 0 when more than one shard runs.
+    Tick lookahead = 0;
+    // Per-shard outbox ring capacity; overflow spills (counted, never
+    // dropped or reordered).
+    std::size_t mailbox_capacity = 1024;
+    // Record every delivered message in delivery order (the golden
+    // replay tests pin this log).
+    bool record_deliveries = false;
+  };
+
+  struct Stats {
+    std::uint64_t windows = 0;
+    std::uint64_t delivered_messages = 0;
+    std::uint64_t mailbox_spills = 0;      // Aggregated at Run() exit.
+    std::uint64_t max_mailbox_occupancy = 0;
+  };
+
+  explicit ShardedEngine(const Options& options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Registers a shard (its simulator outlives the engine) and returns
+  // the shard index. All shards must be added before Run.
+  int AddShard(Simulator* simulator, MessageHandler handler);
+
+  // Sends a cross-shard message. Called only from the shard `src`'s
+  // worker during its window (or between windows on the coordinator).
+  // `deliver_at` must respect the lookahead — at or past the current
+  // window horizon — which is checked, not assumed.
+  void Send(int src, int dst, Tick deliver_at, std::uint32_t kind,
+            std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+  // Runs every shard's events with timestamp <= `until` to completion
+  // (including events created by cross-shard deliveries), leaving each
+  // shard's clock at its own last executed event. `pool` may be null —
+  // or the shard count 1 — in which case windows execute serially in
+  // shard order; the results are bit-identical either way.
+  void Run(Tick until, ThreadPool* pool);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const Stats& stats() const { return stats_; }
+  // Events executed by shard `s` across all windows.
+  std::uint64_t ShardWindowEvents(int s) const {
+    return shards_[static_cast<std::size_t>(s)].window_events;
+  }
+  const SpscMailbox<ShardMessage>::Stats& MailboxStats(int s) const {
+    return shards_[static_cast<std::size_t>(s)].outbox.stats();
+  }
+  // Delivered messages in delivery order (empty unless
+  // Options::record_deliveries).
+  const std::vector<ShardMessage>& deliveries() const { return deliveries_; }
+
+ private:
+  struct Shard {
+    explicit Shard(Simulator* sim, MessageHandler h,
+                   std::size_t mailbox_capacity)
+        : simulator(sim), handler(h), outbox(mailbox_capacity) {}
+    Simulator* simulator;
+    MessageHandler handler;
+    SpscMailbox<ShardMessage> outbox;
+    std::uint64_t next_send_seq = 0;   // Owned by the shard's worker.
+    std::uint64_t window_events = 0;   // Ditto.
+  };
+
+  void RunWindow(Shard* shard, Tick horizon) {
+    shard->window_events += shard->simulator->RunEventsBefore(horizon);
+  }
+  // Drains all outboxes, sorts, and invokes destination handlers.
+  void DeliverMail();
+
+  Options options_;
+  std::deque<Shard> shards_;  // Deque: stable addresses, no moves.
+  // Window horizon, written by the coordinator between windows and read
+  // by Send on worker threads during windows (the barrier orders the
+  // accesses; no concurrent write can exist).
+  Tick current_horizon_ = 0;
+  bool running_ = false;
+  std::vector<ShardMessage> pending_;  // DeliverMail working space.
+  std::vector<ShardMessage> deliveries_;
+  Stats stats_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_SIM_SHARDED_ENGINE_H_

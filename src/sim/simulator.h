@@ -106,6 +106,22 @@ class Simulator {
     now_ = until;
   }
 
+  // Runs events with timestamps strictly < `bound` and stops, leaving the
+  // clock at the last executed event (it does NOT advance to `bound`).
+  // This is the shard-window primitive of the sharded engine: a shard may
+  // execute everything before the conservative horizon, but its clock
+  // must stay at its own last event so cross-shard deliveries scheduled
+  // at the horizon still satisfy ScheduleAt's `when >= Now()` contract.
+  // Returns the number of events executed.
+  std::uint64_t RunEventsBefore(Tick bound) {
+    std::uint64_t ran = 0;
+    while (EnsureServing() && serving_[serving_pos_].when < bound) {
+      Step();
+      ++ran;
+    }
+    return ran;
+  }
+
   // Timestamp of the earliest pending event, or `kNoPendingEvent` when the
   // queue is empty. Non-destructive, but may rotate the wheel internally
   // (exactly the work the next Step would have done anyway). Components
@@ -128,6 +144,19 @@ class Simulator {
   // Events actually popped from the queue — excludes coalesced credits.
   // ExecutedEvents() - SteppedEvents() is the work saved by coalescing.
   std::uint64_t SteppedEvents() const { return stepped_; }
+
+  // Calendar-queue internals, exposed so shard imbalance and the
+  // overflow guard are observable (obs metrics, --metrics-out). Pure
+  // counters: reading or exporting them never perturbs execution.
+  struct CalendarStats {
+    std::uint64_t bucket_loads = 0;      // Level-0 buckets made serving.
+    std::uint64_t cascades = 0;          // Level-1 spans redistributed.
+    std::uint64_t overflow_refills = 0;  // Overflow list redistributions.
+    std::uint64_t max_bucket_events = 0; // Serving-bucket occupancy peak.
+    std::uint64_t max_cascade_events = 0;  // Largest single cascade.
+    std::uint64_t max_overflow_events = 0; // Overflow population peak.
+  };
+  const CalendarStats& calendar_stats() const { return calendar_; }
 
   // Logical-event accounting for coalesced fast paths: when a component
   // serves a whole run of per-chunk events inside one scheduled event, it
@@ -199,6 +228,9 @@ class Simulator {
     } else {
       overflow_.push_back(event);
       overflow_min_b1_ = std::min(overflow_min_b1_, b1);
+      calendar_.max_overflow_events =
+          std::max(calendar_.max_overflow_events,
+                   static_cast<std::uint64_t>(overflow_.size()));
     }
   }
 
@@ -259,6 +291,10 @@ class Simulator {
       std::sort(serving_.begin(), serving_.end(), EarlierCmp{});
     }
     serving_sorted_ = serving_.size();
+    ++calendar_.bucket_loads;
+    calendar_.max_bucket_events =
+        std::max(calendar_.max_bucket_events,
+                 static_cast<std::uint64_t>(serving_.size()));
   }
 
   // Makes serving_[serving_pos_] the globally earliest pending event.
@@ -309,6 +345,10 @@ class Simulator {
     const std::size_t slot = bucket1 & (kBuckets - 1);
     cascade_.swap(level1_[slot]);
     level1_[slot].clear();
+    ++calendar_.cascades;
+    calendar_.max_cascade_events =
+        std::max(calendar_.max_cascade_events,
+                 static_cast<std::uint64_t>(cascade_.size()));
     level1_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
     // Park the wheel just before the span so Insert routes the events into
     // level-0 slots (all land inside this span by construction).
@@ -334,6 +374,7 @@ class Simulator {
     // this only ever moves the wheel forward.
     serving_bucket_ = (overflow_min_b1_ << kBucketBits) - 1;
     overflow_min_b1_ = kNoOverflow;
+    ++calendar_.overflow_refills;
     cascade_.swap(overflow_);
     overflow_.clear();
     for (const Event& event : cascade_) {
@@ -366,6 +407,7 @@ class Simulator {
   std::uint64_t overflow_min_b1_ = kNoOverflow;
   std::vector<Event> scratch_;   // MergeServingTail working space.
   std::vector<Event> cascade_;   // CascadeLevel1/refill working space.
+  CalendarStats calendar_;
 
 #if DMASIM_AUDIT_LEVEL >= 2
   // Last popped (when, sequence), for the FIFO-order audit in Step().

@@ -50,6 +50,38 @@ TEST_F(ChipFixture, WakeupThenServeTiming) {
   EXPECT_EQ(chip.stats().dma_requests, 1u);
 }
 
+TEST_F(ChipFixture, TryStepDownDepthFollowsPolicyChain) {
+  // Thresholds far beyond the test horizon so the idle timer never
+  // interferes with the explicit demotions.
+  DynamicThresholdConfig config;
+  config.active_to_standby = kSecond;
+  config.standby_to_nap = kSecond;
+  config.nap_to_powerdown = kSecond;
+  DynamicThresholdPolicy policy(config);
+  MemoryChip chip(&simulator_, &model_, &policy, 0);
+
+  // Wake the chip; after serving it idles in Active.
+  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, [](Tick) {}});
+  simulator_.RunUntil(10 * kMicrosecond);
+  ASSERT_EQ(chip.power_state(), PowerState::kActive);
+
+  // Depth 2 skips Standby: Active -> Nap in a single transition.
+  ASSERT_TRUE(chip.TryStepDown(2));
+  simulator_.RunUntil(simulator_.Now() +
+                      model_.DownTransition(PowerState::kNap).duration);
+  EXPECT_EQ(chip.power_state(), PowerState::kNap);
+
+  // Over-deep requests clamp at the chain's end (Nap -> Powerdown).
+  ASSERT_TRUE(chip.TryStepDown(5));
+  simulator_.RunUntil(simulator_.Now() +
+                      model_.DownTransition(PowerState::kPowerdown).duration);
+  EXPECT_EQ(chip.power_state(), PowerState::kPowerdown);
+  EXPECT_EQ(chip.stats().step_downs, 2u);
+
+  // Nothing below Powerdown: the policy chain is exhausted.
+  EXPECT_FALSE(chip.TryStepDown(3));
+}
+
 TEST_F(ChipFixture, ServeFromActiveHasNoWakeDelay) {
   MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
   Tick completed = -1;

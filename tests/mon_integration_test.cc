@@ -85,6 +85,49 @@ TEST(MonitorIntegrationTest, MonitoredPlRecoversOracleSavings) {
   EXPECT_EQ(oracle.scheme.find("+mon"), std::string::npos);
 }
 
+TEST(MonitorIntegrationTest, DeepDemoteSchemeRunsAndApplies) {
+  WorkloadSpec spec = OltpStorageSpec();
+  spec.duration = 100 * kMillisecond;
+  const Trace trace = GenerateWorkload(spec);
+
+  SimulationOptions options;
+  options.memory.monitor.enabled = true;
+  // Idle thresholds beyond the run horizon: the scheme action is the
+  // only way down, so the depth suffix is what decides the reached
+  // states (with the defaults, idle chips free-fall to powerdown long
+  // before the first aggregation and there is nothing left to demote).
+  options.thresholds.active_to_standby = kSecond;
+  options.thresholds.standby_to_nap = kSecond;
+  options.thresholds.nap_to_powerdown = kSecond;
+  // A tight aggregation cadence and a short streak so chips that woke
+  // for a burst and went quiet are caught while still Active (chips
+  // that never woke sit in Powerdown and are refused — they have no
+  // lower state).
+  options.memory.monitor.aggregation_interval = kMillisecond;
+  const SchemeParseResult schemes = ParseSchemeString(
+      "* * 0 0 2 demote-chip:2\n");
+  ASSERT_TRUE(schemes.ok()) << schemes.error;
+  options.memory.monitor.rules = schemes.rules;
+
+  const SimulationResults deep = RunTrace(
+      trace, spec.miss_ratio, spec.duration, options, spec.name);
+  EXPECT_GT(deep.monitor.demotions_requested, 0u);
+  EXPECT_GT(deep.monitor.demotions_applied, 0u);
+
+  // The deeper target must change the power outcome versus the same
+  // rule at depth 1: strictly more energy in the low-power buckets is
+  // not guaranteed in general, but the runs must at least differ — a
+  // depth suffix that parses but changes nothing would be dead config.
+  SimulationOptions shallow_options = options;
+  const SchemeParseResult shallow_schemes = ParseSchemeString(
+      "* * 0 0 2 demote-chip\n");
+  ASSERT_TRUE(shallow_schemes.ok()) << shallow_schemes.error;
+  shallow_options.memory.monitor.rules = shallow_schemes.rules;
+  const SimulationResults shallow = RunTrace(
+      trace, spec.miss_ratio, spec.duration, shallow_options, spec.name);
+  EXPECT_NE(deep.energy.Total(), shallow.energy.Total());
+}
+
 TEST(MonitorDeterminismTest, MonitoredRunIsReproducible) {
   WorkloadSpec spec = OltpStorageSpec();
   spec.duration = 50 * kMillisecond;

@@ -240,17 +240,41 @@ TEST(RegionMonitorTest, DemoteChipFiresAfterIdleStreak) {
   monitor.ObserveTransfer(1, 0);
   EXPECT_TRUE(monitor.Aggregate().empty());  // Streaks at 1 < 2.
   monitor.ObserveTransfer(2, 0);
-  const std::vector<int>& demote = monitor.Aggregate();  // Streaks at 2.
+  const std::vector<ChipDemotion>& demote =
+      monitor.Aggregate();  // Streaks at 2.
   ASSERT_EQ(demote.size(), 3u);
-  EXPECT_EQ(demote[0], 1);
-  EXPECT_EQ(demote[1], 2);
-  EXPECT_EQ(demote[2], 3);
+  EXPECT_EQ(demote[0].chip, 1);
+  EXPECT_EQ(demote[1].chip, 2);
+  EXPECT_EQ(demote[2].chip, 3);
+  EXPECT_EQ(demote[0].depth, 1);  // Suffix-less rule: one policy step.
   EXPECT_EQ(monitor.stats().demotions_requested, 3u);
 
   // Traffic on a chip resets its streak.
   monitor.ObserveTransfer(3, 1);
-  const std::vector<int>& next = monitor.Aggregate();
+  const std::vector<ChipDemotion>& next = monitor.Aggregate();
   EXPECT_EQ(next.size(), 2u);  // Chips 2 and 3 only.
+}
+
+TEST(RegionMonitorTest, DemoteDepthRidesTheMatchedRule) {
+  MonitorConfig config = SmallConfig();
+  // First match wins: the deep rule needs a longer idle streak, so a
+  // chip graduates from depth-1 to depth-3 demotions as it stays idle.
+  const SchemeParseResult schemes = ParseSchemeString(
+      "* * 0 0 4 demote-chip:3\n"
+      "* * 0 0 2 demote-chip\n");
+  ASSERT_TRUE(schemes.ok()) << schemes.error;
+  config.rules = schemes.rules;
+  RegionMonitor monitor(config, kPages, kChips);
+
+  monitor.Aggregate();  // Streaks at 1.
+  const std::vector<ChipDemotion>& shallow = monitor.Aggregate();  // 2.
+  ASSERT_EQ(shallow.size(), static_cast<std::size_t>(kChips));
+  EXPECT_EQ(shallow[0].depth, 1);
+
+  monitor.Aggregate();  // 3.
+  const std::vector<ChipDemotion>& deep = monitor.Aggregate();  // 4.
+  ASSERT_EQ(deep.size(), static_cast<std::size_t>(kChips));
+  EXPECT_EQ(deep[0].depth, 3);
 }
 
 TEST(RegionMonitorTest, HotnessErrorBoundsAndDirection) {

@@ -35,6 +35,21 @@ TEST(SchemeParserTest, ParsesAllActionsAndWildcards) {
   EXPECT_EQ(result.rules[2].action, SchemeAction::kDemoteChip);
 }
 
+TEST(SchemeParserTest, ParsesDemoteDepthSuffix) {
+  const SchemeParseResult result = ParseSchemeString(
+      "* * 0 0 8 demote-chip\n"
+      "* * 0 0 32 demote-chip:2\n"
+      "* * 0 0 64 demote-chip:3\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.rules.size(), 3u);
+  EXPECT_EQ(result.rules[0].demote_depth, 1);  // Suffix-less default.
+  EXPECT_EQ(result.rules[1].demote_depth, 2);
+  EXPECT_EQ(result.rules[2].demote_depth, 3);
+  for (const SchemeRule& rule : result.rules) {
+    EXPECT_EQ(rule.action, SchemeAction::kDemoteChip);
+  }
+}
+
 TEST(SchemeParserTest, SkipsBlanksAndComments) {
   const SchemeParseResult result = ParseSchemeString(
       "# full-line comment\n"
@@ -112,6 +127,18 @@ INSTANTIATE_TEST_SUITE_P(
         // Decimal overflow is rejected, not wrapped.
         BadScheme{"1 99999999999999999999 0 * 0 pin-cold\n",
                   "at line 1: bad size range"},
+        // Demote depth must be a positive number...
+        BadScheme{"* * 0 0 8 demote-chip:0\n",
+                  "at line 1: bad demote depth '0'"},
+        BadScheme{"* * 0 0 8 demote-chip:two\n",
+                  "at line 1: bad demote depth 'two'"},
+        BadScheme{"* * 0 0 8 demote-chip:\n",
+                  "at line 1: bad demote depth ''"},
+        // ...and only demote-chip takes one.
+        BadScheme{"1 1 8 * 0 migrate-hot:2\n",
+                  "at line 1: depth suffix is only valid for demote-chip"},
+        BadScheme{"64 * 0 1 4 pin-cold:1\n",
+                  "at line 1: depth suffix is only valid for demote-chip"},
         // The diagnostic points at the offending line, not line 1:
         // comments and valid rules above it still count.
         BadScheme{"# header\n"

@@ -120,6 +120,32 @@ TEST(ObservabilityTest, MetricsReconcileWithResults) {
   const MetricSample* wakeups = FindMetric(results, "chips", "wakeups");
   ASSERT_NE(wakeups, nullptr);
   EXPECT_GT(wakeups->count, 0u);
+
+  // Event-kernel internals: the sim group mirrors the run's calendar
+  // stats and event counts exactly.
+  const MetricSample* executed = FindMetric(results, "sim", "executed_events");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_EQ(executed->count, results.executed_events);
+  const MetricSample* stepped = FindMetric(results, "sim", "stepped_events");
+  ASSERT_NE(stepped, nullptr);
+  EXPECT_EQ(stepped->count, results.stepped_events);
+  const MetricSample* loads =
+      FindMetric(results, "sim", "calendar_bucket_loads");
+  ASSERT_NE(loads, nullptr);
+  EXPECT_EQ(loads->count, results.calendar.bucket_loads);
+  EXPECT_GT(loads->count, 0u);
+  const MetricSample* cascades = FindMetric(results, "sim", "calendar_cascades");
+  ASSERT_NE(cascades, nullptr);
+  EXPECT_EQ(cascades->count, results.calendar.cascades);
+  const MetricSample* refills =
+      FindMetric(results, "sim", "calendar_overflow_refills");
+  ASSERT_NE(refills, nullptr);
+  EXPECT_EQ(refills->count, results.calendar.overflow_refills);
+  const MetricSample* peak =
+      FindMetric(results, "sim", "calendar_max_bucket_events");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_EQ(peak->count, results.calendar.max_bucket_events);
+  EXPECT_GT(peak->count, 0u);
 }
 
 TEST(ObservabilityTest, MetricsOnlyLevelRecordsNoEvents) {

@@ -1,0 +1,311 @@
+// Unit tests for the sharded execution kernel: the SPSC mailbox contract
+// (push order survives spills), RunEventsBefore window semantics, the
+// calendar-queue instrumentation, and the ShardedEngine's conservative
+// windows — including the core promise that a thread pool changes the
+// wall clock, never the results.
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/thread_pool.h"
+#include "sim/sharded_engine.h"
+#include "sim/simulator.h"
+#include "sim/spsc_mailbox.h"
+#include "util/time.h"
+
+namespace dmasim {
+namespace {
+
+ShardMessage TaggedMessage(std::uint64_t tag) {
+  ShardMessage message;
+  message.a = tag;
+  return message;
+}
+
+TEST(SpscMailboxTest, PreservesPushOrderAcrossSpills) {
+  SpscMailbox<ShardMessage> mailbox(4);
+  EXPECT_EQ(mailbox.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) mailbox.Push(TaggedMessage(i));
+
+  EXPECT_EQ(mailbox.SizeApprox(), 10u);
+  std::vector<ShardMessage> out;
+  mailbox.Drain(&out);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].a, i);
+
+  EXPECT_EQ(mailbox.stats().pushed, 10u);
+  EXPECT_EQ(mailbox.stats().spilled, 6u);  // Ring holds 4; the rest spill.
+  EXPECT_EQ(mailbox.stats().max_occupancy, 10u);
+  EXPECT_EQ(mailbox.SizeApprox(), 0u);
+}
+
+TEST(SpscMailboxTest, RingIsReusableAfterDrain) {
+  SpscMailbox<ShardMessage> mailbox(2);
+  std::vector<ShardMessage> out;
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    mailbox.Push(TaggedMessage(2 * round));
+    mailbox.Push(TaggedMessage(2 * round + 1));
+    mailbox.Drain(&out);
+  }
+  ASSERT_EQ(out.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].a, i);
+  // The ring never filled, so nothing spilled.
+  EXPECT_EQ(mailbox.stats().spilled, 0u);
+  EXPECT_EQ(mailbox.stats().max_occupancy, 2u);
+}
+
+TEST(SpscMailboxTest, ZeroCapacityClampsToOne) {
+  SpscMailbox<ShardMessage> mailbox(0);
+  EXPECT_EQ(mailbox.capacity(), 1u);
+  mailbox.Push(TaggedMessage(7));
+  std::vector<ShardMessage> out;
+  mailbox.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a, 7u);
+}
+
+TEST(SimulatorWindowTest, RunEventsBeforeIsExclusiveOnTheBound) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(30, [&order]() { order.push_back(3); });
+  simulator.ScheduleAt(10, [&order]() { order.push_back(1); });
+  simulator.ScheduleAt(20, [&order]() { order.push_back(2); });
+
+  // Events strictly before the bound run; the one at the bound waits.
+  EXPECT_EQ(simulator.RunEventsBefore(30), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(simulator.NextPendingTick(), 30);
+
+  EXPECT_EQ(simulator.RunEventsBefore(31), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.RunEventsBefore(1000), 0u);
+}
+
+TEST(SimulatorWindowTest, RunEventsBeforeRunsEventsSpawnedInWindow) {
+  Simulator simulator;
+  std::vector<Tick> seen;
+  simulator.ScheduleAt(10, [&]() {
+    seen.push_back(simulator.Now());
+    // Still inside the window: must run in this same call.
+    simulator.ScheduleAt(20, [&]() { seen.push_back(simulator.Now()); });
+    // At the horizon: must NOT run in this call.
+    simulator.ScheduleAt(50, [&]() { seen.push_back(simulator.Now()); });
+  });
+  EXPECT_EQ(simulator.RunEventsBefore(50), 2u);
+  EXPECT_EQ(seen, (std::vector<Tick>{10, 20}));
+  EXPECT_EQ(simulator.PendingEvents(), 1u);
+}
+
+TEST(SimulatorWindowTest, CalendarStatsCountTheWheelWork) {
+  Simulator simulator;
+  std::uint64_t ran = 0;
+  // A span wider than the level-0 wheel (2^29 ps ~ 537 us) forces
+  // level-1 cascades; the far-future event lands in the overflow list
+  // (beyond the 2^39 ps level-1 span) and comes back via a refill.
+  for (int i = 0; i < 200; ++i) {
+    simulator.ScheduleAt(Tick{i} * 10 * kMicrosecond, [&ran]() { ++ran; });
+  }
+  simulator.ScheduleAt(2 * kSecond, [&ran]() { ++ran; });
+  simulator.Run();
+
+  EXPECT_EQ(ran, 201u);
+  const Simulator::CalendarStats& stats = simulator.calendar_stats();
+  EXPECT_GT(stats.bucket_loads, 0u);
+  EXPECT_GT(stats.cascades, 0u);
+  EXPECT_GT(stats.overflow_refills, 0u);
+  EXPECT_GE(stats.max_bucket_events, 1u);
+  EXPECT_GE(stats.max_cascade_events, 1u);
+  EXPECT_GE(stats.max_overflow_events, 1u);
+}
+
+// --- ShardedEngine ------------------------------------------------------
+
+TEST(ShardedEngineTest, SingleShardMatchesPlainRun) {
+  std::vector<int> plain_order;
+  Simulator plain;
+  plain.ScheduleAt(30, [&plain_order]() { plain_order.push_back(3); });
+  plain.ScheduleAt(10, [&plain_order]() { plain_order.push_back(1); });
+  plain.ScheduleAt(20, [&plain_order]() { plain_order.push_back(2); });
+  plain.RunUntil(100);
+
+  std::vector<int> sharded_order;
+  Simulator sharded;
+  sharded.ScheduleAt(30, [&sharded_order]() { sharded_order.push_back(3); });
+  sharded.ScheduleAt(10, [&sharded_order]() { sharded_order.push_back(1); });
+  sharded.ScheduleAt(20, [&sharded_order]() { sharded_order.push_back(2); });
+  ShardedEngine::Options options;
+  ShardedEngine engine(options);
+  engine.AddShard(&sharded, [](const ShardMessage&) {});
+  engine.Run(100, /*pool=*/nullptr);
+
+  EXPECT_EQ(sharded_order, plain_order);
+  EXPECT_EQ(sharded.ExecutedEvents(), plain.ExecutedEvents());
+  EXPECT_EQ(engine.ShardWindowEvents(0), 3u);
+  EXPECT_GT(engine.stats().windows, 0u);
+  EXPECT_EQ(engine.stats().delivered_messages, 0u);
+}
+
+// Shared scaffolding for the cross-shard tests: two shards bouncing a
+// message back and forth, each hop one `lookahead` later, logging every
+// executed hop as (shard, hop, time).
+struct HopLog {
+  int shard = 0;
+  std::uint64_t hop = 0;
+  Tick at = 0;
+  bool operator==(const HopLog&) const = default;
+};
+
+struct PingPong {
+  ShardedEngine* engine = nullptr;
+  std::deque<Simulator>* sims = nullptr;
+  std::vector<HopLog>* log = nullptr;
+  Tick lookahead = 0;
+  std::uint64_t max_hops = 0;
+};
+
+void ScheduleHop(PingPong* ctx, int shard, std::uint64_t hop, Tick at) {
+  (*ctx->sims)[static_cast<std::size_t>(shard)].ScheduleAt(
+      at, [ctx, shard, hop]() {
+        Simulator& self = (*ctx->sims)[static_cast<std::size_t>(shard)];
+        ctx->log->push_back(HopLog{shard, hop, self.Now()});
+        if (hop < ctx->max_hops) {
+          const int dst = shard ^ 1;
+          ctx->engine->Send(shard, dst, self.Now() + ctx->lookahead,
+                            /*kind=*/1, hop + 1, 0, 0);
+        }
+      });
+}
+
+// Builds the two-shard ping-pong and runs it; returns the hop log.
+std::vector<HopLog> RunPingPong(ThreadPool* pool, std::uint64_t max_hops,
+                                std::size_t mailbox_capacity,
+                                std::vector<ShardMessage>* deliveries) {
+  ShardedEngine::Options options;
+  options.lookahead = 50;
+  options.mailbox_capacity = mailbox_capacity;
+  options.record_deliveries = deliveries != nullptr;
+  ShardedEngine engine(options);
+
+  std::deque<Simulator> sims(2);
+  std::vector<HopLog> log;
+  PingPong ctx{&engine, &sims, &log, options.lookahead, max_hops};
+  for (int s = 0; s < 2; ++s) {
+    engine.AddShard(&sims[static_cast<std::size_t>(s)],
+                    [&ctx](const ShardMessage& message) {
+                      ScheduleHop(&ctx, static_cast<int>(message.dst),
+                                  message.a, message.deliver_at);
+                    });
+  }
+  ScheduleHop(&ctx, /*shard=*/0, /*hop=*/0, /*at=*/10);
+  engine.Run(10000, pool);
+  if (deliveries != nullptr) *deliveries = engine.deliveries();
+  return log;
+}
+
+TEST(ShardedEngineTest, CrossShardMessagesArriveOneLookaheadLater) {
+  std::vector<ShardMessage> deliveries;
+  const std::vector<HopLog> log =
+      RunPingPong(/*pool=*/nullptr, /*max_hops=*/4,
+                  /*mailbox_capacity=*/16, &deliveries);
+
+  // 0 -> 1 -> 0 -> 1 -> 0, each hop 50 ticks after the previous.
+  ASSERT_EQ(log.size(), 5u);
+  for (std::uint64_t hop = 0; hop < 5; ++hop) {
+    EXPECT_EQ(log[hop].shard, static_cast<int>(hop % 2));
+    EXPECT_EQ(log[hop].hop, hop);
+    EXPECT_EQ(log[hop].at, static_cast<Tick>(10 + 50 * hop));
+  }
+
+  ASSERT_EQ(deliveries.size(), 4u);
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    EXPECT_EQ(deliveries[i].a, i + 1);  // Hops in delivery order.
+    EXPECT_EQ(deliveries[i].src, i % 2);
+    EXPECT_EQ(deliveries[i].dst, (i + 1) % 2);
+  }
+}
+
+TEST(ShardedEngineTest, MailboxSpillsAreCountedNotDropped) {
+  ShardedEngine::Options options;
+  options.lookahead = 50;
+  options.mailbox_capacity = 1;
+  options.record_deliveries = true;
+  ShardedEngine engine(options);
+
+  std::deque<Simulator> sims(2);
+  std::vector<std::uint64_t> received;
+  engine.AddShard(&sims[0], [](const ShardMessage&) {});
+  engine.AddShard(&sims[1], [&received](const ShardMessage& message) {
+    received.push_back(message.a);
+  });
+  // One event fires three sends in a single window: two must spill.
+  sims[0].ScheduleAt(10, [&engine, &sims]() {
+    const Tick at = sims[0].Now() + 50;
+    engine.Send(0, 1, at, 1, 100, 0, 0);
+    engine.Send(0, 1, at, 1, 101, 0, 0);
+    engine.Send(0, 1, at, 1, 102, 0, 0);
+  });
+  engine.Run(1000, /*pool=*/nullptr);
+
+  EXPECT_EQ(received, (std::vector<std::uint64_t>{100, 101, 102}));
+  EXPECT_EQ(engine.MailboxStats(0).pushed, 3u);
+  EXPECT_EQ(engine.MailboxStats(0).spilled, 2u);
+  EXPECT_EQ(engine.stats().mailbox_spills, 2u);
+  EXPECT_EQ(engine.stats().delivered_messages, 3u);
+  // Same-tick messages from one source are ordered by send sequence.
+  ASSERT_EQ(engine.deliveries().size(), 3u);
+  EXPECT_LT(engine.deliveries()[0].send_seq, engine.deliveries()[1].send_seq);
+  EXPECT_LT(engine.deliveries()[1].send_seq, engine.deliveries()[2].send_seq);
+}
+
+// The tentpole invariant at kernel granularity: a pool run produces the
+// same hop log, delivery log, and per-shard event counts as serial.
+// (Named *Determinism* so the TSan CI leg picks it up.)
+TEST(ShardedEngineDeterminismTest, PoolRunIsBitIdenticalToSerial) {
+  std::vector<ShardMessage> serial_deliveries;
+  const std::vector<HopLog> serial = RunPingPong(
+      /*pool=*/nullptr, /*max_hops=*/64, /*mailbox_capacity=*/4,
+      &serial_deliveries);
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<ShardMessage> pooled_deliveries;
+    const std::vector<HopLog> pooled = RunPingPong(
+        &pool, /*max_hops=*/64, /*mailbox_capacity=*/4, &pooled_deliveries);
+    EXPECT_EQ(pooled, serial) << "threads=" << threads;
+    ASSERT_EQ(pooled_deliveries.size(), serial_deliveries.size());
+    for (std::size_t i = 0; i < serial_deliveries.size(); ++i) {
+      EXPECT_EQ(pooled_deliveries[i].deliver_at,
+                serial_deliveries[i].deliver_at);
+      EXPECT_EQ(pooled_deliveries[i].send_seq, serial_deliveries[i].send_seq);
+      EXPECT_EQ(pooled_deliveries[i].src, serial_deliveries[i].src);
+      EXPECT_EQ(pooled_deliveries[i].dst, serial_deliveries[i].dst);
+      EXPECT_EQ(pooled_deliveries[i].a, serial_deliveries[i].a);
+    }
+  }
+}
+
+TEST(ShardedEngineDeathTest, SendBelowTheHorizonIsRefused) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ShardedEngine::Options options;
+        options.lookahead = 50;
+        ShardedEngine engine(options);
+        std::deque<Simulator> sims(2);
+        engine.AddShard(&sims[0], [](const ShardMessage&) {});
+        engine.AddShard(&sims[1], [](const ShardMessage&) {});
+        sims[0].ScheduleAt(10, [&engine, &sims]() {
+          // deliver_at == now < horizon: the conservative-lookahead
+          // contract is violated and the engine must refuse.
+          engine.Send(0, 1, sims[0].Now(), 1, 0, 0, 0);
+        });
+        sims[1].ScheduleAt(10, []() {});
+        engine.Run(1000, /*pool=*/nullptr);
+      },
+      "check failed");
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -25,6 +25,7 @@
 #include "check/counterexample.h"
 #include "check/explorer.h"
 #include "check/minimizer.h"
+#include "check/shard_harness.h"
 
 namespace {
 
@@ -54,8 +55,19 @@ void PrintUsage(std::FILE* out) {
       "  --no-minimize         keep the raw violating trace\n"
       "  --seed-config FILE    load 'key value' lines as the base config\n"
       "  --replay FILE         re-execute a counterexample file instead of\n"
-      "                        exploring\n");
+      "                        exploring\n"
+      "shard mode (barrier-interleaving exploration, DESIGN.md §15):\n"
+      "  --shard               explore sharded-engine drain orders instead\n"
+      "  --shard-shards N      shards, 2..3 (default 3)\n"
+      "  --shard-events N      seed events per shard (default 2)\n"
+      "  --shard-hops N        message relay depth (default 2)\n"
+      "  --shard-lookahead T   engine lookahead in ticks (default 100)\n"
+      "  --shard-windows N     barriers with enumerated drain order\n"
+      "                        (default 4; runs = (shards!)^windows)\n"
+      "  --engine-fault NAME   none | skip-barrier-sort | deliver-early\n"
+      "  --shard --replay FILE re-execute a shard counterexample file\n");
 }
+
 
 bool ParseInt(const char* text, long long* out) {
   char* end = nullptr;
@@ -74,6 +86,86 @@ int Fail(const std::string& message) {
   return 2;
 }
 
+int RunShardMode(ShardCheckConfig config, const std::string& replay_path,
+                 const std::string& out_path, bool minimize) {
+  if (!replay_path.empty()) {
+    ShardCounterexample ce;
+    std::string error;
+    if (!ReadShardCounterexampleFile(replay_path, &ce, &error)) {
+      return Fail(replay_path + ": " + error);
+    }
+    std::string observed;
+    const bool reproduced = ReplayShardCounterexample(ce, &observed);
+    std::printf("shard replay of %s (%zu scripted barriers, fault %s):\n"
+                "  recorded  %s\n  observed  %s\n",
+                replay_path.c_str(), ce.perms.size(),
+                EngineFaultName(ce.config.fault), ce.property.c_str(),
+                observed.c_str());
+    if (!reproduced) {
+      std::printf("VIOLATION DID NOT REPRODUCE\n");
+      return 1;
+    }
+    std::printf("reproduced\n");
+    return 0;
+  }
+
+  std::printf(
+      "dmasim_check --shard: shards=%d events=%d hops=%d lookahead=%lld "
+      "windows=%d fault=%s\n",
+      config.shards, config.events_per_shard, config.max_hops,
+      static_cast<long long>(config.lookahead), config.max_choice_windows,
+      EngineFaultName(config.fault));
+
+  const ShardExploreResult result = ExploreShardInterleavings(config);
+  std::printf(
+      "explored %llu interleavings (%llu barriers, %llu choice windows, "
+      "%llu distinct fingerprints)\n",
+      static_cast<unsigned long long>(result.stats.runs),
+      static_cast<unsigned long long>(result.stats.barriers),
+      static_cast<unsigned long long>(result.stats.choice_windows),
+      static_cast<unsigned long long>(result.stats.distinct_fingerprints));
+
+  if (!result.violation_found) {
+    std::printf("no violations (canonical fingerprint %016llx)\n",
+                static_cast<unsigned long long>(result.canonical_fingerprint));
+    return 0;
+  }
+
+  std::printf("VIOLATION of %s\n  %s\n  raw trace: %zu scripted barriers\n",
+              result.violation.property.c_str(),
+              result.violation.message.c_str(),
+              result.violation.perms.size());
+  ShardTrace perms = result.violation.perms;
+  if (minimize && !perms.empty()) {
+    perms = MinimizeShardTrace(config, perms, result.violation.property);
+    std::printf("  minimized: %zu scripted barriers\n", perms.size());
+  }
+  for (std::size_t w = 0; w < perms.size(); ++w) {
+    std::vector<int> order;
+    NthShardPermutation(config.shards, perms[w], &order);
+    std::string text;
+    for (int shard : order) {
+      if (!text.empty()) text += ",";
+      text += std::to_string(shard);
+    }
+    std::printf("    barrier %zu: drain order [%s]\n", w, text.c_str());
+  }
+
+  if (!out_path.empty()) {
+    ShardCounterexample ce;
+    ce.config = config;
+    ce.property = result.violation.property;
+    ce.message = result.violation.message;
+    ce.perms = perms;
+    std::string error;
+    if (!WriteShardCounterexampleFile(ce, out_path, &error)) {
+      return Fail(error);
+    }
+    std::printf("counterexample written to %s\n", out_path.c_str());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,6 +174,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string replay_path;
   bool minimize = true;
+  bool shard_mode = false;
+  ShardCheckConfig shard_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +189,15 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--no-minimize") {
       minimize = false;
+    } else if (arg == "--shard") {
+      shard_mode = true;
+    } else if (arg == "--engine-fault") {
+      const char* name = value();
+      if (name == nullptr ||
+          !dmasim::ParseEngineFault(name, &shard_config.fault)) {
+        return Fail("--engine-fault needs none | skip-barrier-sort | "
+                    "deliver-early");
+      }
     } else if (arg == "--seed-config") {
       const char* path = value();
       if (path == nullptr) return Fail("--seed-config needs a file");
@@ -155,10 +258,24 @@ int main(int argc, char** argv) {
         config.epoch_length = n;
       } else if (arg == "--max-states") {
         max_states = static_cast<std::uint64_t>(n);
+      } else if (arg == "--shard-shards") {
+        shard_config.shards = static_cast<int>(n);
+      } else if (arg == "--shard-events") {
+        shard_config.events_per_shard = static_cast<int>(n);
+      } else if (arg == "--shard-hops") {
+        shard_config.max_hops = static_cast<int>(n);
+      } else if (arg == "--shard-lookahead") {
+        shard_config.lookahead = n;
+      } else if (arg == "--shard-windows") {
+        shard_config.max_choice_windows = static_cast<int>(n);
       } else {
         return Fail("unknown option \"" + arg + "\" (see --help)");
       }
     }
+  }
+
+  if (shard_mode) {
+    return RunShardMode(shard_config, replay_path, out_path, minimize);
   }
 
   if (!replay_path.empty()) {

@@ -14,8 +14,12 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "server/fleet_driver.h"
 #include "trace/workloads.h"
@@ -48,6 +52,20 @@ void PrintUsage() {
                        (default: 20)
   --seed N             workload seed (default: preset)
   --fingerprint-only   print only the run fingerprint (for scripting)
+
+Determinism proof kit (DESIGN.md section 15):
+  --sched-fuzz-seed N  perturb worker scheduling from seed N; requires a
+                       -DDMASIM_SCHED_FUZZ=1 build (the run must stay
+                       bit-identical to seed 0)
+  --engine-fault NAME  seeded protocol violation: none, skip-barrier-sort,
+                       deliver-early (CI divergence checks only)
+  --window-digests FILE
+                       record one digest per engine window and write them
+                       to FILE (one hex value per line)
+  --compare-window-digests FILE
+                       compare this run's window digests against FILE and
+                       report the first mismatching window (exit 3 on
+                       divergence)
   --help               this text
 )";
 }
@@ -68,6 +86,49 @@ double ParseDouble(const std::string& text) {
   return value;
 }
 
+void WriteWindowDigests(const std::vector<std::uint64_t>& digests,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) Fail("cannot write '" + path + "'");
+  for (std::uint64_t digest : digests) {
+    out << std::hex << std::setw(16) << std::setfill('0') << digest << "\n";
+  }
+}
+
+// Returns the process exit code: 0 on a match, 3 on divergence (with the
+// first mismatching window on stdout, which is what the CI sched-fuzz
+// smoke greps for).
+int CompareWindowDigests(const std::vector<std::uint64_t>& digests,
+                         const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) Fail("cannot read '" + path + "'");
+  std::vector<std::uint64_t> baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    baseline.push_back(std::stoull(line, nullptr, 16));
+  }
+  const std::size_t windows = std::min(digests.size(), baseline.size());
+  for (std::size_t window = 0; window < windows; ++window) {
+    if (digests[window] != baseline[window]) {
+      std::cout << "window digests diverge at window " << window << " (run "
+                << std::hex << std::setw(16) << std::setfill('0')
+                << digests[window] << " vs baseline " << std::setw(16)
+                << baseline[window] << ")\n";
+      return 3;
+    }
+  }
+  if (digests.size() != baseline.size()) {
+    std::cout << "window digests diverge at window " << windows
+              << " (run has " << std::dec << digests.size()
+              << " windows, baseline " << baseline.size() << ")\n";
+    return 3;
+  }
+  std::cout << "window digests match (" << std::dec << windows
+            << " windows)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +139,8 @@ int main(int argc, char** argv) {
   double duration_ms = 20.0;
   double seed = -1.0;
   bool fingerprint_only = false;
+  std::string digests_out_path;
+  std::string digests_baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,6 +176,19 @@ int main(int argc, char** argv) {
       seed = ParseDouble(next());
     } else if (arg == "--fingerprint-only") {
       fingerprint_only = true;
+    } else if (arg == "--sched-fuzz-seed") {
+      options.sched_fuzz_seed = static_cast<std::uint64_t>(ParseDouble(next()));
+    } else if (arg == "--engine-fault") {
+      const std::string name = next();
+      if (!ParseEngineFault(name, &options.engine_fault)) {
+        Fail("unknown engine fault '" + name + "'");
+      }
+    } else if (arg == "--window-digests") {
+      digests_out_path = next();
+      options.record_window_digests = true;
+    } else if (arg == "--compare-window-digests") {
+      digests_baseline_path = next();
+      options.record_window_digests = true;
     } else {
       Fail("unknown option '" + arg + "'");
     }
@@ -128,6 +204,15 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  if (!digests_out_path.empty()) {
+    WriteWindowDigests(fleet.window_digests, digests_out_path);
+  }
+  if (!digests_baseline_path.empty()) {
+    const int compare_exit =
+        CompareWindowDigests(fleet.window_digests, digests_baseline_path);
+    if (compare_exit != 0) return compare_exit;
+  }
 
   if (fingerprint_only) {
     std::cout << fleet.Fingerprint() << "\n";

@@ -1,0 +1,78 @@
+#include "audit/shard_audit.h"
+
+#include <sstream>
+#include <string>
+
+namespace dmasim {
+
+void ShardAudit::Check(bool ok, const char* invariant,
+                       const ShardMessage& message, const char* detail) {
+  ++checks_run_;
+  if (ok) return;
+  std::ostringstream text;
+  text << detail << " (deliver_at=" << message.deliver_at
+       << " src=" << message.src << " dst=" << message.dst
+       << " send_seq=" << message.send_seq << " kind=" << message.kind
+       << " window_horizon=" << window_horizon_ << ")";
+  auditor_.ReportFailure(invariant, text.str());
+}
+
+void ShardAudit::OnWindowStart(std::uint64_t window, Tick horizon) {
+  (void)window;
+  window_horizon_ = horizon;
+  in_window_ = true;
+}
+
+void ShardAudit::OnBarrier(std::uint64_t window,
+                           std::vector<int>* drain_order) {
+  (void)window;
+  (void)drain_order;
+  // New barrier: the delivery-order check restarts (the sort key is
+  // per-barrier, not global).
+  have_last_delivered_ = false;
+}
+
+void ShardAudit::OnDrained(const ShardMessage& message) {
+  // Lookahead discipline: the message was pushed during the window that
+  // just ended, whose horizon is window_horizon_. Anything earlier is
+  // addressed into simulated time some shard may already have executed.
+  Check(!in_window_ || message.deliver_at >= window_horizon_,
+        "shard.lookahead-violation", message,
+        "drained message addressed inside the just-executed window");
+
+  // Mailbox FIFO per edge: send_seq is assigned by Send in push order
+  // and is unique per source, so at drain time each source's sequence
+  // must continue exactly where the previous barrier left off.
+  const std::size_t src = message.src;
+  if (next_seq_.size() <= src) next_seq_.resize(src + 1, 0);
+  Check(message.send_seq == next_seq_[src], "shard.mailbox-fifo", message,
+        "drained send_seq skips or repeats its source's sequence");
+  next_seq_[src] = message.send_seq + 1;
+}
+
+void ShardAudit::OnDeliver(const ShardMessage& message) {
+  // Causality: a delivery addressed before the barrier's own horizon
+  // lands in a window the destination (and every other shard) already
+  // executed.
+  Check(!in_window_ || message.deliver_at >= window_horizon_,
+        "shard.barrier-causality", message,
+        "message delivered into an already-executed window");
+  // Total delivery order: (deliver_at, src, send_seq) nondecreasing —
+  // strictly increasing, in fact, since the key is unique per message.
+  if (have_last_delivered_) {
+    const ShardMessage& last = last_delivered_;
+    const bool sorted =
+        last.deliver_at < message.deliver_at ||
+        (last.deliver_at == message.deliver_at &&
+         (last.src < message.src ||
+          (last.src == message.src && last.send_seq < message.send_seq)));
+    Check(sorted, "shard.barrier-causality", message,
+          "barrier delivery order is not the sorted total order");
+  } else {
+    ++checks_run_;  // The first delivery's order check is vacuous.
+  }
+  last_delivered_ = message;
+  have_last_delivered_ = true;
+}
+
+}  // namespace dmasim

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/temporal_aligner.h"
+#include "sim/sharded_engine.h"
 
 namespace dmasim {
 
@@ -25,6 +26,7 @@ SimulationObserver::SimulationObserver(MemoryController* controller,
     : controller_(controller),
       server_(server),
       simulator_(options.simulator),
+      engine_(options.engine),
       level_(std::clamp(options.level, 0, kCompiledObsLevel)) {
   DMASIM_EXPECTS(controller_ != nullptr);
   if (level_ < 1) return;
@@ -157,6 +159,16 @@ void SimulationObserver::RegisterMetrics() {
         registry_.AddCounter("sim", "calendar_max_overflow_events");
   }
 
+  if (engine_ != nullptr) {
+    engine_slots_.windows = registry_.AddCounter("sim", "engine_windows");
+    engine_slots_.delivered_messages =
+        registry_.AddCounter("sim", "engine_delivered_messages");
+    engine_slots_.mailbox_spills =
+        registry_.AddCounter("sim", "mailbox_spills");
+    engine_slots_.max_mailbox_occupancy =
+        registry_.AddCounter("sim", "max_mailbox_occupancy");
+  }
+
   if (server_ != nullptr) {
     server_slots_.reads = registry_.AddCounter("server", "reads");
     server_slots_.writes = registry_.AddCounter("server", "writes");
@@ -258,6 +270,17 @@ void SimulationObserver::Finish() {
     *sim_slots_.calendar_max_bucket_events = calendar.max_bucket_events;
     *sim_slots_.calendar_max_cascade_events = calendar.max_cascade_events;
     *sim_slots_.calendar_max_overflow_events = calendar.max_overflow_events;
+  }
+
+  if (engine_ != nullptr) {
+    // The engine refreshes these at every window barrier, so they are
+    // current through the last completed window even if the run stopped
+    // short of its bound.
+    const ShardedEngine::Stats& engine_stats = engine_->stats();
+    *engine_slots_.windows = engine_stats.windows;
+    *engine_slots_.delivered_messages = engine_stats.delivered_messages;
+    *engine_slots_.mailbox_spills = engine_stats.mailbox_spills;
+    *engine_slots_.max_mailbox_occupancy = engine_stats.max_mailbox_occupancy;
   }
 
   if (server_ != nullptr) {

@@ -26,6 +26,10 @@
 #include "server/data_server.h"
 #include "sim/simulator.h"
 
+namespace dmasim {
+class ShardedEngine;  // sim/sharded_engine.h; only the .cc reads stats.
+}
+
 #if DMASIM_OBS >= 2
 #include "obs/event_trace.h"
 #endif
@@ -44,6 +48,12 @@ class SimulationObserver {
     // occupancy, cascades, overflow refills) are exported as `sim.*`
     // metrics. Must outlive the observer.
     const Simulator* simulator = nullptr;
+    // When set, the sharded engine's window/mailbox counters are
+    // exported as `sim.*` metrics (`sim.mailbox_spills`,
+    // `sim.max_mailbox_occupancy`, ...). The engine refreshes them at
+    // every window barrier — not just at Run() exit — so the values are
+    // window-accurate whenever Finish() runs. Must outlive the observer.
+    const ShardedEngine* engine = nullptr;
   };
 
   // Attaches to `controller` (and its chips and buses) and `server`
@@ -78,6 +88,7 @@ class SimulationObserver {
   MemoryController* controller_;
   DataServer* server_;
   const Simulator* simulator_;
+  const ShardedEngine* engine_;
   int level_;
 
   MetricsRegistry registry_;
@@ -127,6 +138,13 @@ class SimulationObserver {
     std::uint64_t* calendar_max_cascade_events = nullptr;
     std::uint64_t* calendar_max_overflow_events = nullptr;
   } sim_slots_;
+  // Registered only when Options::engine is set (sharded runs).
+  struct EngineSlots {
+    std::uint64_t* windows = nullptr;
+    std::uint64_t* delivered_messages = nullptr;
+    std::uint64_t* mailbox_spills = nullptr;
+    std::uint64_t* max_mailbox_occupancy = nullptr;
+  } engine_slots_;
   struct ServerSlots {
     std::uint64_t* reads = nullptr;
     std::uint64_t* writes = nullptr;

@@ -12,7 +12,13 @@
 #include "util/random.h"
 
 #if DMASIM_AUDIT_LEVEL >= 1
+#include "audit/shard_audit.h"
 #include "audit/simulation_audit.h"
+#endif
+
+#include "obs/obs_config.h"
+#if DMASIM_OBS >= 1
+#include "obs/simulation_obs.h"
 #endif
 
 namespace dmasim {
@@ -23,14 +29,15 @@ namespace {
 constexpr std::uint32_t kRemoteReadMsg = 1;   // a=page, b=bytes, c=slot.
 constexpr std::uint32_t kRemoteReplyMsg = 2;  // c=slot at the requester.
 
+// Set up before the engine runs, read-only to every worker after.
 struct FleetShared {
-  ShardedEngine* engine = nullptr;
-  Tick remote_latency = 0;
-  std::uint64_t stream_count = 0;
+  DMASIM_SHARED_CONST ShardedEngine* engine = nullptr;
+  DMASIM_SHARED_CONST Tick remote_latency = 0;
+  DMASIM_SHARED_CONST std::uint64_t stream_count = 0;
   // Per-stream remote-homing probability as a 32-bit threshold.
-  std::uint64_t remote_threshold = 0;
-  int domain_count = 0;
-  std::uint64_t salt = 0;
+  DMASIM_SHARED_CONST std::uint64_t remote_threshold = 0;
+  DMASIM_SHARED_CONST int domain_count = 0;
+  DMASIM_SHARED_CONST std::uint64_t salt = 0;
 };
 
 // One memory-controller domain: a complete simulated system around a
@@ -40,24 +47,27 @@ struct FleetDomain {
   FleetDomain(int domain_index, FleetShared* shared_state)
       : index(domain_index), shared(shared_state) {}
 
-  int index;
-  FleetShared* shared;
-  Simulator simulator;
-  std::unique_ptr<LowPowerPolicy> policy;
-  std::unique_ptr<MemoryController> controller;
-  std::unique_ptr<DataServer> server;
-  Trace trace;
-  std::size_t cursor = 0;
+  DMASIM_SHARED_CONST int index;
+  DMASIM_SHARED_CONST FleetShared* shared;
+  // Everything below is the domain's private simulated system — owned
+  // by its shard's worker during a window, by the coordinator at
+  // barriers (delivery handlers).
+  DMASIM_SHARD_LOCAL Simulator simulator;
+  DMASIM_SHARD_LOCAL std::unique_ptr<LowPowerPolicy> policy;
+  DMASIM_SHARD_LOCAL std::unique_ptr<MemoryController> controller;
+  DMASIM_SHARD_LOCAL std::unique_ptr<DataServer> server;
+  DMASIM_SHARD_LOCAL Trace trace;
+  DMASIM_SHARD_LOCAL std::size_t cursor = 0;
 
   // Outstanding remote reads this domain issued: slot -> issue time.
   // Slots recycle through the free list in deterministic order.
-  std::vector<Tick> slot_issue_time;
-  std::vector<std::uint32_t> free_slots;
+  DMASIM_SHARD_LOCAL std::vector<Tick> slot_issue_time;
+  DMASIM_SHARD_LOCAL std::vector<std::uint32_t> free_slots;
 
-  std::uint64_t remote_sent = 0;
-  std::uint64_t remote_served = 0;
-  std::uint64_t remote_completed = 0;
-  RunningMean remote_response;
+  DMASIM_SHARD_LOCAL std::uint64_t remote_sent = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t remote_served = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t remote_completed = 0;
+  DMASIM_SHARD_LOCAL RunningMean remote_response;
 };
 
 // The stream a trace record belongs to: a stable hash of its position in
@@ -81,6 +91,7 @@ int HomeOf(const FleetShared& shared, int domain, std::uint64_t stream) {
   return (domain + 1 + static_cast<int>(peer)) % shared.domain_count;
 }
 
+// shardcheck: window-context
 void ForwardRemoteRead(FleetDomain* domain, int home,
                        const TraceRecord& record) {
   std::uint32_t slot;
@@ -101,6 +112,7 @@ void ForwardRemoteRead(FleetDomain* domain, int home,
       slot);
 }
 
+// shardcheck: window-context
 void FeedRecord(FleetDomain* domain, const TraceRecord& record,
                 std::uint64_t position) {
   switch (record.kind) {
@@ -127,6 +139,7 @@ void FeedRecord(FleetDomain* domain, const TraceRecord& record,
 }
 
 // Cursor-based feeder, the fleet counterpart of RunTrace's TraceFeeder.
+// shardcheck: window-context
 void PumpDomain(FleetDomain* domain) {
   while (domain->cursor < domain->trace.size() &&
          domain->trace[domain->cursor].time <= domain->simulator.Now()) {
@@ -237,12 +250,27 @@ FleetResults RunFleet(const FleetOptions& options) {
   engine_options.lookahead = options.remote_latency;
   engine_options.mailbox_capacity = options.mailbox_capacity;
   engine_options.record_deliveries = options.record_deliveries;
+  engine_options.record_window_digests = options.record_window_digests;
+  engine_options.fault = options.engine_fault;
+  engine_options.sched_fuzz_seed = options.sched_fuzz_seed;
+#if DMASIM_AUDIT_LEVEL >= 1
+  std::unique_ptr<ShardAudit> shard_audit;
+  if (options.base.audit_level >= 1) {
+    shard_audit = std::make_unique<ShardAudit>(
+        options.base.audit_abort ? InvariantAuditor::Mode::kAbort
+                                 : InvariantAuditor::Mode::kCollect);
+    engine_options.hooks = shard_audit.get();
+  }
+#endif
   ShardedEngine engine(engine_options);
   shared.engine = &engine;
 
   std::deque<FleetDomain> domains;
 #if DMASIM_AUDIT_LEVEL >= 1
   std::vector<std::unique_ptr<SimulationAudit>> audits;
+#endif
+#if DMASIM_OBS >= 1
+  std::vector<std::unique_ptr<SimulationObserver>> observers;
 #endif
   for (int i = 0; i < options.domains; ++i) {
     FleetDomain& domain = domains.emplace_back(i, &shared);
@@ -286,6 +314,20 @@ FleetResults RunFleet(const FleetOptions& options) {
     }
 #endif
 
+#if DMASIM_OBS >= 1
+    if (options.base.obs_level >= 1) {
+      SimulationObserver::Options obs_options;
+      obs_options.level = std::min(options.base.obs_level, DMASIM_OBS);
+      obs_options.trace_capacity = options.base.obs_trace_capacity;
+      obs_options.simulator = &domain.simulator;
+      // Every domain's observer sees the shared engine, so any domain's
+      // metric snapshot carries the fleet-wide window/mailbox counters.
+      obs_options.engine = &engine;
+      observers.push_back(std::make_unique<SimulationObserver>(
+          domain.controller.get(), domain.server.get(), obs_options));
+    }
+#endif
+
     FleetDomain* handled = &domain;
     engine.AddShard(&domain.simulator,
                     [handled](const ShardMessage& message) {
@@ -319,6 +361,14 @@ FleetResults RunFleet(const FleetOptions& options) {
 #endif
     CollectRunResults(&domain.simulator, domain.controller.get(),
                       domain.server.get(), &summary.results);
+#if DMASIM_OBS >= 1
+    if (options.base.obs_level >= 1) {
+      SimulationObserver& observer =
+          *observers[static_cast<std::size_t>(domain.index)];
+      observer.Finish();
+      summary.results.metrics = observer.SnapshotMetrics();
+    }
+#endif
     summary.remote_sent = domain.remote_sent;
     summary.remote_served = domain.remote_served;
     summary.remote_completed = domain.remote_completed;
@@ -336,6 +386,15 @@ FleetResults RunFleet(const FleetOptions& options) {
   }
   fleet.engine = engine.stats();
   if (options.record_deliveries) fleet.deliveries = engine.deliveries();
+  if (options.record_window_digests) {
+    fleet.window_digests = engine.window_digests();
+  }
+#if DMASIM_AUDIT_LEVEL >= 1
+  if (shard_audit != nullptr) {
+    fleet.shard_audit_checks = shard_audit->checks_run();
+    fleet.shard_audit_failures = shard_audit->auditor().failures().size();
+  }
+#endif
   return fleet;
 }
 

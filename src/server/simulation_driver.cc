@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <utility>
 
 #include "audit/audit_config.h"
@@ -196,6 +197,18 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
   }
 #endif
 
+  // Built before the observer so the obs layer can export the engine's
+  // window/mailbox counters. One controller = one shard (one
+  // memory-controller domain), so the windowed execution is exactly the
+  // serial order; the trailing RunUntil settles the clock at `end` the
+  // same way the serial branch does.
+  std::unique_ptr<ShardedEngine> engine;
+  if (options.sim_threads != 1) {
+    ShardedEngine::Options engine_options;
+    engine = std::make_unique<ShardedEngine>(engine_options);
+    engine->AddShard(&simulator, [](const ShardMessage&) {});
+  }
+
 #if DMASIM_OBS >= 1
   std::unique_ptr<SimulationObserver> observer;
   if (options.obs_level >= 1) {
@@ -203,22 +216,16 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
     obs_options.level = std::min(options.obs_level, DMASIM_OBS);
     obs_options.trace_capacity = options.obs_trace_capacity;
     obs_options.simulator = &simulator;
+    obs_options.engine = engine.get();
     observer = std::make_unique<SimulationObserver>(&controller, &server,
                                                     obs_options);
   }
 #endif
 
   const Tick end = duration + options.drain;
-  if (options.sim_threads != 1) {
-    // Route through the sharded engine. One controller = one shard (one
-    // memory-controller domain), so the windowed execution is exactly
-    // the serial order; the trailing RunUntil settles the clock at
-    // `end` the same way the serial branch does.
-    ShardedEngine::Options engine_options;
-    ShardedEngine engine(engine_options);
-    engine.AddShard(&simulator, [](const ShardMessage&) {});
+  if (engine != nullptr) {
     ThreadPool pool(options.sim_threads);
-    engine.Run(end, &pool);
+    engine->Run(end, &pool);
   }
   simulator.RunUntil(end);
 

@@ -29,6 +29,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/shard_annotations.h"
+
 namespace dmasim {
 
 template <typename Signature, std::size_t Capacity>
@@ -69,8 +71,10 @@ class TrivialCallback<R(Args...), Capacity> {
   }
 
  private:
-  R (*invoke_)(void*, Args...) = nullptr;
-  alignas(void*) unsigned char storage_[Capacity];
+  // Value-type contents: owned by whatever owns the callback object —
+  // inside the sharded engine that is always a single shard's kernel.
+  DMASIM_SHARD_LOCAL R (*invoke_)(void*, Args...) = nullptr;
+  DMASIM_SHARD_LOCAL alignas(void*) unsigned char storage_[Capacity];
 };
 
 template <typename Signature, std::size_t Capacity>
@@ -154,9 +158,11 @@ class InlineFunction<R(Args...), Capacity> {
     manage_ = nullptr;
   }
 
-  R (*invoke_)(void*, Args...) = nullptr;
-  void (*manage_)(void* destination, void* source) = nullptr;
-  alignas(void*) unsigned char storage_[Capacity];
+  // Value-type contents, same ownership story as TrivialCallback's.
+  DMASIM_SHARD_LOCAL R (*invoke_)(void*, Args...) = nullptr;
+  DMASIM_SHARD_LOCAL void (*manage_)(void* destination,
+                                     void* source) = nullptr;
+  DMASIM_SHARD_LOCAL alignas(void*) unsigned char storage_[Capacity];
 };
 
 // Capacity shared by the DMA pipeline's completion callbacks: sized to the

@@ -28,6 +28,7 @@
 
 #include "audit/audit_config.h"
 #include "sim/inline_function.h"
+#include "sim/shard_annotations.h"
 #include "util/check.h"
 #include "util/time.h"
 
@@ -148,6 +149,8 @@ class Simulator {
   // Calendar-queue internals, exposed so shard imbalance and the
   // overflow guard are observable (obs metrics, --metrics-out). Pure
   // counters: reading or exporting them never perturbs execution.
+  // shardcheck: allow(unannotated-member) -- value type; the kernel's
+  // copy is the annotated calendar_ member.
   struct CalendarStats {
     std::uint64_t bucket_loads = 0;      // Level-0 buckets made serving.
     std::uint64_t cascades = 0;          // Level-1 spans redistributed.
@@ -171,6 +174,8 @@ class Simulator {
   }
 
  private:
+  // shardcheck: allow(unannotated-member) -- POD event value stored in
+  // the shard-local calendar containers below.
   struct Event {
     Tick when;
     std::uint64_t sequence;
@@ -383,36 +388,41 @@ class Simulator {
     cascade_.clear();
   }
 
-  Tick now_ = 0;
-  std::uint64_t next_sequence_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t stepped_ = 0;
-  std::size_t size_ = 0;
+  // Every member is DMASIM_SHARD_LOCAL (see sim/shard_annotations.h): a
+  // Simulator is the private event kernel of exactly one shard, touched
+  // only by that shard's worker during a window.
+  DMASIM_SHARD_LOCAL Tick now_ = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t next_sequence_ = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t executed_ = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t stepped_ = 0;
+  DMASIM_SHARD_LOCAL std::size_t size_ = 0;
 
   // Serving bucket: flat, (when, sequence)-sorted up to serving_sorted_,
   // drained by cursor. serving_bucket_ is its absolute level-0 index.
-  std::vector<Event> serving_;
-  std::size_t serving_pos_ = 0;
-  std::size_t serving_sorted_ = 0;
-  std::uint64_t serving_bucket_ = 0;
+  DMASIM_SHARD_LOCAL std::vector<Event> serving_;
+  DMASIM_SHARD_LOCAL std::size_t serving_pos_ = 0;
+  DMASIM_SHARD_LOCAL std::size_t serving_sorted_ = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t serving_bucket_ = 0;
 
-  std::array<std::vector<Event>, kBuckets> level0_;
-  std::array<std::vector<Event>, kBuckets> level1_;
-  std::array<std::uint64_t, kBitmapWords> level0_bits_ = {};
-  std::array<std::uint64_t, kBitmapWords> level1_bits_ = {};
-  std::vector<Event> overflow_;
+  DMASIM_SHARD_LOCAL std::array<std::vector<Event>, kBuckets> level0_;
+  DMASIM_SHARD_LOCAL std::array<std::vector<Event>, kBuckets> level1_;
+  DMASIM_SHARD_LOCAL std::array<std::uint64_t, kBitmapWords> level0_bits_ = {};
+  DMASIM_SHARD_LOCAL std::array<std::uint64_t, kBitmapWords> level1_bits_ = {};
+  DMASIM_SHARD_LOCAL std::vector<Event> overflow_;
   // Smallest level-1 bucket among pending overflow events; kNoOverflow
   // when overflow_ is empty. Bounds how far the wheel may cascade.
   static constexpr std::uint64_t kNoOverflow = ~std::uint64_t{0};
-  std::uint64_t overflow_min_b1_ = kNoOverflow;
-  std::vector<Event> scratch_;   // MergeServingTail working space.
-  std::vector<Event> cascade_;   // CascadeLevel1/refill working space.
-  CalendarStats calendar_;
+  DMASIM_SHARD_LOCAL std::uint64_t overflow_min_b1_ = kNoOverflow;
+  // MergeServingTail working space.
+  DMASIM_SHARD_LOCAL std::vector<Event> scratch_;
+  // CascadeLevel1/refill working space.
+  DMASIM_SHARD_LOCAL std::vector<Event> cascade_;
+  DMASIM_SHARD_LOCAL CalendarStats calendar_;
 
 #if DMASIM_AUDIT_LEVEL >= 2
   // Last popped (when, sequence), for the FIFO-order audit in Step().
-  Tick audit_last_when_ = 0;
-  std::uint64_t audit_last_sequence_ = 0;
+  DMASIM_SHARD_LOCAL Tick audit_last_when_ = 0;
+  DMASIM_SHARD_LOCAL std::uint64_t audit_last_sequence_ = 0;
 #endif
 };
 

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/shard_annotations.h"
 #include "util/check.h"
 
 namespace dmasim {
@@ -36,14 +37,21 @@ class SpscMailbox {
                 "mailbox messages cross threads by memcpy");
 
  public:
+  // shardcheck: allow(unannotated-member) -- value type; the mailbox's
+  // copy is the annotated stats_ member (producer-side counters).
   struct Stats {
     std::uint64_t pushed = 0;
     std::uint64_t spilled = 0;        // Pushes that missed the ring.
     std::uint64_t max_occupancy = 0;  // Ring + spill high-water mark.
   };
 
+  // Capacity is rounded up to a power of two: the `index % capacity`
+  // slot map is only continuous across the 2^64 index wraparound when
+  // the capacity divides 2^64, and a discontinuity there would let two
+  // in-flight indices share a slot (caught by the wraparound boundary
+  // test seeding indices near the wrap).
   explicit SpscMailbox(std::size_t capacity = 1024)
-      : ring_(capacity > 0 ? capacity : 1) {}
+      : ring_(RoundUpToPowerOfTwo(capacity)) {}
 
   SpscMailbox(const SpscMailbox&) = delete;
   SpscMailbox& operator=(const SpscMailbox&) = delete;
@@ -71,7 +79,7 @@ class SpscMailbox {
 
   // Consumer side: appends every pending message to `out` in Push order
   // and empties the mailbox. Must not run concurrently with Push.
-  void Drain(std::vector<Message>* out) {
+  DMASIM_BARRIER_ONLY void Drain(std::vector<Message>* out) {
     const std::size_t head = head_.load(std::memory_order_acquire);
     std::size_t tail = tail_.load(std::memory_order_relaxed);
     while (tail != head) {
@@ -93,12 +101,37 @@ class SpscMailbox {
   std::size_t capacity() const { return ring_.size(); }
   const Stats& stats() const { return stats_; }
 
+  // Test seam: start both indices at `value` so a short test crosses an
+  // index wraparound that would otherwise take 2^64 pushes (the
+  // `head - tail` arithmetic must be wrap-oblivious). Only valid on an
+  // empty mailbox with no consumer attached.
+  DMASIM_BARRIER_ONLY void SeedIndicesForTest(std::size_t value) {
+    DMASIM_EXPECTS(SizeApprox() == 0);
+    head_.store(value, std::memory_order_relaxed);
+    tail_.store(value, std::memory_order_relaxed);
+  }
+
  private:
-  std::vector<Message> ring_;
-  std::vector<Message> spill_;  // Producer-owned until Drain.
-  std::atomic<std::size_t> head_{0};  // Next write slot (producer).
-  std::atomic<std::size_t> tail_{0};  // Next read slot (consumer).
-  Stats stats_;  // Producer-written; read at barriers only.
+  static constexpr std::size_t RoundUpToPowerOfTwo(std::size_t n) {
+    std::size_t size = 1;
+    while (size < n) size *= 2;
+    return size;
+  }
+
+  // Ring storage is written by the producer and read by the consumer,
+  // in disjoint index ranges ordered by the head_/tail_ atomics — each
+  // slot is owned by exactly one side at a time.
+  DMASIM_SHARD_LOCAL std::vector<Message> ring_;
+  // Producer-owned until Drain (which by contract runs while the
+  // producer is parked at the barrier).
+  DMASIM_SHARD_LOCAL std::vector<Message> spill_;
+  // Next write slot; producer-advanced (release), consumer-read.
+  DMASIM_SHARD_LOCAL std::atomic<std::size_t> head_{0};
+  // Next read slot; consumer-advanced at the barrier (release),
+  // producer-read.
+  DMASIM_BARRIER_ONLY std::atomic<std::size_t> tail_{0};
+  // Producer-written; read at barriers only.
+  DMASIM_SHARD_LOCAL Stats stats_;
 };
 
 }  // namespace dmasim

@@ -1,0 +1,206 @@
+// Tests for the shard interleaving harness (src/check/shard_harness.h):
+// permutation indexing, clean-exploration convergence with exact run
+// counts, detection + ddmin minimization of both seeded engine faults,
+// the counterexample file format, and replay of the committed fixtures
+// against a pristine control.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/shard_harness.h"
+
+namespace dmasim::check {
+namespace {
+
+TEST(ShardPermutationTest, CountAndIndexing) {
+  EXPECT_EQ(ShardPermutationCount(2), 2);
+  EXPECT_EQ(ShardPermutationCount(3), 6);
+
+  // Index 0 is the identity; all indices are distinct permutations.
+  std::set<std::vector<int>> seen;
+  for (int index = 0; index < 6; ++index) {
+    std::vector<int> perm;
+    NthShardPermutation(3, index, &perm);
+    ASSERT_EQ(perm.size(), 3u);
+    EXPECT_TRUE(std::is_permutation(perm.begin(), perm.end(),
+                                    std::vector<int>{0, 1, 2}.begin()));
+    seen.insert(perm);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  std::vector<int> identity;
+  NthShardPermutation(3, 0, &identity);
+  EXPECT_EQ(identity, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShardHarnessTest, RunIsDeterministic) {
+  ShardCheckConfig config;
+  const ShardRunOutcome a = RunShardScenario(config, {});
+  const ShardRunOutcome b = RunShardScenario(config, {});
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.window_digests, b.window_digests);
+  EXPECT_FALSE(a.violation);
+  EXPECT_GT(a.barriers, 0u);
+  EXPECT_GT(a.delivered_messages, 0u);
+  EXPECT_GT(a.executed_events, 0u);
+}
+
+TEST(ShardHarnessTest, CleanExplorationConvergesWithExactRunCount) {
+  ShardCheckConfig config;
+  config.shards = 3;
+  config.max_choice_windows = 2;
+  const ShardExploreResult result = ExploreShardInterleavings(config);
+
+  EXPECT_FALSE(result.violation_found);
+  // Canonical run + every non-identity sequence over 6^2 drain orders.
+  EXPECT_EQ(result.stats.runs, 36u);
+  EXPECT_EQ(result.stats.choice_windows, 2u);
+  EXPECT_EQ(result.stats.barriers, 3u);
+  // The determinism contract: every interleaving, one fingerprint.
+  EXPECT_EQ(result.stats.distinct_fingerprints, 1u);
+  EXPECT_NE(result.canonical_fingerprint, 0u);
+}
+
+TEST(ShardHarnessTest, TwoShardExplorationConverges) {
+  ShardCheckConfig config;
+  config.shards = 2;
+  config.max_choice_windows = 3;
+  const ShardExploreResult result = ExploreShardInterleavings(config);
+  EXPECT_FALSE(result.violation_found);
+  EXPECT_EQ(result.stats.runs, 8u);  // 2^3 sequences, canonical included.
+  EXPECT_EQ(result.stats.distinct_fingerprints, 1u);
+}
+
+TEST(ShardHarnessTest, SkipBarrierSortFaultIsFoundAndMinimized) {
+  ShardCheckConfig config;
+  config.fault = EngineFault::kSkipBarrierSort;
+  const ShardExploreResult result = ExploreShardInterleavings(config);
+
+  ASSERT_TRUE(result.violation_found);
+  EXPECT_EQ(result.violation.property, "shard.barrier-causality");
+  // Latent on the identity path: all of a barrier's deliveries share one
+  // deliver_at, so the raw src-major drain order equals the sorted order
+  // and only a perturbed drain order exposes the missing sort.
+  EXPECT_FALSE(result.violation.perms.empty());
+  EXPECT_GT(result.stats.runs, 1u);
+
+  const ShardTrace minimized =
+      MinimizeShardTrace(config, result.violation.perms,
+                         result.violation.property);
+  int non_identity = 0;
+  for (int perm : minimized) non_identity += perm != 0 ? 1 : 0;
+  EXPECT_EQ(non_identity, 1);  // One perturbed barrier suffices.
+  EXPECT_TRUE(ShardTraceReproduces(config, minimized,
+                                   result.violation.property));
+  // The pristine engine shrugs off the same perturbation.
+  ShardCheckConfig pristine = config;
+  pristine.fault = EngineFault::kNone;
+  EXPECT_FALSE(ShardTraceReproduces(pristine, minimized,
+                                    result.violation.property));
+}
+
+TEST(ShardHarnessTest, DeliverEarlyFaultIsCaughtOnTheCanonicalPath) {
+  ShardCheckConfig config;
+  config.fault = EngineFault::kDeliverEarly;
+  const ShardExploreResult result = ExploreShardInterleavings(config);
+
+  ASSERT_TRUE(result.violation_found);
+  EXPECT_EQ(result.violation.property, "shard.lookahead-violation");
+  // The fault fires on shard 0's very first send: no schedule
+  // perturbation is needed, so the minimal trace is empty.
+  EXPECT_TRUE(result.violation.perms.empty());
+  EXPECT_EQ(result.stats.runs, 1u);
+}
+
+TEST(ShardCounterexampleTest, FormatParsesBackUnchanged) {
+  ShardCounterexample ce;
+  ce.config.shards = 2;
+  ce.config.events_per_shard = 3;
+  ce.config.max_hops = 1;
+  ce.config.lookahead = 250;
+  ce.config.max_choice_windows = 5;
+  ce.config.fault = EngineFault::kSkipBarrierSort;
+  ce.property = "shard.barrier-causality";
+  ce.message = "delivery order leaked the drain order";
+  ce.perms = {0, 1};
+
+  ShardCounterexample parsed;
+  std::string error;
+  ASSERT_TRUE(ParseShardCounterexampleText(FormatShardCounterexample(ce),
+                                           &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.config.shards, ce.config.shards);
+  EXPECT_EQ(parsed.config.events_per_shard, ce.config.events_per_shard);
+  EXPECT_EQ(parsed.config.max_hops, ce.config.max_hops);
+  EXPECT_EQ(parsed.config.lookahead, ce.config.lookahead);
+  EXPECT_EQ(parsed.config.max_choice_windows, ce.config.max_choice_windows);
+  EXPECT_EQ(parsed.config.fault, ce.config.fault);
+  EXPECT_EQ(parsed.property, ce.property);
+  EXPECT_EQ(parsed.message, ce.message);
+  EXPECT_EQ(parsed.perms, ce.perms);
+}
+
+TEST(ShardCounterexampleTest, ParseRejectsMalformedInputWithLineNumbers) {
+  ShardCounterexample parsed;
+  std::string error;
+
+  EXPECT_FALSE(ParseShardCounterexampleText("not-a-header\n", &parsed,
+                                            &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+
+  const std::string unknown_key =
+      "dmasim-shard-counterexample v1\nshards 2\nbogus 3\n";
+  EXPECT_FALSE(ParseShardCounterexampleText(unknown_key, &parsed, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+
+  const std::string truncated =
+      "dmasim-shard-counterexample v1\nshards 2\nperms 2\n0\n";
+  EXPECT_FALSE(ParseShardCounterexampleText(truncated, &parsed, &error));
+  EXPECT_NE(error.find("line"), std::string::npos) << error;
+
+  const std::string bad_fault =
+      "dmasim-shard-counterexample v1\nfault melt-the-bus\n";
+  EXPECT_FALSE(ParseShardCounterexampleText(bad_fault, &parsed, &error));
+  EXPECT_NE(error.find("melt-the-bus"), std::string::npos) << error;
+
+  const std::string no_end =
+      "dmasim-shard-counterexample v1\nperms 1\n0\ntrailing\n";
+  EXPECT_FALSE(ParseShardCounterexampleText(no_end, &parsed, &error));
+  EXPECT_NE(error.find("end"), std::string::npos) << error;
+}
+
+// The committed fixtures: what `dmasim_check --shard --engine-fault ...`
+// wrote after exploration + ddmin. They must keep reproducing through a
+// fresh scenario (real Simulators under a real engine), and the same
+// trace must be clean on a pristine engine.
+class CommittedShardCounterexampleTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CommittedShardCounterexampleTest, ReproducesAndControlIsClean) {
+  const std::string path =
+      std::string(DMASIM_SOURCE_DIR) + "/tests/check/data/" + GetParam();
+  ShardCounterexample ce;
+  std::string error;
+  ASSERT_TRUE(ReadShardCounterexampleFile(path, &ce, &error)) << error;
+  ASSERT_NE(ce.config.fault, EngineFault::kNone);
+
+  std::string observed;
+  EXPECT_TRUE(ReplayShardCounterexample(ce, &observed)) << observed;
+  EXPECT_NE(observed.find(ce.property), std::string::npos) << observed;
+
+  ShardCounterexample control = ce;
+  control.config.fault = EngineFault::kNone;
+  EXPECT_FALSE(ReplayShardCounterexample(control, &observed)) << observed;
+  EXPECT_EQ(observed, "no violation reproduced");
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, CommittedShardCounterexampleTest,
+                         ::testing::Values("shard_skip_sort.counterexample",
+                                           "shard_deliver_early"
+                                           ".counterexample"));
+
+}  // namespace
+}  // namespace dmasim::check

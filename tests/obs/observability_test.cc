@@ -18,6 +18,7 @@
 #include "obs/obs_config.h"
 #include "obs/simulation_obs.h"
 #include "obs/trace_export.h"
+#include "server/fleet_driver.h"
 #include "server/simulation_driver.h"
 #include "sim/simulator.h"
 #include "trace/workloads.h"
@@ -146,6 +147,83 @@ TEST(ObservabilityTest, MetricsReconcileWithResults) {
   ASSERT_NE(peak, nullptr);
   EXPECT_EQ(peak->count, results.calendar.max_bucket_events);
   EXPECT_GT(peak->count, 0u);
+}
+
+// Sharded single-system path: observing the run (including the engine's
+// window/mailbox counters) must not change its outcome.
+TEST(ObservabilityTest, ShardedObservedRunMatchesUnobservedExactly) {
+  SimulationOptions off_options = TaOptions(0);
+  off_options.sim_threads = 2;
+  SimulationOptions on_options = TaOptions(1);
+  on_options.sim_threads = 2;
+
+  const SimulationResults off = RunWorkload(ShortWorkload(), off_options);
+  const SimulationResults on = RunWorkload(ShortWorkload(), on_options);
+
+  EXPECT_EQ(off.energy.Total(), on.energy.Total());
+  EXPECT_EQ(off.executed_events, on.executed_events);
+  EXPECT_EQ(off.stepped_events, on.stepped_events);
+  EXPECT_EQ(off.client_response.Mean(), on.client_response.Mean());
+
+  // One controller = one shard: windows ran, nothing crossed shards.
+  const MetricSample* windows = FindMetric(on, "sim", "engine_windows");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_GT(windows->count, 0u);
+  const MetricSample* delivered =
+      FindMetric(on, "sim", "engine_delivered_messages");
+  ASSERT_NE(delivered, nullptr);
+  EXPECT_EQ(delivered->count, 0u);
+  ASSERT_NE(FindMetric(on, "sim", "mailbox_spills"), nullptr);
+  ASSERT_NE(FindMetric(on, "sim", "max_mailbox_occupancy"), nullptr);
+}
+
+// Fleet path: the obs-on==obs-off bit-identity re-assert for the sharded
+// engine's metric export. A one-slot mailbox under real cross-domain
+// traffic forces spills, so the exported counters are exercised nonzero.
+TEST(ObservabilityTest, FleetObservedRunMatchesUnobservedExactly) {
+  FleetOptions options;
+  options.domains = 3;
+  options.sim_threads = 2;
+  options.streams_per_domain = 64;
+  options.remote_fraction = 0.5;
+  options.mailbox_capacity = 1;
+  options.workload = ShortWorkload(5 * kMillisecond);
+
+  FleetOptions observed = options;
+  observed.base.obs_level = 1;
+
+  const FleetResults off = RunFleet(options);
+  const FleetResults on = RunFleet(observed);
+
+  EXPECT_EQ(off.Fingerprint(), on.Fingerprint());
+  EXPECT_EQ(off.engine.windows, on.engine.windows);
+  EXPECT_EQ(off.engine.delivered_messages, on.engine.delivered_messages);
+  EXPECT_EQ(off.engine.mailbox_spills, on.engine.mailbox_spills);
+  EXPECT_EQ(off.engine.max_mailbox_occupancy, on.engine.max_mailbox_occupancy);
+  EXPECT_GT(on.engine.delivered_messages, 0u);
+  EXPECT_GT(on.engine.mailbox_spills, 0u);
+
+  // Every domain's snapshot carries the fleet-wide engine counters, and
+  // they reconcile exactly with the engine's own stats.
+  EXPECT_TRUE(off.domains.front().results.metrics.empty());
+  for (const FleetDomainResults& domain : on.domains) {
+    const SimulationResults& results = domain.results;
+    const MetricSample* spills = FindMetric(results, "sim", "mailbox_spills");
+    ASSERT_NE(spills, nullptr);
+    EXPECT_EQ(spills->count, on.engine.mailbox_spills);
+    const MetricSample* occupancy =
+        FindMetric(results, "sim", "max_mailbox_occupancy");
+    ASSERT_NE(occupancy, nullptr);
+    EXPECT_EQ(occupancy->count, on.engine.max_mailbox_occupancy);
+    EXPECT_GT(occupancy->count, 0u);
+    const MetricSample* windows = FindMetric(results, "sim", "engine_windows");
+    ASSERT_NE(windows, nullptr);
+    EXPECT_EQ(windows->count, on.engine.windows);
+    const MetricSample* delivered =
+        FindMetric(results, "sim", "engine_delivered_messages");
+    ASSERT_NE(delivered, nullptr);
+    EXPECT_EQ(delivered->count, on.engine.delivered_messages);
+  }
 }
 
 TEST(ObservabilityTest, MetricsOnlyLevelRecordsNoEvents) {

@@ -3,8 +3,10 @@
 // calendar-queue instrumentation, and the ShardedEngine's conservative
 // windows — including the core promise that a thread pool changes the
 // wall clock, never the results.
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,6 +66,84 @@ TEST(SpscMailboxTest, ZeroCapacityClampsToOne) {
   mailbox.Drain(&out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].a, 7u);
+}
+
+TEST(SpscMailboxTest, CapacityExactFillDoesNotSpill) {
+  SpscMailbox<ShardMessage> mailbox(4);
+  for (std::uint64_t i = 0; i < 4; ++i) mailbox.Push(TaggedMessage(i));
+  EXPECT_EQ(mailbox.stats().spilled, 0u);
+  EXPECT_EQ(mailbox.stats().max_occupancy, 4u);
+
+  // The very next push is the first spill.
+  mailbox.Push(TaggedMessage(4));
+  EXPECT_EQ(mailbox.stats().spilled, 1u);
+  EXPECT_EQ(mailbox.stats().max_occupancy, 5u);
+
+  std::vector<ShardMessage> out;
+  mailbox.Drain(&out);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].a, i);
+}
+
+TEST(SpscMailboxTest, NonPowerOfTwoCapacityRoundsUp) {
+  // The slot map `index % capacity` is only wrap-continuous for
+  // power-of-two capacities, so the ring rounds up.
+  EXPECT_EQ(SpscMailbox<ShardMessage>(3).capacity(), 4u);
+  EXPECT_EQ(SpscMailbox<ShardMessage>(5).capacity(), 8u);
+  EXPECT_EQ(SpscMailbox<ShardMessage>(1024).capacity(), 1024u);
+}
+
+TEST(SpscMailboxTest, SingleSlotCapacityPreservesOrderAcrossSpills) {
+  SpscMailbox<ShardMessage> mailbox(1);
+  EXPECT_EQ(mailbox.capacity(), 1u);
+  std::vector<ShardMessage> out;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    mailbox.Push(TaggedMessage(3 * round));
+    mailbox.Push(TaggedMessage(3 * round + 1));  // Spills.
+    mailbox.Push(TaggedMessage(3 * round + 2));  // Spills.
+    mailbox.Drain(&out);
+  }
+  ASSERT_EQ(out.size(), 9u);
+  for (std::uint64_t i = 0; i < 9; ++i) EXPECT_EQ(out[i].a, i);
+  EXPECT_EQ(mailbox.stats().pushed, 9u);
+  EXPECT_EQ(mailbox.stats().spilled, 6u);
+  EXPECT_EQ(mailbox.stats().max_occupancy, 3u);
+}
+
+TEST(SpscMailboxTest, IndexWraparoundPreservesOrderAndCounts) {
+  // A real run would need 2^64 pushes to wrap the monotonically
+  // increasing ring indices; seed them just below the wrap instead
+  // (scaled stand-in for the "beyond 2^32 messages" lifetime test) and
+  // stream enough messages through to cross it. The unsigned
+  // `head - tail` arithmetic and the power-of-two slot map must both be
+  // oblivious to the wrap.
+  SpscMailbox<ShardMessage> mailbox(8);
+  mailbox.SeedIndicesForTest(std::numeric_limits<std::size_t>::max() - 11);
+
+  std::vector<ShardMessage> out;
+  std::uint64_t next_tag = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 5; ++i) mailbox.Push(TaggedMessage(next_tag++));
+    EXPECT_EQ(mailbox.SizeApprox(), 5u) << "round=" << round;
+    mailbox.Drain(&out);
+    EXPECT_EQ(mailbox.SizeApprox(), 0u) << "round=" << round;
+  }
+  ASSERT_EQ(out.size(), 40u);  // 12 before the wrap, 28 after.
+  for (std::uint64_t i = 0; i < 40; ++i) EXPECT_EQ(out[i].a, i);
+  EXPECT_EQ(mailbox.stats().pushed, 40u);
+  EXPECT_EQ(mailbox.stats().spilled, 0u);
+  EXPECT_EQ(mailbox.stats().max_occupancy, 5u);
+}
+
+TEST(SpscMailboxTest, WraparoundWithSpillsKeepsRingThenSpillOrder) {
+  SpscMailbox<ShardMessage> mailbox(2);
+  mailbox.SeedIndicesForTest(std::numeric_limits<std::size_t>::max() - 1);
+  for (std::uint64_t i = 0; i < 6; ++i) mailbox.Push(TaggedMessage(i));
+  EXPECT_EQ(mailbox.stats().spilled, 4u);
+  std::vector<ShardMessage> out;
+  mailbox.Drain(&out);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(out[i].a, i);
 }
 
 TEST(SimulatorWindowTest, RunEventsBeforeIsExclusiveOnTheBound) {
@@ -252,6 +332,7 @@ TEST(ShardedEngineTest, MailboxSpillsAreCountedNotDropped) {
   EXPECT_EQ(engine.MailboxStats(0).pushed, 3u);
   EXPECT_EQ(engine.MailboxStats(0).spilled, 2u);
   EXPECT_EQ(engine.stats().mailbox_spills, 2u);
+  EXPECT_EQ(engine.stats().max_mailbox_occupancy, 3u);  // 1 ring + 2 spill.
   EXPECT_EQ(engine.stats().delivered_messages, 3u);
   // Same-tick messages from one source are ordered by send sequence.
   ASSERT_EQ(engine.deliveries().size(), 3u);
@@ -285,6 +366,252 @@ TEST(ShardedEngineDeterminismTest, PoolRunIsBitIdenticalToSerial) {
     }
   }
 }
+
+TEST(ShardedEngineTest, FaultNamesRoundTrip) {
+  for (EngineFault fault : {EngineFault::kNone, EngineFault::kSkipBarrierSort,
+                            EngineFault::kDeliverEarly}) {
+    EngineFault parsed = EngineFault::kNone;
+    ASSERT_TRUE(ParseEngineFault(EngineFaultName(fault), &parsed));
+    EXPECT_EQ(parsed, fault);
+  }
+  EngineFault parsed = EngineFault::kNone;
+  EXPECT_FALSE(ParseEngineFault("no-such-fault", &parsed));
+}
+
+// Counts every hook invocation and records the drain order it was shown.
+class CountingHooks : public BarrierHooks {
+ public:
+  void OnWindowStart(std::uint64_t window, Tick horizon) override {
+    (void)window;
+    (void)horizon;
+    ++window_starts;
+  }
+  void OnBarrier(std::uint64_t window, std::vector<int>* drain_order) override {
+    (void)window;
+    ++barriers;
+    last_drain_order = *drain_order;
+    if (reverse_drain) {
+      std::reverse(drain_order->begin(), drain_order->end());
+    }
+  }
+  void OnDrained(const ShardMessage&) override { ++drained; }
+  void OnDeliver(const ShardMessage&) override { ++delivered; }
+
+  bool reverse_drain = false;
+  std::uint64_t window_starts = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t delivered = 0;
+  std::vector<int> last_drain_order;
+};
+
+TEST(ShardedEngineTest, BarrierHooksObserveEveryWindowAndMessage) {
+  ShardedEngine::Options options;
+  options.lookahead = 50;
+  options.record_deliveries = true;
+  CountingHooks hooks;
+  options.hooks = &hooks;
+  ShardedEngine engine(options);
+
+  std::deque<Simulator> sims(2);
+  std::vector<HopLog> log;
+  PingPong ctx{&engine, &sims, &log, options.lookahead, /*max_hops=*/4};
+  for (int s = 0; s < 2; ++s) {
+    engine.AddShard(&sims[static_cast<std::size_t>(s)],
+                    [&ctx](const ShardMessage& message) {
+                      ScheduleHop(&ctx, static_cast<int>(message.dst),
+                                  message.a, message.deliver_at);
+                    });
+  }
+  ScheduleHop(&ctx, /*shard=*/0, /*hop=*/0, /*at=*/10);
+  engine.Run(10000, /*pool=*/nullptr);
+
+  EXPECT_EQ(hooks.window_starts, engine.stats().windows);
+  EXPECT_EQ(hooks.barriers, engine.stats().windows);
+  EXPECT_EQ(hooks.drained, engine.stats().delivered_messages);
+  EXPECT_EQ(hooks.delivered, engine.stats().delivered_messages);
+  EXPECT_EQ(hooks.last_drain_order.size(), 2u);
+}
+
+// Two shards, each firing two same-tick sends to the other: every
+// barrier delivers messages that tie on deliver_at, so delivery order is
+// decided purely by the (deliver_at, src, send_seq) sort.
+std::vector<std::uint64_t> RunSameTickBurst(EngineFault fault,
+                                            bool reverse_drain,
+                                            std::vector<std::uint64_t>*
+                                                digests) {
+  ShardedEngine::Options options;
+  options.lookahead = 100;
+  options.record_deliveries = true;
+  options.record_window_digests = true;
+  options.fault = fault;
+  CountingHooks hooks;
+  hooks.reverse_drain = reverse_drain;
+  options.hooks = &hooks;
+  ShardedEngine engine(options);
+
+  std::deque<Simulator> sims(2);
+  for (int s = 0; s < 2; ++s) {
+    Simulator* sim = &sims[static_cast<std::size_t>(s)];
+    engine.AddShard(sim, [sim](const ShardMessage& message) {
+      const Tick at = std::max(message.deliver_at, sim->Now());
+      sim->ScheduleAt(at, []() {});
+    });
+    sim->ScheduleAt(10, [&engine, sim, s]() {
+      const Tick at = sim->Now() + 100;
+      engine.Send(s, s ^ 1, at, 1, /*a=*/static_cast<std::uint64_t>(s) * 10,
+                  0, 0);
+      engine.Send(s, s ^ 1, at, 1, /*a=*/static_cast<std::uint64_t>(s) * 10 + 1,
+                  0, 0);
+    });
+  }
+  engine.Run(10000, /*pool=*/nullptr);
+
+  if (digests != nullptr) *digests = engine.window_digests();
+  std::vector<std::uint64_t> tags;
+  for (const ShardMessage& message : engine.deliveries()) {
+    tags.push_back(message.a);
+  }
+  return tags;
+}
+
+TEST(ShardedEngineTest, BarrierSortMakesDrainOrderIrrelevant) {
+  std::vector<std::uint64_t> canonical_digests;
+  const std::vector<std::uint64_t> canonical =
+      RunSameTickBurst(EngineFault::kNone, /*reverse_drain=*/false,
+                       &canonical_digests);
+  // Shard 0's sends sort before shard 1's on the src tie-break.
+  EXPECT_EQ(canonical, (std::vector<std::uint64_t>{0, 1, 10, 11}));
+
+  std::vector<std::uint64_t> reversed_digests;
+  const std::vector<std::uint64_t> reversed =
+      RunSameTickBurst(EngineFault::kNone, /*reverse_drain=*/true,
+                       &reversed_digests);
+  EXPECT_EQ(reversed, canonical);
+  EXPECT_EQ(reversed_digests, canonical_digests);
+  EXPECT_FALSE(canonical_digests.empty());
+}
+
+TEST(ShardedEngineTest, SkipBarrierSortFaultDivergesUnderDrainOrder) {
+  std::vector<std::uint64_t> canonical_digests;
+  const std::vector<std::uint64_t> canonical =
+      RunSameTickBurst(EngineFault::kNone, /*reverse_drain=*/false,
+                       &canonical_digests);
+
+  // On the identity drain order the raw order happens to equal the
+  // sorted order, so the fault is latent...
+  std::vector<std::uint64_t> identity_digests;
+  EXPECT_EQ(RunSameTickBurst(EngineFault::kSkipBarrierSort,
+                             /*reverse_drain=*/false, &identity_digests),
+            canonical);
+  EXPECT_EQ(identity_digests, canonical_digests);
+
+  // ...and a perturbed drain order exposes it: delivery order now leaks
+  // the schedule, and the window digests pinpoint the first bad window.
+  std::vector<std::uint64_t> faulty_digests;
+  const std::vector<std::uint64_t> faulty =
+      RunSameTickBurst(EngineFault::kSkipBarrierSort, /*reverse_drain=*/true,
+                       &faulty_digests);
+  EXPECT_EQ(faulty, (std::vector<std::uint64_t>{10, 11, 0, 1}));
+  ASSERT_EQ(faulty_digests.size(), canonical_digests.size());
+  std::size_t first_divergent = faulty_digests.size();
+  for (std::size_t i = 0; i < faulty_digests.size(); ++i) {
+    if (faulty_digests[i] != canonical_digests[i]) {
+      first_divergent = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_divergent, faulty_digests.size());
+  // The burst is delivered at the barrier closing window 0.
+  EXPECT_EQ(first_divergent, 0u);
+}
+
+TEST(ShardedEngineTest, WindowDigestsAreBitIdenticalAcrossPoolSizes) {
+  auto run_digests = [](ThreadPool* pool) {
+    ShardedEngine::Options options;
+    options.lookahead = 50;
+    options.record_window_digests = true;
+    ShardedEngine engine(options);
+    std::deque<Simulator> sims(2);
+    std::vector<HopLog> log;
+    PingPong ctx{&engine, &sims, &log, options.lookahead, /*max_hops=*/32};
+    for (int s = 0; s < 2; ++s) {
+      engine.AddShard(&sims[static_cast<std::size_t>(s)],
+                      [&ctx](const ShardMessage& message) {
+                        ScheduleHop(&ctx, static_cast<int>(message.dst),
+                                    message.a, message.deliver_at);
+                      });
+    }
+    ScheduleHop(&ctx, /*shard=*/0, /*hop=*/0, /*at=*/10);
+    engine.Run(10000, pool);
+    return engine.window_digests();
+  };
+
+  const std::vector<std::uint64_t> serial = run_digests(nullptr);
+  EXPECT_EQ(serial.size(), 33u);  // One digest per window.
+  ThreadPool pool(4);
+  EXPECT_EQ(run_digests(&pool), serial);
+}
+
+// The dynamic layer of the determinism proof kit. In a
+// -DDMASIM_SCHED_FUZZ=1 build, nonzero seeds perturb worker backoff, the
+// window submit order, and the pre-sort drain order — and every result
+// must stay bit-identical to the unperturbed run. In ordinary builds the
+// engine must refuse a nonzero seed rather than silently run
+// unperturbed (a fuzz campaign measuring nothing would be worse than no
+// campaign).
+#if DMASIM_SCHED_FUZZ
+TEST(ShardedEngineFuzzTest, PerturbationSeedsAreBitIdentical) {
+  auto run = [](std::uint64_t seed, int threads) {
+    ShardedEngine::Options options;
+    options.lookahead = 50;
+    options.record_window_digests = true;
+    options.sched_fuzz_seed = seed;
+    ShardedEngine engine(options);
+    std::deque<Simulator> sims(3);
+    std::vector<HopLog> log;
+    PingPong ctx{&engine, &sims, &log, options.lookahead, /*max_hops=*/24};
+    for (int s = 0; s < 3; ++s) {
+      engine.AddShard(&sims[static_cast<std::size_t>(s)],
+                      [&ctx](const ShardMessage& message) {
+                        ScheduleHop(&ctx, static_cast<int>(message.dst),
+                                    message.a, message.deliver_at);
+                      });
+    }
+    ScheduleHop(&ctx, /*shard=*/0, /*hop=*/0, /*at=*/10);
+    // Local-only work on shard 2 so every shard executes events and the
+    // permuted submit order exercises three genuinely busy workers.
+    for (int i = 0; i < 50; ++i) {
+      sims[2].ScheduleAt(10 + i * 37, []() {});
+    }
+    ThreadPool pool(threads);
+    engine.Run(10000, threads > 1 ? &pool : nullptr);
+    return engine.window_digests();
+  };
+
+  const std::vector<std::uint64_t> baseline = run(/*seed=*/0, /*threads=*/1);
+  ASSERT_FALSE(baseline.empty());
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_EQ(run(seed, /*threads=*/3), baseline) << "seed " << seed;
+  }
+}
+#else
+TEST(ShardedEngineFuzzDeathTest, OrdinaryBuildRefusesFuzzSeed) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ShardedEngine::Options options;
+        options.lookahead = 50;
+        options.sched_fuzz_seed = 7;
+        ShardedEngine engine(options);
+        std::deque<Simulator> sims(1);
+        engine.AddShard(&sims[0], [](const ShardMessage&) {});
+        sims[0].ScheduleAt(10, []() {});
+        engine.Run(1000, /*pool=*/nullptr);
+      },
+      "sched_fuzz_seed");
+}
+#endif
 
 TEST(ShardedEngineDeathTest, SendBelowTheHorizonIsRefused) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

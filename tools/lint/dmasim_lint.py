@@ -28,6 +28,16 @@ rests on, which generic linters cannot know about:
                       hot-path directories; after arithmetic, exact
                       equality is a latent heisenbug. Compare against an
                       epsilon or restructure to integer ticks.
+  nondeterminism-source
+                      No std::random_device, wall clocks (time(),
+                      chrono::system_clock/steady_clock/high_resolution_
+                      clock), rand(), or pointer-keyed map/set in the
+                      hot-path directories: anything that varies across
+                      runs (entropy, wall time, ASLR-dependent pointer
+                      order) breaks the N-thread == 1-thread bit-identity
+                      contract (DESIGN.md section 15). Seeded
+                      util/random.h PRNGs and integer sim ticks are the
+                      deterministic substitutes.
   header-guard        Guards follow DMASIM_<DIR>_<FILE>_H_.
 
 A finding can be waived with a comment on the same or preceding line:
@@ -85,6 +95,19 @@ TICK_ENERGY_TOKEN_RE = re.compile(
 _FLOAT_LITERAL = r"(?:(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
 FLOAT_COMPARE_RE = re.compile(
     rf"(?:{_FLOAT_LITERAL})\s*(?:==|!=)(?!=)|(?:==|!=)\s*[-+]?{_FLOAT_LITERAL}")
+RANDOM_DEVICE_RE = re.compile(r"\bstd\s*::\s*random_device\b")
+WALL_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*"
+    r"(?:system_clock|steady_clock|high_resolution_clock)\b")
+# A call of the C `time()` function: either `std::time(` or a bare
+# `time(` not preceded by a word character, member access, or `::`
+# (so `deliver_time(...)`, `obj.time()`, and `Sim::time()` don't match).
+TIME_CALL_RE = re.compile(r"(?:\bstd\s*::\s*|(?<![\w.:>]))time\s*\(")
+RAND_CALL_RE = re.compile(r"(?:\bstd\s*::\s*|(?<![\w.:>]))s?rand\s*\(")
+# A map/set keyed by a pointer type: iteration order depends on ASLR.
+POINTER_KEY_RE = re.compile(
+    r"\bstd\s*::\s*(?:unordered_)?(?:map|multimap)\s*<\s*[\w:<> ]*?\*\s*,"
+    r"|\bstd\s*::\s*(?:unordered_)?(?:set|multiset)\s*<\s*[\w:<> ]*?\*\s*>")
 
 
 class Finding(NamedTuple):
@@ -240,6 +263,22 @@ def check_file(rel_path: str, text: str) -> List[Finding]:
                        "==/!= against a floating-point literal in a "
                        "hot-path directory; compare with an epsilon or "
                        "use integer ticks")
+            if RANDOM_DEVICE_RE.search(line):
+                report(index, "nondeterminism-source",
+                       "std::random_device draws real entropy; seed a "
+                       "util/random.h PRNG from configuration instead")
+            if WALL_CLOCK_RE.search(line):
+                report(index, "nondeterminism-source",
+                       "wall-clock reads vary across runs; simulation "
+                       "state must be a function of integer sim ticks")
+            if TIME_CALL_RE.search(line) or RAND_CALL_RE.search(line):
+                report(index, "nondeterminism-source",
+                       "C time()/rand() in a hot-path directory; use sim "
+                       "ticks and seeded util/random.h PRNGs")
+            if POINTER_KEY_RE.search(line):
+                report(index, "nondeterminism-source",
+                       "pointer-keyed map/set iterates in ASLR-dependent "
+                       "address order; key by a stable id instead")
         if FLOAT_RE.search(line):
             report(index, "float-energy",
                    "float arithmetic; energy accounting is double + "

@@ -1,0 +1,27 @@
+// Fixture: nondeterminism-source — run-to-run-varying constructs inside
+// the engine surface.
+#include <chrono>
+#include <map>
+#include <random>
+
+namespace dmasim {
+
+struct Shard;
+
+unsigned FixtureSeed() {
+  std::random_device entropy;  // expect-shardcheck: nondeterminism-source
+  return entropy();
+}
+
+long FixtureClock() {
+  auto t = std::chrono::system_clock::now();  // expect-shardcheck: nondeterminism-source
+  (void)t;
+  return 0;
+}
+
+void FixturePointerKeys() {
+  std::map<Shard*, int> by_address;  // expect-shardcheck: nondeterminism-source
+  (void)by_address;
+}
+
+}  // namespace dmasim

@@ -1,0 +1,54 @@
+// Fixture: every run-to-run-varying construct the nondeterminism-source
+// rule must flag in a hot-path directory, plus the idioms it must not.
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+
+namespace dmasim {
+
+unsigned SeedFromEntropy() {
+  std::random_device device;  // expect-lint: nondeterminism-source
+  return device();
+}
+
+long WallClockNow() {
+  auto t = std::chrono::system_clock::now();  // expect-lint: nondeterminism-source
+  (void)t;
+  auto s = std::chrono::steady_clock::now();  // expect-lint: nondeterminism-source
+  (void)s;
+  return std::time(nullptr);  // expect-lint: nondeterminism-source
+}
+
+int DiceRoll() {
+  return rand() % 6;  // expect-lint: nondeterminism-source
+}
+
+struct Chip {};
+
+void PointerKeyedContainers() {
+  std::map<Chip*, int> by_address;  // expect-lint: nondeterminism-source
+  std::set<const Chip*> members;  // expect-lint: nondeterminism-source
+  (void)by_address;
+  (void)members;
+}
+
+// Must NOT be flagged: a member or suffixed function named *time(, and
+// maps keyed by stable integer ids.
+struct Timeline {
+  long deliver_time(int) { return 0; }
+};
+long Clean(Timeline& tl) {
+  std::map<int, Chip*> by_id;  // Pointer value, stable key: fine.
+  (void)by_id;
+  return tl.deliver_time(0);
+}
+
+// A justified site can be waived like any other rule.
+long Waived() {
+  // dmasim-lint: allow(nondeterminism-source) -- fixture waiver example
+  return std::time(nullptr);
+}
+
+}  // namespace dmasim

@@ -1,0 +1,366 @@
+#!/usr/bin/env python3
+"""Shard-ownership static analysis for the sharded engine (DESIGN.md §15).
+
+The parallel engine's determinism proof rests on an ownership discipline:
+every piece of mutable state reachable from a worker thread's window
+context is either owned by exactly one shard, touched only by the
+coordinator between windows, or written only while the engine is
+quiescent. The discipline is *declared* with the no-op annotation macros
+in src/sim/shard_annotations.h; this pass makes the declaration
+mandatory and machine-checked over the engine's surface (src/sim plus
+src/server/fleet_driver.*):
+
+  unannotated-member      Every mutable data member of a class/struct in
+                          scope carries DMASIM_SHARD_LOCAL,
+                          DMASIM_BARRIER_ONLY, or DMASIM_SHARED_CONST.
+                          Pure value types (messages, option blocks) opt
+                          out with a class-level waiver on the head line.
+  barrier-only-in-window  A function marked `// shardcheck:
+                          window-context` (it runs on a worker inside a
+                          window) must not call a method declared
+                          DMASIM_BARRIER_ONLY anywhere in scope.
+  global-mutable-state    No mutable namespace-scope variables in scope:
+                          globals are reachable from every worker, so
+                          they are either racy or a hidden barrier.
+  nondeterminism-source   Same patterns as dmasim_lint's rule of that
+                          name (entropy, wall clocks, pointer-keyed
+                          containers), enforced here for the engine
+                          surface regardless of the hot-path dir list.
+
+Known limitations (deliberate -- the pass is line-based, not a parser):
+a member declaration that spans lines or contains parentheses (function
+pointers, paren initializers) is skipped by unannotated-member, and
+barrier-only-in-window matches calls by name, so an in-scope method
+sharing a barrier-only method's name is flagged conservatively.
+
+Waivers: `// shardcheck: allow(<rule>)` on the finding line or the line
+before; for unannotated-member, the same comment on a class/struct head
+line waives the whole body (value-type opt-out).
+
+Exit status: 0 clean, 1 findings, 2 bad invocation / self-test failure.
+`--self-test` runs the pass over tools/lint/fixtures/shardcheck and
+verifies every `// expect-shardcheck: rule` annotation (and nothing
+else) is produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import dmasim_lint  # noqa: E402  (shared comment/string stripper + regexes)
+
+# Files whose state is reachable from ShardedEngine / RunFleet worker
+# context. Relative-path prefixes, POSIX separators.
+SCOPE_PREFIXES = ("src/sim/", "src/server/fleet_driver.")
+
+ANNOTATIONS = ("DMASIM_SHARD_LOCAL", "DMASIM_BARRIER_ONLY",
+               "DMASIM_SHARED_CONST")
+ANNOTATION_RE = re.compile("|".join(ANNOTATIONS))
+
+SUPPRESS_RE = re.compile(r"//.*?shardcheck:\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect-shardcheck:\s*([a-z-]+)")
+WINDOW_CONTEXT_RE = re.compile(r"//\s*shardcheck:\s*window-context\b")
+
+# A barrier-only *method*: the annotation followed by a declaration whose
+# name precedes an argument list. Data members don't match (no paren).
+BARRIER_METHOD_RE = re.compile(
+    r"DMASIM_BARRIER_ONLY\s+(?:[\w:<>,&*~\s]*?[\s&*])?([A-Za-z_]\w*)\s*\(")
+
+# A single-line data-member declaration: type tokens then a name,
+# optional array extent / default initializer, terminated on this line.
+# Parentheses anywhere disqualify the line (function declarations,
+# paren initializers -- see the limitations note above).
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[\w:]+(?:\s*<[^()]*>)?(?:\s*[&*]+\s*|\s+)"
+    r"[A-Za-z_]\w*\s*(?:\[[^\]]*\]\s*)?(?:=\s*[^;()]+|\{[^;()]*\})?;\s*$")
+
+# First token(s) that mark a line as not-a-mutable-member.
+MEMBER_EXCLUDE_RE = re.compile(
+    r"^\s*(?:static\b|constexpr\b|const\b|using\b|typedef\b|friend\b|"
+    r"enum\b|class\b|struct\b|union\b|template\b|public\s*:|"
+    r"private\s*:|protected\s*:|#)")
+
+GLOBAL_EXCLUDE_RE = re.compile(
+    r"^\s*(?:static\s+)?(?:constexpr\b|const\b|extern\b|using\b|"
+    r"typedef\b|friend\b|enum\b|class\b|struct\b|union\b|template\b|"
+    r"namespace\b|#)")
+
+CALL_HEAD_CHARS = "(){};"
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+class Scope(NamedTuple):
+    kind: str       # class | namespace | enum | block
+    exempt: bool    # Class-level unannotated-member waiver.
+
+
+def scope_kinds_per_line(stripped: str,
+                         raw_lines: List[str]) -> List[List[Scope]]:
+    """The scope stack in effect at the *start* of each line.
+
+    Each `{` is classified by its head -- the text between the previous
+    `;`, `{`, or `}` and the brace: `class`/`struct`/`union` opens a
+    class scope, `namespace` a namespace, `enum` an enum; anything else
+    (function bodies, initializer lists, lambdas) is a block.
+    """
+    stacks: List[List[Scope]] = []
+    stack: List[Scope] = []
+    head_start = 0
+    line_index = 0
+    stacks.append(list(stack))
+    for i, c in enumerate(stripped):
+        if c == "\n":
+            line_index += 1
+            stacks.append(list(stack))
+        elif c == "{":
+            head = stripped[head_start:i]
+            if re.search(r"\benum\b", head):
+                kind = "enum"
+            elif re.search(r"\b(?:class|struct|union)\b", head) \
+                    and "(" not in head:
+                kind = "class"
+            elif re.search(r"\bnamespace\b", head):
+                kind = "namespace"
+            else:
+                kind = "block"
+            exempt = False
+            if kind == "class":
+                # The class-level waiver lives in a comment on the head
+                # line(s), which the stripper blanked: consult raw text.
+                head_first_line = stripped[:head_start].count("\n")
+                for raw in raw_lines[head_first_line:line_index + 1]:
+                    if any(m.group(1) == "unannotated-member"
+                           for m in SUPPRESS_RE.finditer(raw)):
+                        exempt = True
+            stack.append(Scope(kind, exempt))
+            head_start = i + 1
+        elif c == "}":
+            if stack:
+                stack.pop()
+            head_start = i + 1
+        elif c in ";":
+            head_start = i + 1
+    return stacks
+
+
+def collect_barrier_methods(stripped_by_path: dict) -> Set[str]:
+    names: Set[str] = set()
+    for stripped in stripped_by_path.values():
+        for match in BARRIER_METHOD_RE.finditer(stripped):
+            names.add(match.group(1))
+    return names
+
+
+def window_context_regions(raw_lines: List[str],
+                           code_lines: List[str]) -> List[Tuple[int, int]]:
+    """(start, end) line-index ranges of window-context function bodies.
+
+    A marker comment applies to the next function: the region runs from
+    the first `{` at or after the marker to its matching `}`.
+    """
+    regions: List[Tuple[int, int]] = []
+    for marker_index, raw in enumerate(raw_lines):
+        if not WINDOW_CONTEXT_RE.search(raw):
+            continue
+        depth = 0
+        started = False
+        for index in range(marker_index, len(code_lines)):
+            for c in code_lines[index]:
+                if c == "{":
+                    depth += 1
+                    started = True
+                elif c == "}":
+                    depth -= 1
+            if started and depth <= 0:
+                regions.append((marker_index, index))
+                break
+        else:
+            regions.append((marker_index, len(code_lines) - 1))
+    return regions
+
+
+def suppressions_for(raw_lines: List[str]) -> List[Set[str]]:
+    waived: List[Set[str]] = [set() for _ in raw_lines]
+    for index, line in enumerate(raw_lines):
+        for match in SUPPRESS_RE.finditer(line):
+            waived[index].add(match.group(1))
+            if index + 1 < len(raw_lines):
+                waived[index + 1].add(match.group(1))
+    return waived
+
+
+def check_file(rel_path: str, text: str,
+               barrier_methods: Set[str]) -> List[Finding]:
+    raw_lines = text.splitlines()
+    stripped = dmasim_lint.strip_comments_and_strings(text)
+    code_lines = stripped.splitlines()
+    waived = suppressions_for(raw_lines)
+    scopes = scope_kinds_per_line(stripped, raw_lines)
+    findings: List[Finding] = []
+
+    def report(line_index: int, rule: str, message: str) -> None:
+        if rule not in waived[line_index]:
+            findings.append(Finding(rel_path, line_index + 1, rule, message))
+
+    for index, line in enumerate(code_lines):
+        stack = scopes[index] if index < len(scopes) else []
+        innermost = stack[-1] if stack else Scope("file", False)
+
+        if innermost.kind == "class" and not innermost.exempt:
+            if (not ANNOTATION_RE.search(line)
+                    and not MEMBER_EXCLUDE_RE.match(line)
+                    and MEMBER_DECL_RE.match(line)):
+                report(index, "unannotated-member",
+                       "mutable data member without a shard-ownership "
+                       "annotation; declare DMASIM_SHARD_LOCAL, "
+                       "DMASIM_BARRIER_ONLY, or DMASIM_SHARED_CONST "
+                       "(src/sim/shard_annotations.h), or waive the "
+                       "class as a value type")
+
+        if innermost.kind in ("namespace", "file"):
+            # `static` at namespace scope is linkage, not immutability:
+            # drop it before the keyword exclusion so `static int g;`
+            # is still a mutable global.
+            global_line = re.sub(r"^(\s*)static\s+", r"\1", line)
+            if (not GLOBAL_EXCLUDE_RE.match(global_line)
+                    and MEMBER_DECL_RE.match(global_line)
+                    and not ANNOTATION_RE.search(line)):
+                report(index, "global-mutable-state",
+                       "mutable namespace-scope variable in the sharded "
+                       "engine's surface; globals are reachable from "
+                       "every worker thread")
+
+        if dmasim_lint.RANDOM_DEVICE_RE.search(line):
+            report(index, "nondeterminism-source",
+                   "std::random_device draws real entropy; seed a "
+                   "util/random.h PRNG from configuration instead")
+        if dmasim_lint.WALL_CLOCK_RE.search(line):
+            report(index, "nondeterminism-source",
+                   "wall-clock reads vary across runs; engine state must "
+                   "be a function of integer sim ticks")
+        if (dmasim_lint.TIME_CALL_RE.search(line)
+                or dmasim_lint.RAND_CALL_RE.search(line)):
+            report(index, "nondeterminism-source",
+                   "C time()/rand() in the engine surface; use sim ticks "
+                   "and seeded util/random.h PRNGs")
+        if dmasim_lint.POINTER_KEY_RE.search(line):
+            report(index, "nondeterminism-source",
+                   "pointer-keyed map/set iterates in ASLR-dependent "
+                   "address order; key by a stable shard/stream id")
+
+    for start, end in window_context_regions(raw_lines, code_lines):
+        for index in range(start, end + 1):
+            line = code_lines[index]
+            for name in barrier_methods:
+                for match in re.finditer(r"\b" + re.escape(name) + r"\s*\(",
+                                         line):
+                    # The annotated declaration/definition itself is not
+                    # a call.
+                    if "DMASIM_BARRIER_ONLY" in line:
+                        continue
+                    report(index, "barrier-only-in-window",
+                           f"call of barrier-only method '{name}' from a "
+                           f"window-context function; barrier-only state "
+                           f"may only be touched by the coordinator "
+                           f"between windows")
+    return findings
+
+
+def in_scope(rel_path: str) -> bool:
+    return (rel_path.endswith((".h", ".cc"))
+            and any(rel_path.startswith(p) for p in SCOPE_PREFIXES))
+
+
+def scan(root: pathlib.Path) -> List[Finding]:
+    texts: dict = {}
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        if in_scope(rel):
+            texts[rel] = path.read_text(encoding="utf-8")
+    if not texts:
+        raise SystemExit(f"shardcheck: nothing in scope under {root}")
+    stripped = {rel: dmasim_lint.strip_comments_and_strings(t)
+                for rel, t in texts.items()}
+    barrier_methods = collect_barrier_methods(stripped)
+    findings: List[Finding] = []
+    for rel in sorted(texts):
+        findings.extend(check_file(rel, texts[rel], barrier_methods))
+    return findings
+
+
+def print_findings(findings: Iterable[Finding], fmt: str = "text") -> None:
+    for f in findings:
+        if fmt == "github":
+            print(f"::error file={f.path},line={f.line},"
+                  f"title=shardcheck [{f.rule}]::{f.message}")
+        else:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+
+def self_test(fixtures_root: pathlib.Path) -> int:
+    expected: Set[Tuple[str, int, str]] = set()
+    for path in sorted(fixtures_root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(fixtures_root).as_posix()
+        if not in_scope(rel):
+            continue
+        for index, line in enumerate(path.read_text().splitlines()):
+            for match in EXPECT_RE.finditer(line):
+                expected.add((rel, index + 1, match.group(1)))
+
+    actual = {(f.path, f.line, f.rule) for f in scan(fixtures_root)}
+    missing = expected - actual
+    surplus = actual - expected
+    for rel, line, rule in sorted(missing):
+        print(f"self-test: {rel}:{line}: expected [{rule}], not reported")
+    for rel, line, rule in sorted(surplus):
+        print(f"self-test: {rel}:{line}: unexpected [{rule}]")
+    if missing or surplus:
+        return 2
+    print(f"self-test: ok ({len(expected)} expected findings, "
+          f"all reported, no extras)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2],
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against "
+                             "tools/lint/fixtures/shardcheck")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format; 'github' emits "
+                             "::error workflow commands that annotate PRs")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(pathlib.Path(__file__).resolve().parent /
+                         "fixtures" / "shardcheck")
+
+    findings = scan(args.root)
+    print_findings(findings, args.format)
+    if findings:
+        print(f"shardcheck: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

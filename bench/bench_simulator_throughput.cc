@@ -44,8 +44,9 @@ void BM_ChipServeRequests(benchmark::State& state) {
   for (auto _ : state) {
     Simulator simulator;
     PowerModel model;
+    RdramChipModel chip_model{model};
     AlwaysActivePolicy policy;
-    MemoryChip chip(&simulator, &model, &policy, 0);
+    MemoryChip chip(&simulator, &chip_model, &policy, 0);
     for (int i = 0; i < 1000; ++i) {
       chip.Enqueue(ChipRequest{RequestKind::kDma, 512, {}});
     }

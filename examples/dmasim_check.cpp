@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,9 @@ void PrintUsage(std::FILE* out) {
       "                        static-powerdown (default static-nap)\n"
       "  --fault NAME          none | resync-skip | lost-release |\n"
       "                        stuck-deadline (default none)\n"
+      "  --chip-model NAME     rdram | rdram-corrected | ddr4 | sectored\n"
+      "                        (default rdram; ddr4 requires\n"
+      "                        --policy dynamic-threshold)\n"
       "  --max-states N        visited-state cap (default 1048576)\n"
       "  --out FILE            write the minimized counterexample here\n"
       "  --no-minimize         keep the raw violating trace\n"
@@ -225,6 +229,15 @@ int main(int argc, char** argv) {
         return Fail("--fault needs none | resync-skip | lost-release | "
                     "stuck-deadline");
       }
+    } else if (arg == "--chip-model") {
+      const char* name = value();
+      const std::optional<dmasim::ChipModelKind> kind =
+          name == nullptr ? std::nullopt : dmasim::ParseChipModelKind(name);
+      if (!kind.has_value()) {
+        return Fail("--chip-model needs rdram | rdram-corrected | ddr4 | "
+                    "sectored");
+      }
+      config.chip_model = *kind;
     } else if (arg == "--mu") {
       const char* text = value();
       if (text == nullptr || !ParseDouble(text, &config.mu)) {
@@ -299,12 +312,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (config.chip_model == dmasim::ChipModelKind::kDdr4 &&
+      config.policy != CheckPolicy::kDynamicThreshold) {
+    return Fail("--chip-model ddr4 requires --policy dynamic-threshold "
+                "(the DDR4 cascade has no nap/powerdown states)");
+  }
+
   std::printf(
       "dmasim_check: chips=%d buses=%d k=%d depth=%d arrivals=%d cpu=%d "
-      "epochs=%d policy=%s fault=%s\n",
+      "epochs=%d policy=%s fault=%s chip_model=%s\n",
       config.chips, config.buses, config.k, config.max_depth,
       config.max_arrivals, config.max_cpu_accesses, config.max_epochs,
-      CheckPolicyName(config.policy), CheckFaultName(config.fault));
+      CheckPolicyName(config.policy), CheckFaultName(config.fault),
+      std::string(dmasim::ChipModelKindName(config.chip_model)).c_str());
 
   Explorer explorer(config, max_states);
   const ExploreResult result = explorer.Run();

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,11 @@ Axes (comma-separated lists; the cross product is the run grid):
   --chips LIST       memory chip counts (default: paper's 32)
   --buses LIST       I/O bus counts (default: paper's 3)
   --seeds LIST       RNG seeds for replicated runs (default: preset seed)
+  --chip-model NAME  chip power/timing model: rdram (paper Table 1,
+                     default), rdram-corrected (origin-aware step-down
+                     billing), ddr4 (DDR4-2400 power-down/self-refresh
+                     cascade), sectored (fine-grained activation).
+                     ddr4 excludes static-nap/static-powerdown policies.
 
 Execution:
   --duration-ms N    simulated milliseconds per run (default: preset)
@@ -228,6 +234,13 @@ int main(int argc, char** argv) {
         spec.seeds.push_back(
             static_cast<std::uint64_t>(ParseDouble(text)));
       }
+    } else if (arg == "--chip-model") {
+      const std::string name = next();
+      const std::optional<ChipModelKind> kind = ParseChipModelKind(name);
+      if (!kind.has_value()) {
+        Fail("--chip-model needs rdram | rdram-corrected | ddr4 | sectored");
+      }
+      spec.base.memory.chip_model = *kind;
     } else if (arg == "--duration-ms") {
       duration_ms = ParseDouble(next());
     } else if (arg == "--threads") {

@@ -21,7 +21,7 @@ std::string Describe(int chip, PowerState from, PowerState to, Tick start,
 
 }  // namespace
 
-PowerStateAuditor::PowerStateAuditor(const PowerModel* reference,
+PowerStateAuditor::PowerStateAuditor(const ChipPowerModel* reference,
                                      int chip_count)
     : reference_(reference),
       last_state_(static_cast<std::size_t>(chip_count), PowerState::kActive) {
@@ -61,7 +61,12 @@ std::string PowerStateAuditor::Validate(int chip, PowerState from,
       return Describe(chip, from, to, start, end,
                       "wake from active is meaningless");
     }
-    const Tick expected = reference_->UpTransition(from).duration;
+    if (!reference_->LegalTransition(from, PowerState::kActive)) {
+      return Describe(chip, from, to, start, end,
+                      "reference model has no such wake edge");
+    }
+    const Tick expected =
+        reference_->TransitionBetween(from, PowerState::kActive).duration;
     if (duration != expected) {
       char what[128];
       std::snprintf(what, sizeof(what),
@@ -71,13 +76,18 @@ std::string PowerStateAuditor::Validate(int chip, PowerState from,
       return Describe(chip, from, to, start, end, what);
     }
   } else {
-    // Step-downs move strictly deeper (active > standby > nap >
-    // powerdown in power draw) one policy step at a time.
-    if (static_cast<int>(to) <= static_cast<int>(from)) {
+    // Step-downs move strictly deeper along the reference model's
+    // power-ordered chain, on an edge the model declares legal.
+    if (!reference_->IsSupported(from) || !reference_->IsSupported(to) ||
+        reference_->StateIndex(to) <= reference_->StateIndex(from)) {
       return Describe(chip, from, to, start, end,
                       "step-down must enter a strictly lower-power state");
     }
-    const Tick expected = reference_->DownTransition(to).duration;
+    if (!reference_->LegalTransition(from, to)) {
+      return Describe(chip, from, to, start, end,
+                      "reference model has no such step-down edge");
+    }
+    const Tick expected = reference_->TransitionBetween(from, to).duration;
     if (duration != expected) {
       char what[128];
       std::snprintf(what, sizeof(what),

@@ -1,6 +1,6 @@
 // Validates a stream of completed power-state transitions against a
-// reference PowerModel: edge legality, per-chip state continuity, and
-// exact resync (transition) durations.
+// reference ChipPowerModel: edge legality, per-chip state continuity,
+// and exact resync (transition) durations.
 //
 // The auditor is deliberately decoupled from MemoryChip: it judges only
 // the transition *records*, against a model the caller chooses. Auditing
@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/chip_power_model.h"
 #include "mem/power_model.h"
 #include "util/time.h"
 
@@ -22,7 +23,7 @@ namespace dmasim {
 class PowerStateAuditor {
  public:
   // `reference` must outlive the auditor.
-  PowerStateAuditor(const PowerModel* reference, int chip_count);
+  PowerStateAuditor(const ChipPowerModel* reference, int chip_count);
 
   // Seeds the continuity check with chip `chip`'s state at attach time
   // (transitions before the first Seed/record would otherwise be judged
@@ -37,7 +38,7 @@ class PowerStateAuditor {
   std::uint64_t transitions_checked() const { return transitions_checked_; }
 
  private:
-  const PowerModel* reference_;
+  const ChipPowerModel* reference_;
   // Last known state per chip; kActive until seeded (chips are
   // constructed active).
   std::vector<PowerState> last_state_;

@@ -44,7 +44,7 @@ SimulationAudit::SimulationAudit(Simulator* simulator,
       auditor_(options.mode),
       power_auditor_(options.reference_model != nullptr
                          ? options.reference_model
-                         : &controller->config().power,
+                         : &controller->chip_model(),
                      controller->chip_count()) {
   DMASIM_EXPECTS(simulator != nullptr);
   DMASIM_EXPECTS(controller != nullptr);
@@ -113,19 +113,16 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
   // Flush every chip to Now() (settling coalesced runs exactly) so the
   // integrated totals below are current.
   controller_->CollectEnergy();
-  const PowerModel& reference = options_.reference_model != nullptr
-                                    ? *options_.reference_model
-                                    : controller_->config().power;
-  const double transition_power_min =
-      std::min({reference.to_standby.power_mw, reference.to_nap.power_mw,
-                reference.to_powerdown.power_mw,
-                reference.from_standby.power_mw, reference.from_nap.power_mw,
-                reference.from_powerdown.power_mw});
-  const double transition_power_max =
-      std::max({reference.to_standby.power_mw, reference.to_nap.power_mw,
-                reference.to_powerdown.power_mw,
-                reference.from_standby.power_mw, reference.from_nap.power_mw,
-                reference.from_powerdown.power_mw});
+  const ChipPowerModel& reference = options_.reference_model != nullptr
+                                        ? *options_.reference_model
+                                        : controller_->chip_model();
+  double transition_power_min = 0.0;
+  double transition_power_max = 0.0;
+  reference.TransitionPowerBounds(&transition_power_min, &transition_power_max);
+  double serving_power_min = 0.0;
+  double serving_power_max = 0.0;
+  reference.ServingPowerBounds(&serving_power_min, &serving_power_max);
+  const double active_mw = reference.StatePowerMw(PowerState::kActive);
 
   for (int i = 0; i < controller_->chip_count(); ++i) {
     const MemoryChip& chip = controller_->chip(i);
@@ -175,46 +172,84 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
     }
 
     // (c) Each bucket's energy is reproducible from its tick total and
-    // the reference state powers (transition energy mixes per-transition
-    // powers, so it is only bounded).
+    // the reference model's powers. Idle-active buckets are exact at the
+    // active state power; serving buckets are bounded by the model's
+    // serving envelope (exact whenever the envelope is a point, i.e.
+    // serving power is burst-independent); transition energy mixes
+    // per-edge powers, so it is only bounded.
     struct Expectation {
       EnergyBucket bucket;
       Tick ticks;
-      double power_mw;
+      double power_min_mw;
+      double power_max_mw;
     };
     const Expectation expectations[] = {
         {EnergyBucket::kActiveServing,
          (now.dma_serving - base.dma_serving) +
              (now.cpu_serving - base.cpu_serving),
-         reference.active_mw},
+         serving_power_min, serving_power_max},
         {EnergyBucket::kMigration,
-         now.migration_serving - base.migration_serving, reference.active_mw},
+         now.migration_serving - base.migration_serving, serving_power_min,
+         serving_power_max},
         {EnergyBucket::kActiveIdleDma,
-         now.active_idle_dma - base.active_idle_dma, reference.active_mw},
+         now.active_idle_dma - base.active_idle_dma, active_mw, active_mw},
         {EnergyBucket::kActiveIdleThreshold,
-         now.active_idle_threshold - base.active_idle_threshold,
-         reference.active_mw},
+         now.active_idle_threshold - base.active_idle_threshold, active_mw,
+         active_mw},
     };
     for (const Expectation& expect : expectations) {
       const double reported =
           chip.energy().Of(expect.bucket) -
           base_energy_[static_cast<std::size_t>(i)].Of(expect.bucket);
-      const double expected =
-          PowerModel::EnergyJoules(expect.power_mw, expect.ticks);
-      if (!NearlyEqual(reported, expected)) {
+      if (expect.power_min_mw == expect.power_max_mw) {
+        const double expected =
+            PowerModel::EnergyJoules(expect.power_min_mw, expect.ticks);
+        if (!NearlyEqual(reported, expected)) {
+          *message = Format(
+              "chip %d: %s bucket holds %.17g J but %lld ticks at %g mW "
+              "integrate to %.17g J",
+              i, EnergyBucketName(expect.bucket).data(), reported,
+              static_cast<long long>(expect.ticks), expect.power_min_mw,
+              expected);
+          return false;
+        }
+        continue;
+      }
+      const double bucket_lower =
+          PowerModel::EnergyJoules(expect.power_min_mw, expect.ticks);
+      const double bucket_upper =
+          PowerModel::EnergyJoules(expect.power_max_mw, expect.ticks);
+      if (reported < bucket_lower * (1.0 - kRelativeTolerance) - 1e-12 ||
+          reported > bucket_upper * (1.0 + kRelativeTolerance) + 1e-12) {
         *message = Format(
-            "chip %d: %s bucket holds %.17g J but %lld ticks at %g mW "
-            "integrate to %.17g J",
-            i, EnergyBucketName(expect.bucket).data(), reported,
-            static_cast<long long>(expect.ticks), expect.power_mw, expected);
+            "chip %d: %s bucket holds %.17g J, outside the [%g, %g] J "
+            "serving envelope for %lld ticks",
+            i, EnergyBucketName(expect.bucket).data(), reported, bucket_lower,
+            bucket_upper, static_cast<long long>(expect.ticks));
         return false;
       }
     }
+    // Per-state residency: integrate only states the reference model
+    // supports, and demand zero residency everywhere else (a tick spent
+    // in an unsupported state would prove the chips ran a different
+    // model than the audit was told about).
     double low_power_expected = 0.0;
     for (int s = 0; s < kPowerStateCount; ++s) {
-      low_power_expected += PowerModel::EnergyJoules(
-          reference.StatePowerMw(static_cast<PowerState>(s)),
-          now.low_power[s] - base.low_power[s]);
+      const PowerState state = static_cast<PowerState>(s);
+      const Tick residency = now.low_power[s] - base.low_power[s];
+      if (!reference.IsSupported(state)) {
+        if (residency != 0) {
+          *message = Format(
+              "chip %d: %lld ticks of residency in %s, a state the "
+              "reference model does not support",
+              i, static_cast<long long>(residency),
+              PowerStateName(state).data());
+          return false;
+        }
+        continue;
+      }
+      low_power_expected +=
+          PowerModel::EnergyJoules(reference.StatePowerMw(state), residency);
     }
     const double low_power_reported =
         chip.energy().Of(EnergyBucket::kLowPower) -

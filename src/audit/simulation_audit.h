@@ -41,7 +41,7 @@ class SimulationAudit : public ChipAuditSink {
     InvariantAuditor::Mode mode = InvariantAuditor::Mode::kAbort;
     // Model the power-state legality invariant judges transitions
     // against; null means the controller's own configured model.
-    const PowerModel* reference_model = nullptr;
+    const ChipPowerModel* reference_model = nullptr;
   };
 
   // Both `simulator` and `controller` must outlive the audit. The

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mem/chip_power_model.h"
 #include "util/time.h"
 
 namespace dmasim::check {
@@ -71,6 +72,12 @@ struct CheckerConfig {
 
   CheckPolicy policy = CheckPolicy::kStaticNap;
   CheckFault fault = CheckFault::kNone;
+
+  // Chip power model whose FSM the exploration drives. The non-RDRAM
+  // models keep the RDRAM 4-state chain (kRdramCorrected, kSectored) or
+  // bring their own (kDdr4, which requires kDynamicThreshold — its
+  // cascade has no nap/powerdown for the static policies to target).
+  ChipModelKind chip_model = ChipModelKind::kRdram;
 };
 
 const char* CheckFaultName(CheckFault fault);

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "check/explorer.h"
@@ -46,7 +47,8 @@ void AppendConfig(const CheckerConfig& config, std::ostringstream* out) {
        << "min_gating_budget " << config.min_gating_budget << '\n'
        << "cpu_access_bytes " << config.cpu_access_bytes << '\n'
        << "policy " << CheckPolicyName(config.policy) << '\n'
-       << "fault " << CheckFaultName(config.fault) << '\n';
+       << "fault " << CheckFaultName(config.fault) << '\n'
+       << "chip_model " << ChipModelKindName(config.chip_model) << '\n';
 }
 
 // Applies one "key value" configuration line; returns false with a
@@ -97,6 +99,14 @@ bool ApplyConfigLine(const std::string& key, const std::string& value,
       *what = "unknown fault \"" + value + "\"";
       return false;
     }
+  } else if (key == "chip_model") {
+    const std::optional<ChipModelKind> kind = ParseChipModelKind(value);
+    ok = kind.has_value();
+    if (!ok) {
+      *what = "unknown chip_model \"" + value + "\"";
+      return false;
+    }
+    config->chip_model = *kind;
   } else {
     *what = "unknown key \"" + key + "\"";
     return false;

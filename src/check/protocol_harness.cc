@@ -11,13 +11,27 @@ namespace dmasim::check {
 
 namespace {
 
-PowerModel MakeActingModel(const CheckerConfig& config) {
-  PowerModel model;  // Pristine Table 1 defaults.
+std::unique_ptr<ChipPowerModel> MakeActingModel(const CheckerConfig& config) {
+  if (config.chip_model == ChipModelKind::kDdr4) {
+    Ddr4Options options;
+    if (config.fault == CheckFault::kResyncSkip) {
+      // DDR4 flavor of the PR 3 regression: self-refresh exits skip the
+      // tXS resync while the reference oracle demands it.
+      options.self_refresh_exit = 0;
+    }
+    return std::make_unique<Ddr4ChipModel>(options);
+  }
+  PowerModel params;  // Pristine Table 1 defaults.
   if (config.fault == CheckFault::kResyncSkip) {
     // The PR 3 regression: wakes from nap skip the 60 ns resync.
-    model.from_nap.duration = 0;
+    params.from_nap.duration = 0;
   }
-  return model;
+  return MakeChipPowerModel(config.chip_model, params);
+}
+
+std::unique_ptr<ChipPowerModel> MakeReferenceModel(
+    const CheckerConfig& config) {
+  return MakeChipPowerModel(config.chip_model, PowerModel{});
 }
 
 TemporalAlignmentConfig MakeTaConfig(const CheckerConfig& config) {
@@ -32,6 +46,14 @@ TemporalAlignmentConfig MakeTaConfig(const CheckerConfig& config) {
 }
 
 std::unique_ptr<LowPowerPolicy> MakePolicy(const CheckerConfig& config) {
+  if (config.chip_model == ChipModelKind::kDdr4) {
+    // The DDR4 cascade has no nap/powerdown for the static policies to
+    // target; its exploration walks the model's own chain.
+    DMASIM_CHECK_MSG(config.policy == CheckPolicy::kDynamicThreshold,
+                     "ddr4 exploration requires the dynamic-threshold policy");
+    return std::make_unique<ModelChainPolicy>(config.chip_model, PowerModel{},
+                                              DynamicThresholdConfig{});
+  }
   switch (config.policy) {
     case CheckPolicy::kDynamicThreshold:
       return std::make_unique<DynamicThresholdPolicy>();
@@ -54,12 +76,12 @@ std::string Sprintf(const char* format, auto... args) {
 ProtocolHarness::ProtocolHarness(const CheckerConfig& config)
     : config_(config),
       acting_model_(MakeActingModel(config)),
-      reference_model_(),
+      reference_model_(MakeReferenceModel(config)),
       policy_(MakePolicy(config)),
       aligner_(MakeTaConfig(config), config.chips, config.buses, config.k,
                config.t_request),
       auditor_(InvariantAuditor::Mode::kCollect),
-      power_auditor_(&reference_model_, config.chips) {
+      power_auditor_(reference_model_.get(), config.chips) {
   DMASIM_EXPECTS(config.chips >= 1 && config.chips <= 4);
   DMASIM_EXPECTS(config.buses >= 1 && config.buses <= 3);
   DMASIM_EXPECTS(config.k >= 1);
@@ -87,10 +109,15 @@ ProtocolHarness::ProtocolHarness(const CheckerConfig& config)
   // each at most P * (deepest wake). CPU-service debits: at most
   // max_cpu_accesses, each at most P * t_cpu. Anything below this floor
   // means a debit outside the protocol's accounting.
-  const Tick wake_max = std::max({acting_model_.from_standby.duration,
-                                  acting_model_.from_nap.duration,
-                                  acting_model_.from_powerdown.duration});
-  const Tick t_cpu = acting_model_.ServiceTime(config.cpu_access_bytes);
+  Tick wake_max = 0;
+  for (int i = 1; i < acting_model_->StateCount(); ++i) {
+    wake_max = std::max(
+        wake_max, acting_model_
+                      ->TransitionBetween(acting_model_->State(i),
+                                          PowerState::kActive)
+                      .duration);
+  }
+  const Tick t_cpu = acting_model_->ServiceTime(config.cpu_access_bytes);
   const double pending = static_cast<double>(config.max_arrivals);
   slack_floor_ =
       -(static_cast<double>(config.max_epochs) * pending *
@@ -217,7 +244,7 @@ void ProtocolHarness::DoArrive(int bus, int chip) {
 }
 
 void ProtocolHarness::DoCpuAccess(int chip) {
-  const Tick service = acting_model_.ServiceTime(config_.cpu_access_bytes);
+  const Tick service = acting_model_->ServiceTime(config_.cpu_access_bytes);
   aligner_.OnCpuAccess(chip, service);
   if (aligner_.HasGated(chip)) {
     // The controller's kCpuPriority path: the access is going to wake the
@@ -235,7 +262,7 @@ void ProtocolHarness::DoStepDown(int chip) {
   const auto step = policy_->NextStep(fsm.state());
   DMASIM_CHECK(step.has_value());
   const PowerState from = fsm.state();
-  const Transition& down = fsm.BeginStepDown(step->target, acting_model_);
+  const Transition& down = fsm.BeginStepDown(step->target, *acting_model_);
   const Tick start = now_;
   const Tick end = now_ + down.duration;
   fsm.CompleteTransition();
@@ -288,7 +315,8 @@ void ProtocolHarness::Release(int chip) {
   if (fsm.state() != PowerState::kActive) {
     // Controller ordering: the activation debit reads the chip's
     // still-low power state, *then* the wake begins.
-    const Transition& up = acting_model_.UpTransition(fsm.state());
+    const Transition& up =
+        acting_model_->TransitionBetween(fsm.state(), PowerState::kActive);
     aligner_.slack().DebitActivation(up.duration,
                                      static_cast<int>(taken.size()));
     WakeChip(chip);
@@ -339,7 +367,7 @@ void ProtocolHarness::ServeTransfer(DmaTransfer* transfer) {
 void ProtocolHarness::WakeChip(int chip) {
   PowerFsm& fsm = fsms_[static_cast<std::size_t>(chip)];
   const PowerState from = fsm.state();
-  const Transition& up = fsm.BeginWake(acting_model_);
+  const Transition& up = fsm.BeginWake(*acting_model_);
   const Tick start = now_;
   const Tick end = now_ + up.duration;
   fsm.CompleteTransition();

@@ -39,6 +39,7 @@
 #include "check/check_config.h"
 #include "core/temporal_aligner.h"
 #include "io/dma_transfer.h"
+#include "mem/chip_power_model.h"
 #include "mem/power_fsm.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
@@ -110,7 +111,7 @@ class ProtocolHarness {
   int arrivals_done() const { return arrivals_done_; }
   int served_count() const { return served_count_; }
   const CheckerConfig& config() const { return config_; }
-  const PowerModel& acting_model() const { return acting_model_; }
+  const ChipPowerModel& acting_model() const { return *acting_model_; }
   std::uint64_t transitions_checked() const {
     return power_auditor_.transitions_checked();
   }
@@ -147,8 +148,10 @@ class ProtocolHarness {
   int LedgerIndex(const DmaTransfer* transfer) const;
 
   CheckerConfig config_;
-  PowerModel acting_model_;     // Fault-injected copy driving the FSMs.
-  PowerModel reference_model_;  // Pristine Table 1 oracle.
+  // Fault-injected instance driving the FSMs, and the pristine oracle
+  // of the same ChipModelKind the auditor judges against.
+  std::unique_ptr<ChipPowerModel> acting_model_;
+  std::unique_ptr<ChipPowerModel> reference_model_;
   std::unique_ptr<LowPowerPolicy> policy_;
 
   TemporalAligner aligner_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "audit/audit_config.h"
@@ -17,11 +18,26 @@ Tick MemorySystemConfig::RequestTime() const {
   return TransferTime(chunk_bytes, bus_bandwidth);
 }
 
+namespace {
+
+// Builds the configured model; only kDdr4 consumes its calibration knobs.
+std::unique_ptr<ChipPowerModel> MakeConfiguredModel(
+    const MemorySystemConfig& config) {
+  if (config.chip_model == ChipModelKind::kDdr4) {
+    // dmasim-lint: allow(heap-alloc) -- one-time construction.
+    return std::make_unique<Ddr4ChipModel>(config.ddr4);
+  }
+  return MakeChipPowerModel(config.chip_model, config.power);
+}
+
+}  // namespace
+
 MemoryController::MemoryController(Simulator* simulator,
                                    const MemorySystemConfig& config,
                                    const LowPowerPolicy* policy)
     : simulator_(simulator),
       config_(config),
+      chip_model_(MakeConfiguredModel(config)),
       popularity_(config.TotalPages()),
       layout_(config.dma.pl, config.chips, config.pages_per_chip) {
   DMASIM_EXPECTS(config.chips >= 2);
@@ -34,7 +50,7 @@ MemoryController::MemoryController(Simulator* simulator,
   for (int i = 0; i < config.chips; ++i) {
     chips_.push_back(
         // dmasim-lint: allow(heap-alloc) -- one-time construction.
-        std::make_unique<MemoryChip>(simulator, &config_.power, policy, i));
+        std::make_unique<MemoryChip>(simulator, chip_model_.get(), policy, i));
   }
   buses_.reserve(static_cast<std::size_t>(config.bus_count));
   for (int i = 0; i < config.bus_count; ++i) {
@@ -120,7 +136,7 @@ void MemoryController::CpuAccess(std::uint64_t logical_page,
   const int chip_index = page_to_chip_[logical_page];
   ++stats_.cpu_accesses;
   if (aligner_->enabled()) {
-    aligner_->OnCpuAccess(chip_index, config_.power.ServiceTime(bytes));
+    aligner_->OnCpuAccess(chip_index, chip_model_->ServiceTime(bytes));
   }
   chips_[static_cast<std::size_t>(chip_index)]->Enqueue(
       ChipRequest{RequestKind::kCpu, bytes, std::move(on_complete)});
@@ -217,7 +233,9 @@ void MemoryController::ReleaseChip(int chip_index,
 #endif
   MemoryChip& chip = *chips_[static_cast<std::size_t>(chip_index)];
   if (chip.power_state() != PowerState::kActive) {
-    const Tick wake = config_.power.UpTransition(chip.power_state()).duration;
+    const Tick wake =
+        chip_model_->TransitionBetween(chip.power_state(), PowerState::kActive)
+            .duration;
     aligner_->slack().DebitActivation(wake, static_cast<int>(gated.size()));
   }
   for (GatedRequest& request : gated) {
@@ -310,7 +328,7 @@ bool MemoryController::TryStartRun(DmaTransfer* transfer, Tick now) {
   while (remaining > 0) {
     const std::int64_t chunk = std::min<std::int64_t>(bus.chunk_bytes(),
                                                       remaining);
-    const Tick completion = issue + config_.power.ServiceTime(chunk);
+    const Tick completion = issue + chip_model_->ServiceTime(chunk);
     if (completion >= horizon) break;
     run_end = completion;
     ++chunks;
@@ -348,7 +366,7 @@ std::uint64_t MemoryController::AdvanceRunChunks(DmaTransfer* transfer,
     if (issue >= bound) break;
     const std::int64_t chunk = std::min<std::int64_t>(
         bus.chunk_bytes(), transfer->RemainingToIssue());
-    const Tick completion = issue + config_.power.ServiceTime(chunk);
+    const Tick completion = issue + chip_model_->ServiceTime(chunk);
     bus.AccountCoalescedChunk(transfer, chunk, issue);
     if (aligner_->enabled()) aligner_->slack().CreditArrival();
     ++credits;  // Stands in for the bus Issue event.
@@ -363,7 +381,7 @@ std::uint64_t MemoryController::AdvanceRunChunks(DmaTransfer* transfer,
                       }});
       return credits;
     }
-    chip.AccountCoalescedCycle(issue, completion);
+    chip.AccountCoalescedCycle(issue, completion, chunk);
     chunk_service_.Add(static_cast<double>(completion - issue));
     transfer->completed_bytes += chunk;
     ++credits;  // Stands in for the chip ServeDone event.

@@ -25,6 +25,7 @@
 #include "io/dma_transfer.h"
 #include "io/io_bus.h"
 #include "io/transfer_pool.h"
+#include "mem/chip_power_model.h"
 #include "mem/memory_chip.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
@@ -55,6 +56,13 @@ struct MemorySystemConfig {
   int pages_per_chip = 4096;       // 32 MB chips of 8 KB pages.
   std::int64_t page_bytes = 8192;
   PowerModel power;
+  // Which chip power/timing model the chips instantiate. The RDRAM
+  // default consumes the `power` parameter block; see
+  // mem/chip_power_model.h for the family.
+  ChipModelKind chip_model = ChipModelKind::kRdram;
+  // Calibration knobs for the kDdr4 member (ignored elsewhere). Defaults
+  // are the pristine DDR4-2400 values; tests perturb them to seed faults.
+  Ddr4Options ddr4;
 
   int bus_count = 3;
   // 8 bytes per 12 memory cycles.
@@ -85,7 +93,10 @@ struct MemorySystemConfig {
     return static_cast<std::uint64_t>(chips) *
            static_cast<std::uint64_t>(pages_per_chip);
   }
-  double MemoryBandwidth() const { return power.BandwidthBytesPerSecond(); }
+  double MemoryBandwidth() const {
+    const ChipTiming timing = ChipModelTiming(chip_model, power);
+    return timing.bytes_per_cycle / TicksToSeconds(timing.cycle);
+  }
   // k = ceil(Rm / Rb), with a tolerance so the paper's exact 3x ratio
   // yields k = 3.
   int AlignmentQuorum() const;
@@ -168,6 +179,8 @@ class MemoryController : public DmaRequestSink {
   int chip_count() const { return static_cast<int>(chips_.size()); }
   int bus_count() const { return static_cast<int>(buses_.size()); }
   const MemorySystemConfig& config() const { return config_; }
+  // The chip power/timing model instance all chips share.
+  const ChipPowerModel& chip_model() const { return *chip_model_; }
   std::uint64_t InFlightTransfers() const { return pool_.ActiveCount(); }
 
 #if DMASIM_OBS >= 1
@@ -222,6 +235,7 @@ class MemoryController : public DmaRequestSink {
 
   Simulator* simulator_;
   MemorySystemConfig config_;
+  std::unique_ptr<ChipPowerModel> chip_model_;
   std::vector<std::unique_ptr<MemoryChip>> chips_;
   std::vector<std::unique_ptr<IoBus>> buses_;
   std::vector<std::int32_t> page_to_chip_;

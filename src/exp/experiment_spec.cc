@@ -62,6 +62,13 @@ std::string ValidateOptions(const SimulationOptions& options) {
     return "pl.groups must be in [1, chips]";
   }
   if (options.server.disks <= 0) return "disks must be positive";
+  if (memory.chip_model == ChipModelKind::kDdr4 &&
+      (options.policy == PolicyKind::kStaticNap ||
+       options.policy == PolicyKind::kStaticPowerdown)) {
+    // MakePolicy would abort: the DDR4 cascade has no nap/powerdown.
+    return "the ddr4 chip model has no nap/powerdown state for a static "
+           "policy to target";
+  }
   if (memory.monitor.enabled) {
     const MonitorConfig& monitor = memory.monitor;
     if (monitor.sampling_interval <= 0) {

@@ -164,6 +164,11 @@ Json RunRecordToJson(const RunRecord& record, bool include_timing) {
   }
   config.Set("chips", plan.options.memory.chips);
   config.Set("buses", plan.options.memory.bus_count);
+  if (plan.options.memory.chip_model != ChipModelKind::kRdram) {
+    // Default runs omit the key so pinned artifacts stay byte-identical.
+    config.Set("chip_model",
+               std::string(ChipModelKindName(plan.options.memory.chip_model)));
+  }
   config.Set("seed", plan.workload.seed);
   config.Set("duration_ticks", plan.workload.duration);
   if (plan.epoch_length > 0) {

@@ -1,0 +1,259 @@
+#include "mem/chip_power_model.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dmasim {
+namespace {
+
+// DDR4-2400 x16 calibration (IDD * VDD, VDD = 1.2 V, DRAMPower-style
+// datasheet currents). A "cycle" is one 833 ps clock moving 4 bytes on
+// a x16 interface (4.8 GB/s peak).
+constexpr Tick kDdr4Cycle = 833;
+constexpr double kDdr4BytesPerCycle = 4.0;
+constexpr double kDdr4ActiveMw = 56.4;              // IDD3N, act standby.
+constexpr double kDdr4StandbyMw = 44.4;             // IDD2N, pre standby.
+constexpr double kDdr4ActivePowerdownMw = 38.4;     // IDD3P.
+constexpr double kDdr4PrechargePowerdownMw = 30.0;  // IDD2P.
+constexpr double kDdr4SelfRefreshMw = 24.0;         // IDD6.
+
+// Entry/exit latencies in the gem5 power-down-integration spirit:
+// tRP = tRCD = 14 ns, tXP = 6 ns, tXS = 270 ns (DDR4-2400 grade).
+constexpr Tick kDdr4Trp = 14 * kNanosecond;
+constexpr Tick kDdr4Trcd = 14 * kNanosecond;
+constexpr Tick kDdr4Txp = 6 * kNanosecond;
+constexpr Tick kDdr4PowerdownEntry = 4 * kNanosecond;  // tCPDED + CKE ramp.
+constexpr Tick kDdr4SelfRefreshEntry = 4 * kNanosecond;  // tCKESR.
+
+}  // namespace
+
+std::string_view ChipModelKindName(ChipModelKind kind) {
+  switch (kind) {
+    case ChipModelKind::kRdram:
+      return "rdram";
+    case ChipModelKind::kRdramCorrected:
+      return "rdram-corrected";
+    case ChipModelKind::kDdr4:
+      return "ddr4";
+    case ChipModelKind::kSectored:
+      return "sectored";
+  }
+  DMASIM_CHECK_MSG(false, "unnamed chip model kind");
+}
+
+std::optional<ChipModelKind> ParseChipModelKind(std::string_view text) {
+  for (ChipModelKind kind : kAllChipModelKinds) {
+    if (text == ChipModelKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+ChipTiming ChipModelTiming(ChipModelKind kind, const PowerModel& params) {
+  if (kind == ChipModelKind::kDdr4) return {kDdr4Cycle, kDdr4BytesPerCycle};
+  return {params.cycle, params.bytes_per_cycle};
+}
+
+ChipPowerModel::ChipPowerModel(ChipModelKind kind, std::string_view name,
+                               Tick cycle, double bytes_per_cycle)
+    : kind_(kind), name_(name), cycle_(cycle), bytes_per_cycle_(bytes_per_cycle) {
+  DMASIM_EXPECTS(cycle > 0);
+  DMASIM_EXPECTS(bytes_per_cycle > 0.0);
+  for (int s = 0; s < kPowerStateCount; ++s) chain_index_[s] = -1;
+}
+
+void ChipPowerModel::AddState(PowerState state, double power_mw) {
+  const int s = static_cast<int>(state);
+  DMASIM_EXPECTS(s >= 0 && s < kPowerStateCount);
+  DMASIM_CHECK_MSG(!supported_[s], "state added twice");
+  DMASIM_CHECK_MSG(state_count_ < kPowerStateCount, "too many states");
+  if (state_count_ == 0) {
+    DMASIM_CHECK_MSG(state == PowerState::kActive,
+                     "chain must start at active");
+  } else {
+    DMASIM_CHECK_MSG(
+        power_mw < state_power_[static_cast<int>(chain_[state_count_ - 1])],
+        "chain must be in strictly descending power order");
+  }
+  chain_[state_count_] = state;
+  chain_index_[s] = state_count_;
+  supported_[s] = true;
+  state_power_[s] = power_mw;
+  ++state_count_;
+  // Default serving envelope: full active power, burst-independent.
+  if (state == PowerState::kActive) {
+    serving_min_mw_ = power_mw;
+    serving_max_mw_ = power_mw;
+  }
+}
+
+void ChipPowerModel::AddTransition(PowerState from, PowerState to,
+                                   Transition transition) {
+  DMASIM_CHECK_MSG(IsSupported(from) && IsSupported(to),
+                   "transition endpoint outside this chip model");
+  DMASIM_CHECK_MSG(from != to, "self transition");
+  DMASIM_EXPECTS(transition.power_mw >= 0.0);
+  DMASIM_EXPECTS(transition.duration >= 0);
+  const int f = static_cast<int>(from);
+  const int t = static_cast<int>(to);
+  DMASIM_CHECK_MSG(!legal_[f][t], "transition edge added twice");
+  legal_[f][t] = true;
+  matrix_[f][t] = transition;
+}
+
+void ChipPowerModel::SetServingBounds(double min_mw, double max_mw) {
+  DMASIM_EXPECTS(min_mw > 0.0 && min_mw <= max_mw);
+  serving_min_mw_ = min_mw;
+  serving_max_mw_ = max_mw;
+}
+
+void ChipPowerModel::TransitionPowerBounds(double* min_mw,
+                                           double* max_mw) const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  for (int f = 0; f < kPowerStateCount; ++f) {
+    for (int t = 0; t < kPowerStateCount; ++t) {
+      if (!legal_[f][t]) continue;
+      const double mw = matrix_[f][t].power_mw;
+      lo = any ? std::min(lo, mw) : mw;
+      hi = any ? std::max(hi, mw) : mw;
+      any = true;
+    }
+  }
+  DMASIM_CHECK_MSG(any, "chip model has no transitions");
+  *min_mw = lo;
+  *max_mw = hi;
+}
+
+RdramChipModel::RdramChipModel(const PowerModel& params, ChipModelKind kind,
+                               std::string_view name)
+    : ChipPowerModel(kind, name, params.cycle, params.bytes_per_cycle) {
+  AddState(PowerState::kActive, params.active_mw);
+  AddState(PowerState::kStandby, params.standby_mw);
+  AddState(PowerState::kNap, params.nap_mw);
+  AddState(PowerState::kPowerdown, params.powerdown_mw);
+  constexpr PowerState kChain[] = {PowerState::kActive, PowerState::kStandby,
+                                   PowerState::kNap, PowerState::kPowerdown};
+  const bool corrected = kind != ChipModelKind::kRdram;
+  for (int f = 0; f < 4; ++f) {
+    for (int t = f + 1; t < 4; ++t) {
+      // Compat table: the historical accounting billed every down edge
+      // into T with the from-active descriptor. The corrected family
+      // scales chained-edge power by the origin state's envelope.
+      Transition down = params.DownTransition(kChain[t]);
+      if (corrected && f != 0) {
+        down.power_mw *= params.StatePowerMw(kChain[f]) / params.active_mw;
+      }
+      AddTransition(kChain[f], kChain[t], down);
+    }
+  }
+  for (int f = 1; f < 4; ++f) {
+    AddTransition(kChain[f], PowerState::kActive,
+                  params.UpTransition(kChain[f]));
+  }
+}
+
+Ddr4ChipModel::Ddr4ChipModel(const Ddr4Options& options)
+    : ChipPowerModel(ChipModelKind::kDdr4, "ddr4", kDdr4Cycle,
+                     kDdr4BytesPerCycle) {
+  using PS = PowerState;
+  // Power-ordered idle cascade: act standby -> pre standby -> active
+  // power-down -> precharge power-down -> self-refresh.
+  AddState(PS::kActive, kDdr4ActiveMw);
+  AddState(PS::kStandby, kDdr4StandbyMw);
+  AddState(PS::kActivePowerdown, kDdr4ActivePowerdownMw);
+  AddState(PS::kPrechargePowerdown, kDdr4PrechargePowerdownMw);
+  AddState(PS::kSelfRefresh, kDdr4SelfRefreshMw);
+
+  // Entry powers take the midpoint of the endpoint states (the rails
+  // ramp between the two envelopes during CKE/precharge sequencing).
+  auto entry = [&](PS from, PS to, Tick duration) {
+    const double mw = 0.5 * (StatePowerMw(from) + StatePowerMw(to));
+    AddTransition(from, to, Transition{mw, duration});
+  };
+  // From act standby: precharge-all, or drop CKE directly.
+  entry(PS::kActive, PS::kStandby, kDdr4Trp);
+  entry(PS::kActive, PS::kActivePowerdown, kDdr4PowerdownEntry);
+  entry(PS::kActive, PS::kPrechargePowerdown, kDdr4Trp + kDdr4PowerdownEntry);
+  entry(PS::kActive, PS::kSelfRefresh, kDdr4Trp + kDdr4SelfRefreshEntry);
+  // From pre standby: CKE drop or self-refresh entry.
+  entry(PS::kStandby, PS::kActivePowerdown, kDdr4PowerdownEntry);
+  entry(PS::kStandby, PS::kPrechargePowerdown, kDdr4PowerdownEntry);
+  entry(PS::kStandby, PS::kSelfRefresh, kDdr4SelfRefreshEntry);
+  // Chained deepening requires a CKE pulse (exit + re-enter).
+  entry(PS::kActivePowerdown, PS::kPrechargePowerdown,
+        kDdr4Txp + kDdr4PowerdownEntry);
+  entry(PS::kActivePowerdown, PS::kSelfRefresh,
+        kDdr4Txp + kDdr4SelfRefreshEntry);
+  entry(PS::kPrechargePowerdown, PS::kSelfRefresh,
+        kDdr4Txp + kDdr4SelfRefreshEntry);
+
+  // Wakes back to act standby; exit power holds the active envelope
+  // plus the activate burst (self-refresh exit adds the refresh tail).
+  AddTransition(PS::kStandby, PS::kActive, Transition{60.0, kDdr4Trcd});
+  AddTransition(PS::kActivePowerdown, PS::kActive, Transition{60.0, kDdr4Txp});
+  AddTransition(PS::kPrechargePowerdown, PS::kActive,
+                Transition{60.0, kDdr4Txp + kDdr4Trcd});
+  AddTransition(PS::kSelfRefresh, PS::kActive,
+                Transition{90.0, options.self_refresh_exit});
+
+  SetServingBounds(kServingMw, kServingMw);
+}
+
+SectoredChipModel::SectoredChipModel(const PowerModel& params)
+    : RdramCorrectedChipModel(params, ChipModelKind::kSectored, "sectored") {
+  const double active = StatePowerMw(PowerState::kActive);
+  SetServingBounds(ServingPowerMw(RequestKind::kDma, kSectorBytes), active);
+}
+
+double SectoredChipModel::ServingPowerMw(RequestKind kind,
+                                         std::int64_t bytes) const {
+  (void)kind;
+  const double active = StatePowerMw(PowerState::kActive);
+  const std::int64_t sectors = std::min<std::int64_t>(
+      (bytes + kSectorBytes - 1) / kSectorBytes, kSectorsPerRow);
+  const double fraction =
+      static_cast<double>(sectors) / static_cast<double>(kSectorsPerRow);
+  return kStaticShare * active + (1.0 - kStaticShare) * active * fraction;
+}
+
+std::unique_ptr<ChipPowerModel> MakeChipPowerModel(ChipModelKind kind,
+                                                   const PowerModel& params) {
+  switch (kind) {
+    case ChipModelKind::kRdram:
+      // dmasim-lint: allow(heap-alloc) -- one-time construction.
+      return std::make_unique<RdramChipModel>(params);
+    case ChipModelKind::kRdramCorrected:
+      // dmasim-lint: allow(heap-alloc) -- one-time construction.
+      return std::make_unique<RdramCorrectedChipModel>(params);
+    case ChipModelKind::kDdr4:
+      // dmasim-lint: allow(heap-alloc) -- one-time construction.
+      return std::make_unique<Ddr4ChipModel>();
+    case ChipModelKind::kSectored:
+      // dmasim-lint: allow(heap-alloc) -- one-time construction.
+      return std::make_unique<SectoredChipModel>(params);
+  }
+  DMASIM_CHECK_MSG(false, "unknown chip model kind");
+}
+
+ModelChainPolicy::ModelChainPolicy(ChipModelKind kind, const PowerModel& params,
+                                   const DynamicThresholdConfig& thresholds)
+    : model_(MakeChipPowerModel(kind, params)),
+      thresholds_(thresholds),
+      name_(std::string("dynamic-") + std::string(model_->Name())) {
+  DMASIM_EXPECTS(thresholds.active_to_standby >= 0);
+  DMASIM_EXPECTS(thresholds.standby_to_nap >= 0);
+  DMASIM_EXPECTS(thresholds.nap_to_powerdown >= 0);
+}
+
+std::optional<PolicyStep> ModelChainPolicy::NextStep(PowerState current) const {
+  const int index = model_->StateIndex(current);
+  const std::optional<PowerState> next = model_->NextLowerState(current);
+  if (!next.has_value()) return std::nullopt;
+  Tick threshold = thresholds_.nap_to_powerdown;
+  if (index == 0) threshold = thresholds_.active_to_standby;
+  if (index == 1) threshold = thresholds_.standby_to_nap;
+  return PolicyStep{threshold, *next};
+}
+
+}  // namespace dmasim

@@ -1,0 +1,290 @@
+// Pluggable chip power/timing model family.
+//
+// The paper's RDRAM Table 1 is one member of a family, not the family
+// itself. A ChipPowerModel owns everything the simulator previously
+// hard-coded against the 4-state RDRAM enum:
+//   * which subset of PowerState the chip supports, in descending
+//     power order (the "chain" that dynamic-threshold policies walk),
+//   * per-state steady power,
+//   * a full origin-aware transition matrix — every legal (from, to)
+//     edge carries its own power/latency, fixing the historical
+//     "downward transitions from active, reused for chained steps"
+//     approximation,
+//   * an activation-cost hook (ServingPowerMw) so fine-grained-
+//     activation chips can bill a DMA burst only for the sectors it
+//     touches,
+//   * the data-rate timing (cycle length, bytes per cycle).
+//
+// Shipped instances:
+//   rdram            byte-identical Table 1 default, including the
+//                    historical compat matrix (chained step-downs
+//                    billed with the from-active descriptor),
+//   rdram-corrected  same parameters with origin-scaled chained edges,
+//   ddr4             DDR4-2400 x16 with precharge/active power-down
+//                    and self-refresh, pinned against published
+//                    DRAMPower/datasheet numbers (gem5 spirit),
+//   sectored         Sectored-DRAM-style fine-grained activation on
+//                    RDRAM timing: a burst pays only for the 64-byte
+//                    sectors of the 512-byte row it touches.
+#ifndef DMASIM_MEM_CHIP_POWER_MODEL_H_
+#define DMASIM_MEM_CHIP_POWER_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mem/power_model.h"
+#include "mem/power_policy.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace dmasim {
+
+// Who a memory access is serving; lets accounting split energy by
+// requester class and lets activation-aware models price by origin.
+enum class RequestKind : int {
+  kDma = 0,
+  kCpu,
+  kMigration,
+};
+
+enum class ChipModelKind : int {
+  kRdram = 0,
+  kRdramCorrected,
+  kDdr4,
+  kSectored,
+};
+
+inline constexpr ChipModelKind kAllChipModelKinds[] = {
+    ChipModelKind::kRdram,
+    ChipModelKind::kRdramCorrected,
+    ChipModelKind::kDdr4,
+    ChipModelKind::kSectored,
+};
+
+std::string_view ChipModelKindName(ChipModelKind kind);
+
+// Parses a ChipModelKindName; empty optional on unknown text.
+std::optional<ChipModelKind> ParseChipModelKind(std::string_view text);
+
+// Data-rate timing a model imposes on the memory system. Exposed as a
+// free function so MemorySystemConfig can derive chip bandwidth before
+// a model instance exists.
+struct ChipTiming {
+  Tick cycle = 625;
+  double bytes_per_cycle = 2.0;
+};
+
+ChipTiming ChipModelTiming(ChipModelKind kind, const PowerModel& params);
+
+// Table-driven base class. Concrete models populate the state chain
+// and transition matrix in their constructors via AddState /
+// AddTransition; only the activation-cost hook is virtual.
+class ChipPowerModel {
+ public:
+  virtual ~ChipPowerModel() = default;
+
+  ChipModelKind kind() const { return kind_; }
+  std::string_view Name() const { return name_; }
+
+  // --- State chain (descending power order; index 0 is kActive). ---
+  int StateCount() const { return state_count_; }
+  PowerState State(int index) const {
+    DMASIM_EXPECTS(index >= 0 && index < state_count_);
+    return chain_[index];
+  }
+  bool IsSupported(PowerState state) const {
+    const int s = static_cast<int>(state);
+    return s >= 0 && s < kPowerStateCount && supported_[s];
+  }
+  // Position of `state` in the chain; aborts on unsupported states.
+  int StateIndex(PowerState state) const {
+    DMASIM_CHECK_MSG(IsSupported(state), "state outside this chip model");
+    return chain_index_[static_cast<int>(state)];
+  }
+  // Model-driven naming: unsupported states are a CHECK failure, not "?".
+  std::string_view StateName(PowerState state) const {
+    DMASIM_CHECK_MSG(IsSupported(state), "state outside this chip model");
+    return PowerStateName(state);
+  }
+  double StatePowerMw(PowerState state) const {
+    DMASIM_CHECK_MSG(IsSupported(state), "state outside this chip model");
+    return state_power_[static_cast<int>(state)];
+  }
+  // Next state down the chain, or empty at the deepest state.
+  std::optional<PowerState> NextLowerState(PowerState state) const {
+    const int index = StateIndex(state);
+    if (index + 1 >= state_count_) return std::nullopt;
+    return chain_[index + 1];
+  }
+  PowerState DeepestState() const { return chain_[state_count_ - 1]; }
+
+  // --- Origin-aware transition matrix. ---
+  bool LegalTransition(PowerState from, PowerState to) const {
+    if (!IsSupported(from) || !IsSupported(to)) return false;
+    return legal_[static_cast<int>(from)][static_cast<int>(to)];
+  }
+  // Descriptor for the (from, to) edge; aborts on illegal edges.
+  const Transition& TransitionBetween(PowerState from, PowerState to) const {
+    DMASIM_CHECK_MSG(LegalTransition(from, to),
+                     "no such transition edge in this chip model");
+    return matrix_[static_cast<int>(from)][static_cast<int>(to)];
+  }
+  // Envelope of all edge powers, for conservation audits.
+  void TransitionPowerBounds(double* min_mw, double* max_mw) const;
+
+  // --- Activation cost. ---
+  // Power drawn while actively moving `bytes` for `kind`. The base
+  // family bills the full active power regardless of burst shape.
+  virtual double ServingPowerMw(RequestKind kind, std::int64_t bytes) const {
+    (void)kind;
+    (void)bytes;
+    return state_power_[static_cast<int>(PowerState::kActive)];
+  }
+  // Envelope of ServingPowerMw over all requests, for audits. Equal
+  // bounds mean serving power is burst-independent (exact audit).
+  void ServingPowerBounds(double* min_mw, double* max_mw) const {
+    *min_mw = serving_min_mw_;
+    *max_mw = serving_max_mw_;
+  }
+
+  // --- Timing. ---
+  Tick cycle() const { return cycle_; }
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  // Time to serve `bytes` at the chip's peak data rate.
+  Tick ServiceTime(std::int64_t bytes) const {
+    DMASIM_EXPECTS(bytes > 0);
+    const double cycles = static_cast<double>(bytes) / bytes_per_cycle_;
+    return static_cast<Tick>(cycles * static_cast<double>(cycle_) + 0.5);
+  }
+  double BandwidthBytesPerSecond() const {
+    return bytes_per_cycle_ / TicksToSeconds(cycle_);
+  }
+
+ protected:
+  ChipPowerModel(ChipModelKind kind, std::string_view name, Tick cycle,
+                 double bytes_per_cycle);
+
+  // Appends a state to the chain. States must arrive in strictly
+  // descending power order and the first must be kActive.
+  void AddState(PowerState state, double power_mw);
+  // Declares the (from, to) edge legal with descriptor `transition`.
+  void AddTransition(PowerState from, PowerState to, Transition transition);
+  void SetServingBounds(double min_mw, double max_mw);
+
+ private:
+  ChipModelKind kind_;
+  std::string_view name_;
+  Tick cycle_;
+  double bytes_per_cycle_;
+  int state_count_ = 0;
+  PowerState chain_[kPowerStateCount] = {};
+  int chain_index_[kPowerStateCount] = {};
+  bool supported_[kPowerStateCount] = {};
+  double state_power_[kPowerStateCount] = {};
+  bool legal_[kPowerStateCount][kPowerStateCount] = {};
+  Transition matrix_[kPowerStateCount][kPowerStateCount] = {};
+  double serving_min_mw_ = 0.0;
+  double serving_max_mw_ = 0.0;
+};
+
+// Byte-identical RDRAM Table 1 default. The transition matrix is an
+// explicit compat table reproducing the historical accounting: every
+// down edge into T — chained or not — bills params.DownTransition(T),
+// the from-active descriptor.
+class RdramChipModel : public ChipPowerModel {
+ public:
+  explicit RdramChipModel(const PowerModel& params)
+      : RdramChipModel(params, ChipModelKind::kRdram, "rdram") {}
+
+ protected:
+  RdramChipModel(const PowerModel& params, ChipModelKind kind,
+                 std::string_view name);
+};
+
+// Same Table 1 parameters with corrected chained-edge billing: a
+// chained down edge F→T scales the from-active transition power by the
+// origin state's envelope, StatePowerMw(F) / active_mw (a transition
+// out of standby cannot draw more than the standby rail sources).
+// Durations are unchanged — Table 1 lists no chained latencies.
+class RdramCorrectedChipModel : public RdramChipModel {
+ public:
+  explicit RdramCorrectedChipModel(const PowerModel& params)
+      : RdramChipModel(params, ChipModelKind::kRdramCorrected,
+                       "rdram-corrected") {}
+
+ protected:
+  RdramCorrectedChipModel(const PowerModel& params, ChipModelKind kind,
+                          std::string_view name)
+      : RdramChipModel(params, kind, name) {}
+};
+
+// DDR4-2400 x16 calibration knobs; exposed so the model checker can
+// inject a faulty acting model (e.g. a skipped self-refresh exit).
+struct Ddr4Options {
+  Tick self_refresh_exit = 270 * kNanosecond;  // tXS
+};
+
+// DDR4-style model: precharge standby, active/precharge power-down and
+// self-refresh with entry/exit latencies, in the spirit of the gem5
+// DRAM power-down integration. Powers are IDD * VDD for a DDR4-2400
+// x16 die (DRAMPower-published currents, VDD = 1.2 V); the chain is
+// the power-ordered idle cascade a demotion policy walks, not the bank
+// micro-state machine. Ignores the RDRAM parameter block entirely.
+class Ddr4ChipModel : public ChipPowerModel {
+ public:
+  static constexpr double kServingMw = 180.0;  // IDD4R read-burst envelope.
+
+  explicit Ddr4ChipModel(const Ddr4Options& options = {});
+
+  double ServingPowerMw(RequestKind kind, std::int64_t bytes) const override {
+    (void)kind;
+    (void)bytes;
+    return kServingMw;
+  }
+};
+
+// Sectored-DRAM-style fine-grained activation on RDRAM timing and the
+// corrected matrix: serving a burst powers the always-on periphery
+// (kStaticShare of active) plus only the activated 64-byte sectors of
+// the 512-byte row. A full-row burst costs exactly active_mw.
+class SectoredChipModel : public RdramCorrectedChipModel {
+ public:
+  static constexpr std::int64_t kSectorBytes = 64;
+  static constexpr std::int64_t kSectorsPerRow = 8;
+  static constexpr double kStaticShare = 0.4;
+
+  explicit SectoredChipModel(const PowerModel& params);
+
+  double ServingPowerMw(RequestKind kind, std::int64_t bytes) const override;
+};
+
+// Builds the model `kind` from the RDRAM parameter block (ignored by
+// kDdr4, which carries its own calibration).
+std::unique_ptr<ChipPowerModel> MakeChipPowerModel(ChipModelKind kind,
+                                                   const PowerModel& params);
+
+// Dynamic-threshold policy that walks a chip model's state chain
+// instead of the hard-coded RDRAM one. Owns its model instance so it
+// can outlive (or precede) the controller it steers. Threshold mapping
+// by chain depth: leaving active uses active_to_standby, the next step
+// standby_to_nap, and every deeper step nap_to_powerdown.
+class ModelChainPolicy final : public LowPowerPolicy {
+ public:
+  ModelChainPolicy(ChipModelKind kind, const PowerModel& params,
+                   const DynamicThresholdConfig& thresholds);
+
+  std::optional<PolicyStep> NextStep(PowerState current) const override;
+  std::string Name() const override { return name_; }
+
+ private:
+  std::unique_ptr<ChipPowerModel> model_;
+  DynamicThresholdConfig thresholds_;
+  std::string name_;
+};
+
+}  // namespace dmasim
+
+#endif  // DMASIM_MEM_CHIP_POWER_MODEL_H_

@@ -5,7 +5,7 @@
 
 namespace dmasim {
 
-MemoryChip::MemoryChip(Simulator* simulator, const PowerModel* model,
+MemoryChip::MemoryChip(Simulator* simulator, const ChipPowerModel* model,
                        const LowPowerPolicy* policy, int id)
     : simulator_(simulator),
       model_(model),
@@ -98,7 +98,8 @@ void MemoryChip::BeginTransfer() {
     // policy never fires mid-transfer. Encoding that invariant directly
     // keeps the model independent of the configured chunk granularity.
     ++timer_generation_;
-    SetAccounting(EnergyBucket::kActiveIdleDma, model_->active_mw,
+    SetAccounting(EnergyBucket::kActiveIdleDma,
+                  model_->StatePowerMw(PowerState::kActive),
                   &stats_.active_idle_dma);
   }
 }
@@ -108,7 +109,8 @@ void MemoryChip::EndTransfer() {
   --in_flight_transfers_;
   if (!serving_ && !fsm_.transitioning() &&
       fsm_.state() == PowerState::kActive && in_flight_transfers_ == 0) {
-    SetAccounting(EnergyBucket::kActiveIdleThreshold, model_->active_mw,
+    SetAccounting(EnergyBucket::kActiveIdleThreshold,
+                  model_->StatePowerMw(PowerState::kActive),
                   &stats_.active_idle_threshold);
     ArmPolicyTimer();
   }
@@ -136,21 +138,22 @@ ChipRequest MemoryChip::PopNextRequest() {
   return request;
 }
 
-void MemoryChip::SwitchToServingAccounting(RequestKind kind) {
+void MemoryChip::SwitchToServingAccounting(RequestKind kind,
+                                           std::int64_t bytes) {
   switch (kind) {
     case RequestKind::kDma:
       bucket_ = EnergyBucket::kActiveServing;
-      power_mw_ = model_->active_mw;
+      power_mw_ = model_->ServingPowerMw(kind, bytes);
       time_slot_ = &stats_.dma_serving;
       break;
     case RequestKind::kCpu:
       bucket_ = EnergyBucket::kActiveServing;
-      power_mw_ = model_->active_mw;
+      power_mw_ = model_->ServingPowerMw(kind, bytes);
       time_slot_ = &stats_.cpu_serving;
       break;
     case RequestKind::kMigration:
       bucket_ = EnergyBucket::kMigration;
-      power_mw_ = model_->active_mw;
+      power_mw_ = model_->ServingPowerMw(kind, bytes);
       time_slot_ = &stats_.migration_serving;
       break;
   }
@@ -159,7 +162,7 @@ void MemoryChip::SwitchToServingAccounting(RequestKind kind) {
 void MemoryChip::ServeRequest(ChipRequest request) {
   serving_ = true;
   AccountTo(simulator_->Now());
-  SwitchToServingAccounting(request.kind);
+  SwitchToServingAccounting(request.kind, request.bytes);
 
   // Inline retirement of callback-free requests (migration copies). A
   // request with no completion callback whose service ends strictly
@@ -191,7 +194,7 @@ void MemoryChip::ServeRequest(ChipRequest request) {
       ++batched;
       issue = completion;
       request = PopNextRequest();
-      SwitchToServingAccounting(request.kind);
+      SwitchToServingAccounting(request.kind, request.bytes);
     }
     // Keep the logical event count identical to the unbatched kernel.
     if (batched > 0) simulator_->CreditExecuted(batched);
@@ -230,7 +233,8 @@ void MemoryChip::ServeDone() {
   if (request.on_complete) request.on_complete(simulator_->Now());
 }
 
-void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
+void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion,
+                                       std::int64_t bytes) {
   DMASIM_CHECK(!serving_ && !fsm_.transitioning());
   DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
@@ -240,10 +244,11 @@ void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion) {
   // the per-chunk StartNextService / ServeDone / BecomeIdleActive path.
   AccountTo(issue);
   bucket_ = EnergyBucket::kActiveServing;
-  power_mw_ = model_->active_mw;
+  power_mw_ = model_->ServingPowerMw(RequestKind::kDma, bytes);
   time_slot_ = &stats_.dma_serving;
   AccountTo(completion);
   bucket_ = EnergyBucket::kActiveIdleDma;
+  power_mw_ = model_->StatePowerMw(PowerState::kActive);
   time_slot_ = &stats_.active_idle_dma;
   ++stats_.dma_requests;
 }
@@ -254,7 +259,7 @@ void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
   DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
   AccountTo(issue);
   bucket_ = EnergyBucket::kActiveServing;
-  power_mw_ = model_->active_mw;
+  power_mw_ = model_->ServingPowerMw(RequestKind::kDma, request.bytes);
   time_slot_ = &stats_.dma_serving;
   serving_ = true;
   const Tick service = model_->ServiceTime(request.bytes);
@@ -296,10 +301,12 @@ void MemoryChip::BecomeIdleActive() {
   DMASIM_CHECK(!serving_ && !fsm_.transitioning());
   DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   if (in_flight_transfers_ > 0) {
-    SetAccounting(EnergyBucket::kActiveIdleDma, model_->active_mw,
+    SetAccounting(EnergyBucket::kActiveIdleDma,
+                  model_->StatePowerMw(PowerState::kActive),
                   &stats_.active_idle_dma);
   } else {
-    SetAccounting(EnergyBucket::kActiveIdleThreshold, model_->active_mw,
+    SetAccounting(EnergyBucket::kActiveIdleThreshold,
+                  model_->StatePowerMw(PowerState::kActive),
                   &stats_.active_idle_threshold);
   }
   ArmPolicyTimer();

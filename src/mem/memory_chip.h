@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "audit/audit_config.h"
+#include "mem/chip_power_model.h"
 #include "mem/power_fsm.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
@@ -39,7 +40,8 @@
 
 namespace dmasim {
 
-enum class RequestKind : int { kDma = 0, kCpu, kMigration };
+// RequestKind lives in mem/chip_power_model.h so activation-aware chip
+// models can price accesses by requester class.
 
 // Completion callback carried by a ChipRequest. Deliberately smaller
 // than SmallFunction: chip callbacks capture at most four pointers/values
@@ -75,7 +77,7 @@ struct ChipStats {
 class MemoryChip {
  public:
   // `simulator`, `model`, and `policy` must outlive the chip.
-  MemoryChip(Simulator* simulator, const PowerModel* model,
+  MemoryChip(Simulator* simulator, const ChipPowerModel* model,
              const LowPowerPolicy* policy, int id);
 
   MemoryChip(const MemoryChip&) = delete;
@@ -121,8 +123,9 @@ class MemoryChip {
   // Replays one full DMA chunk cycle that happened in the past: idle-DMA
   // time up to `issue`, serving time in [issue, completion), back to
   // idle-DMA at `completion`. Integrates exactly the energy terms the
-  // per-chunk execution would have, in the same order.
-  void AccountCoalescedCycle(Tick issue, Tick completion);
+  // per-chunk execution would have, in the same order. `bytes` is the
+  // chunk size (activation-aware models price serving power by burst).
+  void AccountCoalescedCycle(Tick issue, Tick completion, std::int64_t bytes);
 
   // Reconstructs the chip mid-service: the chunk was issued at `issue`
   // (in the past) and its ServeDone is rescheduled as a real event.
@@ -143,7 +146,7 @@ class MemoryChip {
 
   const EnergyBreakdown& energy() const { return energy_; }
   const ChipStats& stats() const { return stats_; }
-  const PowerModel& model() const { return *model_; }
+  const ChipPowerModel& model() const { return *model_; }
   // Simulated time up to which energy/stats have been integrated.
   Tick accounted_until() const { return accounted_until_; }
 
@@ -174,7 +177,7 @@ class MemoryChip {
  private:
   void StartNextService();
   ChipRequest PopNextRequest();
-  void SwitchToServingAccounting(RequestKind kind);
+  void SwitchToServingAccounting(RequestKind kind, std::int64_t bytes);
   void ServeRequest(ChipRequest request);
   void ServeDone();
   void BecomeIdleActive();
@@ -192,7 +195,7 @@ class MemoryChip {
   void SetAccounting(EnergyBucket bucket, double power_mw, Tick* time_slot);
 
   Simulator* simulator_;
-  const PowerModel* model_;
+  const ChipPowerModel* model_;
   const LowPowerPolicy* policy_;
   int id_;
 

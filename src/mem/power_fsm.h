@@ -14,6 +14,7 @@
 #ifndef DMASIM_MEM_POWER_FSM_H_
 #define DMASIM_MEM_POWER_FSM_H_
 
+#include "mem/chip_power_model.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
 #include "util/check.h"
@@ -38,23 +39,28 @@ class PowerFsm {
 
   // Begins waking to active from the current low-power state. Returns
   // `model`'s transition descriptor (power draw + resync latency).
-  const Transition& BeginWake(const PowerModel& model) {
+  const Transition& BeginWake(const ChipPowerModel& model) {
     DMASIM_CHECK(!transitioning_);
     DMASIM_CHECK_NE(state_, PowerState::kActive);
+    const PowerState from = state_;
     transitioning_ = true;
     transition_up_ = true;
     transition_target_ = PowerState::kActive;
-    return model.UpTransition(state_);
+    return model.TransitionBetween(from, PowerState::kActive);
   }
 
   // Begins stepping down to `target` (a strictly lower-power state).
-  const Transition& BeginStepDown(PowerState target, const PowerModel& model) {
+  // Billing is origin-aware: the descriptor is for the (state_, target)
+  // edge, not the historical from-active approximation.
+  const Transition& BeginStepDown(PowerState target,
+                                  const ChipPowerModel& model) {
     DMASIM_CHECK(!transitioning_);
     DMASIM_CHECK_NE(target, PowerState::kActive);
+    const PowerState from = state_;
     transitioning_ = true;
     transition_up_ = false;
     transition_target_ = target;
-    return model.DownTransition(target);
+    return model.TransitionBetween(from, target);
   }
 
   // Completes the in-flight transition; returns true when it was a wake.

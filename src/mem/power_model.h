@@ -14,15 +14,26 @@
 
 namespace dmasim {
 
+// Union of the power states any chip model can occupy. The first four
+// are the paper's RDRAM Table 1 states; the last three exist only in
+// modern-DRAM models (DDR4-style power-down and self-refresh). Which
+// subset is reachable — and in what power order — is owned by the
+// ChipPowerModel instance (mem/chip_power_model.h), never hard-coded.
 enum class PowerState : int {
   kActive = 0,
   kStandby,
   kNap,
   kPowerdown,
+  kActivePowerdown,     // DDR4: CKE low with a row open.
+  kPrechargePowerdown,  // DDR4: CKE low, all banks precharged.
+  kSelfRefresh,         // DDR4: clock stopped, internal refresh.
 };
 
-inline constexpr int kPowerStateCount = 4;
+inline constexpr int kPowerStateCount = 7;
 
+// Canonical display name. Total over the enum: an out-of-range value is
+// a programming error and aborts instead of silently printing "?" (a
+// 5+-state model falling through a 4-state switch must be loud).
 constexpr std::string_view PowerStateName(PowerState state) {
   switch (state) {
     case PowerState::kActive:
@@ -33,22 +44,14 @@ constexpr std::string_view PowerStateName(PowerState state) {
       return "nap";
     case PowerState::kPowerdown:
       return "powerdown";
+    case PowerState::kActivePowerdown:
+      return "active-powerdown";
+    case PowerState::kPrechargePowerdown:
+      return "precharge-powerdown";
+    case PowerState::kSelfRefresh:
+      return "self-refresh";
   }
-  return "?";
-}
-
-// Returns the next lower-power state, or kPowerdown if already there.
-constexpr PowerState NextLowerState(PowerState state) {
-  switch (state) {
-    case PowerState::kActive:
-      return PowerState::kStandby;
-    case PowerState::kStandby:
-      return PowerState::kNap;
-    case PowerState::kNap:
-    case PowerState::kPowerdown:
-      return PowerState::kPowerdown;
-  }
-  return PowerState::kPowerdown;
+  DMASIM_CHECK_MSG(false, "unnamed power state");
 }
 
 // Power/latency pair describing one power-mode transition.
@@ -90,8 +93,12 @@ struct PowerModel {
         return nap_mw;
       case PowerState::kPowerdown:
         return powerdown_mw;
+      case PowerState::kActivePowerdown:
+      case PowerState::kPrechargePowerdown:
+      case PowerState::kSelfRefresh:
+        break;  // Not RDRAM states; only ChipPowerModel instances own them.
     }
-    DMASIM_CHECK_MSG(false, "invalid power state");
+    DMASIM_CHECK_MSG(false, "state outside the RDRAM model");
   }
 
   // Transition descriptor for entering `target` from a higher-power state.
@@ -104,9 +111,12 @@ struct PowerModel {
       case PowerState::kPowerdown:
         return to_powerdown;
       case PowerState::kActive:
+      case PowerState::kActivePowerdown:
+      case PowerState::kPrechargePowerdown:
+      case PowerState::kSelfRefresh:
         break;
     }
-    DMASIM_CHECK_MSG(false, "no down transition to active");
+    DMASIM_CHECK_MSG(false, "no RDRAM down transition to that state");
   }
 
   // Transition descriptor for waking to active from `source`.
@@ -119,9 +129,12 @@ struct PowerModel {
       case PowerState::kPowerdown:
         return from_powerdown;
       case PowerState::kActive:
+      case PowerState::kActivePowerdown:
+      case PowerState::kPrechargePowerdown:
+      case PowerState::kSelfRefresh:
         break;
     }
-    DMASIM_CHECK_MSG(false, "no up transition from active");
+    DMASIM_CHECK_MSG(false, "no RDRAM up transition from that state");
   }
 
   // Time to serve `bytes` at the chip's peak data rate.

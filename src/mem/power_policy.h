@@ -90,6 +90,9 @@ class DynamicThresholdPolicy final : public LowPowerPolicy {
       case PowerState::kNap:
         return PolicyStep{config_.nap_to_powerdown, PowerState::kPowerdown};
       case PowerState::kPowerdown:
+      case PowerState::kActivePowerdown:
+      case PowerState::kPrechargePowerdown:
+      case PowerState::kSelfRefresh:
         return std::nullopt;
     }
     return std::nullopt;

@@ -274,7 +274,8 @@ FleetResults RunFleet(const FleetOptions& options) {
 #endif
   for (int i = 0; i < options.domains; ++i) {
     FleetDomain& domain = domains.emplace_back(i, &shared);
-    domain.policy = MakePolicy(options.base.policy, options.base.thresholds);
+    domain.policy = MakePolicy(options.base.policy, options.base.thresholds,
+                               options.base.memory);
     domain.controller = std::make_unique<MemoryController>(
         &domain.simulator, options.base.memory, domain.policy.get());
 

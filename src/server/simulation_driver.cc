@@ -96,6 +96,34 @@ std::unique_ptr<LowPowerPolicy> MakePolicy(
   DMASIM_CHECK_MSG(false, "invalid policy kind");
 }
 
+std::unique_ptr<LowPowerPolicy> MakePolicy(PolicyKind kind,
+                                           const DynamicThresholdConfig&
+                                               thresholds,
+                                           const MemorySystemConfig& memory) {
+  if (memory.chip_model == ChipModelKind::kRdram ||
+      memory.chip_model == ChipModelKind::kRdramCorrected ||
+      memory.chip_model == ChipModelKind::kSectored) {
+    // The whole family shares the RDRAM 4-state chain, so the classic
+    // policies apply unchanged.
+    return MakePolicy(kind, thresholds);
+  }
+  switch (kind) {
+    case PolicyKind::kDynamic:
+      // dmasim-lint: allow(heap-alloc) -- one-time construction.
+      return std::make_unique<ModelChainPolicy>(memory.chip_model,
+                                                memory.power, thresholds);
+    case PolicyKind::kStaticStandby:
+      // DDR4 keeps a precharge-standby state, so static-standby is legal.
+      return std::make_unique<StaticPolicy>(PowerState::kStandby);
+    case PolicyKind::kAlwaysActive:
+      return std::make_unique<AlwaysActivePolicy>();
+    case PolicyKind::kStaticNap:
+    case PolicyKind::kStaticPowerdown:
+      break;  // RDRAM-only states; fall through to the abort.
+  }
+  DMASIM_CHECK_MSG(false, "policy targets a state this chip model lacks");
+}
+
 std::string SchemeName(const MemorySystemConfig& config) {
   std::string name;
   if (!config.dma.ta.enabled) {
@@ -105,9 +133,12 @@ std::string SchemeName(const MemorySystemConfig& config) {
   } else {
     name = "DMA-TA-PL(" + std::to_string(config.dma.pl.groups) + ")";
   }
-  // The suffix (like the JSON monitor section) appears only when the
-  // monitor is on, so default-config artifacts stay byte-identical.
+  // The suffixes (like the JSON monitor section) appear only when the
+  // feature is on, so default-config artifacts stay byte-identical.
   if (config.monitor.enabled) name += "+mon";
+  if (config.chip_model != ChipModelKind::kRdram) {
+    name += "+" + std::string(ChipModelKindName(config.chip_model));
+  }
   return name;
 }
 
@@ -172,7 +203,7 @@ SimulationResults RunTrace(const Trace& trace, double miss_ratio,
 
   Simulator simulator;
   std::unique_ptr<LowPowerPolicy> policy =
-      MakePolicy(options.policy, options.thresholds);
+      MakePolicy(options.policy, options.thresholds, options.memory);
   MemoryController controller(&simulator, options.memory, policy.get());
   ServerConfig server_config = options.server;
   server_config.forced_miss_ratio = miss_ratio;

@@ -38,9 +38,17 @@ enum class PolicyKind : int {
 };
 
 std::string PolicyKindName(PolicyKind kind);
+// Builds the policy for `kind` on the RDRAM state chain.
 std::unique_ptr<LowPowerPolicy> MakePolicy(PolicyKind kind,
                                            const DynamicThresholdConfig&
                                                thresholds);
+// Model-aware overload: kDynamic walks `memory.chip_model`'s own state
+// chain (a DDR4 chip steps through its power-down cascade, not the
+// RDRAM one); static policies targeting states the model lacks abort.
+std::unique_ptr<LowPowerPolicy> MakePolicy(PolicyKind kind,
+                                           const DynamicThresholdConfig&
+                                               thresholds,
+                                           const MemorySystemConfig& memory);
 
 struct SimulationOptions {
   MemorySystemConfig memory;
@@ -69,10 +77,10 @@ struct SimulationOptions {
   // SimulationResults::audit_failures instead — used by tests).
   bool audit_abort = true;
   // Model the power-state legality invariant judges transitions against;
-  // null means the run's own `memory.power` (the seeded-fault regression
+  // null means the run's own chip model (the seeded-fault regression
   // test points this at the pristine reference while corrupting the
   // model the chips actually run).
-  const PowerModel* audit_reference_model = nullptr;
+  const ChipPowerModel* audit_reference_model = nullptr;
 
   // --- Observability (src/obs/) ------------------------------------------
   // Active only when the library is compiled with DMASIM_OBS >= 1; the

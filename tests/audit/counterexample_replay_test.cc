@@ -17,6 +17,7 @@
 #include "check/counterexample.h"
 #include "core/memory_controller.h"
 #include "io/dma_transfer.h"
+#include "mem/chip_power_model.h"
 #include "mem/power_policy.h"
 #include "sim/simulator.h"
 
@@ -89,7 +90,7 @@ std::size_t RunMappedReplay(const check::Counterexample& ce, bool faulted) {
   const std::unique_ptr<LowPowerPolicy> policy = MapPolicy(ce.config.policy);
   MemoryController controller(&simulator, config, policy.get());
 
-  static const PowerModel kReference;
+  static const RdramChipModel kReference{PowerModel{}};
   SimulationAudit::Options audit_options;
   audit_options.level = 2;
   audit_options.mode = InvariantAuditor::Mode::kCollect;

@@ -7,6 +7,7 @@
 
 #include "audit/invariant_auditor.h"
 #include "audit/power_state_auditor.h"
+#include "mem/chip_power_model.h"
 #include "mem/power_model.h"
 
 namespace dmasim {
@@ -84,7 +85,8 @@ TEST(InvariantAuditorDeathTest, AbortModeAbortsWithInvariantName) {
 
 TEST(PowerStateAuditorTest, LegalTransitionsPass) {
   const PowerModel model;
-  PowerStateAuditor auditor(&model, 1);
+  const RdramChipModel chip_model{model};
+  PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kActive);
 
   // Step down active -> nap, exactly the modeled latency.
@@ -101,7 +103,8 @@ TEST(PowerStateAuditorTest, LegalTransitionsPass) {
 
 TEST(PowerStateAuditorTest, SkippedResyncDelayIsFlagged) {
   const PowerModel model;
-  PowerStateAuditor auditor(&model, 1);
+  const RdramChipModel chip_model{model};
+  PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kNap);
 
   // A wake that takes zero time skipped the 60 ns resync delay.
@@ -112,7 +115,8 @@ TEST(PowerStateAuditorTest, SkippedResyncDelayIsFlagged) {
 
 TEST(PowerStateAuditorTest, UpwardTransitionMustTargetActive) {
   const PowerModel model;
-  PowerStateAuditor auditor(&model, 1);
+  const RdramChipModel chip_model{model};
+  PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kPowerdown);
   EXPECT_NE(auditor.Validate(0, PowerState::kPowerdown, PowerState::kNap,
                              /*up=*/true, 0, model.from_powerdown.duration),
@@ -121,7 +125,8 @@ TEST(PowerStateAuditorTest, UpwardTransitionMustTargetActive) {
 
 TEST(PowerStateAuditorTest, DownwardTransitionMustLowerTheState) {
   const PowerModel model;
-  PowerStateAuditor auditor(&model, 1);
+  const RdramChipModel chip_model{model};
+  PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kNap);
   EXPECT_NE(auditor.Validate(0, PowerState::kNap, PowerState::kStandby,
                              /*up=*/false, 0, model.to_standby.duration),
@@ -130,7 +135,8 @@ TEST(PowerStateAuditorTest, DownwardTransitionMustLowerTheState) {
 
 TEST(PowerStateAuditorTest, StateDiscontinuityIsFlagged) {
   const PowerModel model;
-  PowerStateAuditor auditor(&model, 1);
+  const RdramChipModel chip_model{model};
+  PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kActive);
   // The chip was last seen active, so a transition claiming to start from
   // nap is a teleport.

@@ -122,7 +122,7 @@ TEST(SimulationAuditTest, SeededResyncFaultIsCaught) {
   // Corrupt the model the chips actually run -- waking from nap takes
   // zero time, i.e. the resync delay is skipped -- while the auditor
   // judges transitions against the pristine Table 1 reference.
-  static const PowerModel kReference;
+  static const RdramChipModel kReference{PowerModel{}};
   SimulationOptions options = AuditedOptions();
   options.policy = PolicyKind::kStaticNap;  // Guarantees nap/wake cycles.
   options.memory.power.from_nap.duration = 0;
@@ -134,7 +134,7 @@ TEST(SimulationAuditTest, SeededResyncFaultIsCaught) {
 }
 
 TEST(SimulationAuditDeathTest, SeededFaultAbortsInAbortMode) {
-  static const PowerModel kReference;
+  static const RdramChipModel kReference{PowerModel{}};
   SimulationOptions options;
   options.audit_level = 2;
   options.audit_abort = true;

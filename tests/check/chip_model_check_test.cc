@@ -1,0 +1,120 @@
+// Model-checker coverage for the chip power-model family: the DDR4
+// cascade (including self-refresh entry/exit) explores clean under the
+// full property set, the seeded skipped-tXS fault is caught, and the
+// counterexample format round-trips the chip_model configuration key
+// (absent key = RDRAM, so committed pre-family fixtures still parse).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/check_config.h"
+#include "check/counterexample.h"
+#include "check/explorer.h"
+#include "check/protocol_harness.h"
+#include "mem/chip_power_model.h"
+
+namespace dmasim::check {
+namespace {
+
+CheckerConfig Ddr4Config() {
+  CheckerConfig config;
+  config.chip_model = ChipModelKind::kDdr4;
+  config.policy = CheckPolicy::kDynamicThreshold;
+  return config;
+}
+
+TEST(ChipModelCheckTest, Ddr4CascadeExploresClean) {
+  Explorer explorer(Ddr4Config());
+  const ExploreResult result = explorer.Run();
+  EXPECT_FALSE(result.violation.has_value())
+      << result.violation->property << ": " << result.violation->message;
+  EXPECT_FALSE(result.stats.truncated);
+  EXPECT_GT(result.stats.states_explored, 100u);
+  // The FSMs really were driven through audited transitions, which for
+  // this chain includes self-refresh entries and exits.
+  EXPECT_GT(result.stats.transitions_audited, 0u);
+}
+
+TEST(ChipModelCheckTest, Ddr4HarnessReachesSelfRefresh) {
+  // Chips rest in the policy's deepest state -- self-refresh for the
+  // DDR4 cascade. Wake one, step it back down through every state, and
+  // wake it again: entry and exit of the whole chain, each judged by
+  // the power-state auditor against the pristine reference.
+  CheckerConfig config = Ddr4Config();
+  config.max_cpu_accesses = 2;
+  ProtocolHarness harness(config);
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kSelfRefresh);
+  ASSERT_TRUE(harness.Apply(Action{ActionKind::kCpuAccess, 0, 0}));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kActive);
+  ASSERT_TRUE(harness.Apply(Action{ActionKind::kStepDown, 0, 0}));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kStandby);
+  ASSERT_TRUE(harness.Apply(Action{ActionKind::kStepDown, 0, 0}));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kActivePowerdown);
+  ASSERT_TRUE(harness.Apply(Action{ActionKind::kStepDown, 0, 0}));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kPrechargePowerdown);
+  ASSERT_TRUE(harness.Apply(Action{ActionKind::kStepDown, 0, 0}));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kSelfRefresh);
+  ASSERT_TRUE(harness.Apply(Action{ActionKind::kCpuAccess, 0, 0}));
+  EXPECT_EQ(harness.fsm(0).state(), PowerState::kActive);
+  EXPECT_FALSE(harness.violation().has_value());
+  EXPECT_GE(harness.transitions_checked(), 6u);
+}
+
+TEST(ChipModelCheckTest, Ddr4SkippedSelfRefreshExitIsCaught) {
+  CheckerConfig config = Ddr4Config();
+  config.fault = CheckFault::kResyncSkip;  // tXS skipped on wake.
+  Explorer explorer(config);
+  const ExploreResult result = explorer.Run();
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->property, "check.power-state-legality");
+}
+
+TEST(ChipModelCheckTest, CorrectedAndSectoredKeepTheRdramChainClean) {
+  for (ChipModelKind kind :
+       {ChipModelKind::kRdramCorrected, ChipModelKind::kSectored}) {
+    CheckerConfig config;
+    config.chip_model = kind;
+    Explorer explorer(config);
+    const ExploreResult result = explorer.Run();
+    EXPECT_FALSE(result.violation.has_value())
+        << ChipModelKindName(kind) << ": " << result.violation->property;
+  }
+}
+
+TEST(ChipModelCheckTest, CounterexampleRoundTripsChipModel) {
+  Counterexample ce;
+  ce.config = Ddr4Config();
+  ce.property = "check.power-state-legality";
+  ce.message = "synthetic";
+  ce.actions.push_back(Action{ActionKind::kStepDown, 0, 0});
+
+  const std::string text = FormatCounterexample(ce);
+  EXPECT_NE(text.find("chip_model ddr4"), std::string::npos);
+
+  Counterexample parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCounterexampleText(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.config.chip_model, ChipModelKind::kDdr4);
+  EXPECT_EQ(parsed.config.policy, CheckPolicy::kDynamicThreshold);
+}
+
+TEST(ChipModelCheckTest, MissingChipModelKeyDefaultsToRdram) {
+  // Pre-family counterexample files carry no chip_model line; they must
+  // keep parsing and keep meaning RDRAM.
+  Counterexample ce;
+  ce.property = "p";
+  ce.actions.push_back(Action{ActionKind::kAdvance, 0, 0});
+  std::string text = FormatCounterexample(ce);
+  const std::string::size_type at = text.find("chip_model rdram\n");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at, std::string("chip_model rdram\n").size());
+
+  Counterexample parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCounterexampleText(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.config.chip_model, ChipModelKind::kRdram);
+}
+
+}  // namespace
+}  // namespace dmasim::check

@@ -1,0 +1,361 @@
+// Tests for the pluggable chip power-model family: byte-identity of the
+// RDRAM compat member, the corrected chained-edge billing (with the
+// old-vs-new delta pinned as a regression anchor), DDR4 calibration
+// against published DRAMPower/datasheet numbers, sectored fine-grained
+// activation, and structural conservation of every member's transition
+// matrix.
+#include "mem/chip_power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "mem/power_model.h"
+
+namespace dmasim {
+namespace {
+
+// --- Structural conservation, checked for every family member. ---
+//
+// A chip model is usable by the simulator only if:
+//  * the chain starts at active and descends strictly in power,
+//  * every non-active state can wake directly to active,
+//  * every chain edge one step down exists (policies deepen stepwise),
+//  * every legal edge carries non-negative power and duration, and
+//    transition power never exceeds the origin's *wake* envelope
+//    ceiling (the matrix maximum is still bounded by the model's own
+//    TransitionPowerBounds).
+void ExpectWellFormed(const ChipPowerModel& model) {
+  SCOPED_TRACE(std::string(model.Name()));
+  ASSERT_GE(model.StateCount(), 2);
+  EXPECT_EQ(model.State(0), PowerState::kActive);
+  for (int i = 1; i < model.StateCount(); ++i) {
+    EXPECT_LT(model.StatePowerMw(model.State(i)),
+              model.StatePowerMw(model.State(i - 1)))
+        << "chain must descend strictly at index " << i;
+    // Wake edge back to active.
+    EXPECT_TRUE(model.LegalTransition(model.State(i), PowerState::kActive));
+    // Stepwise deepening edge from the previous chain state.
+    EXPECT_TRUE(model.LegalTransition(model.State(i - 1), model.State(i)));
+  }
+  // The chain query agrees with the chain order.
+  for (int i = 0; i + 1 < model.StateCount(); ++i) {
+    EXPECT_EQ(model.NextLowerState(model.State(i)), model.State(i + 1));
+  }
+  EXPECT_EQ(model.NextLowerState(model.DeepestState()), std::nullopt);
+
+  double tr_min = 0.0;
+  double tr_max = 0.0;
+  model.TransitionPowerBounds(&tr_min, &tr_max);
+  EXPECT_GE(tr_min, 0.0);
+  EXPECT_LE(tr_min, tr_max);
+  for (int f = 0; f < kPowerStateCount; ++f) {
+    for (int t = 0; t < kPowerStateCount; ++t) {
+      const PowerState from = static_cast<PowerState>(f);
+      const PowerState to = static_cast<PowerState>(t);
+      if (!model.LegalTransition(from, to)) continue;
+      const Transition& edge = model.TransitionBetween(from, to);
+      EXPECT_GE(edge.power_mw, tr_min);
+      EXPECT_LE(edge.power_mw, tr_max);
+      EXPECT_GE(edge.duration, 0);
+    }
+  }
+
+  double serve_min = 0.0;
+  double serve_max = 0.0;
+  model.ServingPowerBounds(&serve_min, &serve_max);
+  EXPECT_GT(serve_min, 0.0);
+  EXPECT_LE(serve_min, serve_max);
+  for (std::int64_t bytes : {1, 8, 64, 512, 8192}) {
+    for (RequestKind kind :
+         {RequestKind::kDma, RequestKind::kCpu, RequestKind::kMigration}) {
+      const double mw = model.ServingPowerMw(kind, bytes);
+      EXPECT_GE(mw, serve_min) << "bytes " << bytes;
+      EXPECT_LE(mw, serve_max) << "bytes " << bytes;
+    }
+  }
+}
+
+TEST(ChipPowerModelTest, EveryFamilyMemberIsWellFormed) {
+  const PowerModel params;
+  for (ChipModelKind kind : kAllChipModelKinds) {
+    ExpectWellFormed(*MakeChipPowerModel(kind, params));
+  }
+}
+
+TEST(ChipPowerModelTest, KindNamesRoundTrip) {
+  for (ChipModelKind kind : kAllChipModelKinds) {
+    EXPECT_EQ(ParseChipModelKind(ChipModelKindName(kind)), kind);
+  }
+  EXPECT_EQ(ParseChipModelKind("sdram"), std::nullopt);
+  EXPECT_EQ(ParseChipModelKind(""), std::nullopt);
+}
+
+// --- RDRAM compat member: byte-identical Table 1 semantics. ---
+
+TEST(ChipPowerModelTest, RdramMatchesTable1Exactly) {
+  const PowerModel params;
+  const RdramChipModel model{params};
+  EXPECT_EQ(model.kind(), ChipModelKind::kRdram);
+  EXPECT_EQ(model.StateCount(), 4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive), 300.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby), 180.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kNap), 30.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPowerdown), 3.0);
+  EXPECT_FALSE(model.IsSupported(PowerState::kActivePowerdown));
+  EXPECT_FALSE(model.IsSupported(PowerState::kPrechargePowerdown));
+  EXPECT_FALSE(model.IsSupported(PowerState::kSelfRefresh));
+
+  // Identical timing: the exact same double arithmetic as PowerModel.
+  EXPECT_EQ(model.cycle(), params.cycle);
+  EXPECT_EQ(model.ServiceTime(8), params.ServiceTime(8));
+  EXPECT_EQ(model.ServiceTime(512), params.ServiceTime(512));
+  EXPECT_EQ(model.ServiceTime(8192), params.ServiceTime(8192));
+  EXPECT_DOUBLE_EQ(model.BandwidthBytesPerSecond(),
+                   params.BandwidthBytesPerSecond());
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 8),
+                   params.active_mw);
+}
+
+TEST(ChipPowerModelTest, RdramCompatMatrixBillsEveryDownEdgeFromActive) {
+  // The historical accounting reused the from-active descriptor for
+  // chained step-downs; the compat member reproduces that bit-for-bit so
+  // pinned artifact checksums cannot move.
+  const PowerModel params;
+  const RdramChipModel model{params};
+  constexpr PowerState kChain[] = {PowerState::kActive, PowerState::kStandby,
+                                   PowerState::kNap, PowerState::kPowerdown};
+  for (int f = 0; f < 4; ++f) {
+    for (int t = f + 1; t < 4; ++t) {
+      const Transition& edge = model.TransitionBetween(kChain[f], kChain[t]);
+      const Transition& table1 = params.DownTransition(kChain[t]);
+      EXPECT_DOUBLE_EQ(edge.power_mw, table1.power_mw);
+      EXPECT_EQ(edge.duration, table1.duration);
+    }
+  }
+  for (int f = 1; f < 4; ++f) {
+    const Transition& edge =
+        model.TransitionBetween(kChain[f], PowerState::kActive);
+    const Transition& table1 = params.UpTransition(kChain[f]);
+    EXPECT_DOUBLE_EQ(edge.power_mw, table1.power_mw);
+    EXPECT_EQ(edge.duration, table1.duration);
+  }
+  // No lateral or upward shortcuts exist.
+  EXPECT_FALSE(model.LegalTransition(PowerState::kNap, PowerState::kStandby));
+  EXPECT_FALSE(
+      model.LegalTransition(PowerState::kPowerdown, PowerState::kNap));
+}
+
+// --- Corrected member: origin-aware chained billing (the bugfix). ---
+
+TEST(ChipPowerModelTest, CorrectedScalesChainedEdgesByOriginEnvelope) {
+  const PowerModel params;
+  const RdramCorrectedChipModel model{params};
+  // From-active edges are untouched -- Table 1 measures those directly.
+  EXPECT_DOUBLE_EQ(
+      model.TransitionBetween(PowerState::kActive, PowerState::kNap).power_mw,
+      160.0);
+  // Chained edges scale by StatePowerMw(origin) / active_mw:
+  //   standby -> nap:        160 mW * 180/300 = 96 mW
+  //   standby -> powerdown:   15 mW * 180/300 =  9 mW
+  //   nap -> powerdown:       15 mW *  30/300 =  1.5 mW
+  EXPECT_DOUBLE_EQ(
+      model.TransitionBetween(PowerState::kStandby, PowerState::kNap).power_mw,
+      96.0);
+  EXPECT_DOUBLE_EQ(model
+                       .TransitionBetween(PowerState::kStandby,
+                                          PowerState::kPowerdown)
+                       .power_mw,
+                   9.0);
+  EXPECT_DOUBLE_EQ(
+      model.TransitionBetween(PowerState::kNap, PowerState::kPowerdown)
+          .power_mw,
+      1.5);
+  // Durations are unchanged: Table 1 lists no chained latencies.
+  EXPECT_EQ(
+      model.TransitionBetween(PowerState::kStandby, PowerState::kNap).duration,
+      params.to_nap.duration);
+}
+
+TEST(ChipPowerModelTest, CorrectedVsCompatDeltaIsPinned) {
+  // Regression anchor for the step-down billing bugfix: the energy a
+  // single standby -> nap transition over-bills under the compat matrix
+  // relative to the corrected one is exactly (160 - 96) mW for the
+  // 8-cycle transition window. If either matrix drifts, this moves.
+  const PowerModel params;
+  const RdramChipModel compat{params};
+  const RdramCorrectedChipModel corrected{params};
+  const Transition& old_edge =
+      compat.TransitionBetween(PowerState::kStandby, PowerState::kNap);
+  const Transition& new_edge =
+      corrected.TransitionBetween(PowerState::kStandby, PowerState::kNap);
+  ASSERT_EQ(old_edge.duration, new_edge.duration);
+  const double delta_joules =
+      PowerModel::EnergyJoules(old_edge.power_mw, old_edge.duration) -
+      PowerModel::EnergyJoules(new_edge.power_mw, new_edge.duration);
+  // 64 mW over 8 * 625 ps = 3.2e-10 J.
+  EXPECT_NEAR(delta_joules, 3.2e-10, 1e-16);
+}
+
+// --- DDR4 member: calibration pins. ---
+
+TEST(ChipPowerModelTest, Ddr4CalibrationPins) {
+  const Ddr4ChipModel model;
+  EXPECT_EQ(model.kind(), ChipModelKind::kDdr4);
+  EXPECT_EQ(model.StateCount(), 5);
+  // IDD * 1.2 V for a DDR4-2400 x16 die.
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive), 56.4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby), 44.4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActivePowerdown), 38.4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPrechargePowerdown), 30.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kSelfRefresh), 24.0);
+  EXPECT_FALSE(model.IsSupported(PowerState::kNap));
+  EXPECT_FALSE(model.IsSupported(PowerState::kPowerdown));
+
+  // 833 ps clock moving 4 bytes: 4.8 GB/s peak.
+  EXPECT_EQ(model.cycle(), 833);
+  EXPECT_NEAR(model.BandwidthBytesPerSecond(), 4.8e9, 2e7);
+
+  // Exit latencies: tXP = 6 ns, tXP + tRCD = 20 ns, tXS = 270 ns.
+  EXPECT_EQ(model.TransitionBetween(PowerState::kActivePowerdown,
+                                    PowerState::kActive)
+                .duration,
+            6 * kNanosecond);
+  EXPECT_EQ(model.TransitionBetween(PowerState::kPrechargePowerdown,
+                                    PowerState::kActive)
+                .duration,
+            20 * kNanosecond);
+  EXPECT_EQ(
+      model.TransitionBetween(PowerState::kSelfRefresh, PowerState::kActive)
+          .duration,
+      270 * kNanosecond);
+  // Entry powers are endpoint midpoints (rails ramp between envelopes).
+  EXPECT_DOUBLE_EQ(model
+                       .TransitionBetween(PowerState::kStandby,
+                                          PowerState::kSelfRefresh)
+                       .power_mw,
+                   0.5 * (44.4 + 24.0));
+}
+
+TEST(ChipPowerModelTest, Ddr4FaultInjectionHookSkipsSelfRefreshExit) {
+  Ddr4Options options;
+  options.self_refresh_exit = 0;
+  const Ddr4ChipModel faulty{options};
+  EXPECT_EQ(
+      faulty.TransitionBetween(PowerState::kSelfRefresh, PowerState::kActive)
+          .duration,
+      0);
+}
+
+TEST(ChipPowerModelTest, Ddr4ServingEnvelopeExceedsActiveStandby) {
+  // Serving bills the read-burst envelope, not the standby current --
+  // this is the member that exercises the serving != active audit path.
+  const Ddr4ChipModel model;
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 512),
+                   Ddr4ChipModel::kServingMw);
+  EXPECT_GT(Ddr4ChipModel::kServingMw,
+            model.StatePowerMw(PowerState::kActive));
+  double lo = 0.0;
+  double hi = 0.0;
+  model.ServingPowerBounds(&lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, Ddr4ChipModel::kServingMw);
+  EXPECT_DOUBLE_EQ(hi, Ddr4ChipModel::kServingMw);
+}
+
+// --- Sectored member: fine-grained activation billing. ---
+
+TEST(ChipPowerModelTest, SectoredBillsOnlyTouchedSectors) {
+  const PowerModel params;
+  const SectoredChipModel model{params};
+  const double active = params.active_mw;
+  // 40% static periphery + 60% scaled by activated sectors out of 8.
+  // One 64-byte sector: 0.4*300 + 0.6*300/8 = 142.5 mW.
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kCpu, 64), 142.5);
+  // An 8-byte burst still activates one full sector.
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 8), 142.5);
+  // Half the row: 0.4*300 + 0.6*300*4/8 = 210 mW.
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 256), 210.0);
+  // A full 512-byte row (or more) costs exactly the active power.
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 512), active);
+  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 8192), active);
+
+  double lo = 0.0;
+  double hi = 0.0;
+  model.ServingPowerBounds(&lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, 142.5);
+  EXPECT_DOUBLE_EQ(hi, active);
+  // Timing and the idle matrix ride on the corrected RDRAM member.
+  EXPECT_EQ(model.ServiceTime(8), params.ServiceTime(8));
+  EXPECT_DOUBLE_EQ(
+      model.TransitionBetween(PowerState::kStandby, PowerState::kNap).power_mw,
+      96.0);
+}
+
+// --- Timing seam used by MemorySystemConfig::MemoryBandwidth(). ---
+
+TEST(ChipPowerModelTest, ChipModelTimingMatchesModels) {
+  const PowerModel params;
+  for (ChipModelKind kind : kAllChipModelKinds) {
+    const ChipTiming timing = ChipModelTiming(kind, params);
+    const std::unique_ptr<ChipPowerModel> model =
+        MakeChipPowerModel(kind, params);
+    EXPECT_EQ(timing.cycle, model->cycle()) << model->Name();
+    EXPECT_DOUBLE_EQ(timing.bytes_per_cycle, model->bytes_per_cycle())
+        << model->Name();
+  }
+}
+
+// --- ModelChainPolicy: chain walking for arbitrary members. ---
+
+TEST(ChipPowerModelTest, ModelChainPolicyWalksDdr4Cascade) {
+  DynamicThresholdConfig thresholds;
+  const ModelChainPolicy policy(ChipModelKind::kDdr4, PowerModel{},
+                                thresholds);
+  EXPECT_EQ(policy.Name(), "dynamic-ddr4");
+
+  const std::optional<PolicyStep> first = policy.NextStep(PowerState::kActive);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->target, PowerState::kStandby);
+  EXPECT_EQ(first->after_idle, thresholds.active_to_standby);
+
+  const std::optional<PolicyStep> second =
+      policy.NextStep(PowerState::kStandby);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->target, PowerState::kActivePowerdown);
+  EXPECT_EQ(second->after_idle, thresholds.standby_to_nap);
+
+  const std::optional<PolicyStep> third =
+      policy.NextStep(PowerState::kActivePowerdown);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->target, PowerState::kPrechargePowerdown);
+  EXPECT_EQ(third->after_idle, thresholds.nap_to_powerdown);
+
+  const std::optional<PolicyStep> fourth =
+      policy.NextStep(PowerState::kPrechargePowerdown);
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(fourth->target, PowerState::kSelfRefresh);
+
+  EXPECT_EQ(policy.NextStep(PowerState::kSelfRefresh), std::nullopt);
+}
+
+TEST(ChipPowerModelTest, ModelChainPolicyMatchesDynamicThresholdOnRdram) {
+  DynamicThresholdConfig thresholds;
+  const ModelChainPolicy chain(ChipModelKind::kRdram, PowerModel{},
+                               thresholds);
+  const DynamicThresholdPolicy classic(thresholds);
+  for (PowerState state :
+       {PowerState::kActive, PowerState::kStandby, PowerState::kNap,
+        PowerState::kPowerdown}) {
+    const std::optional<PolicyStep> a = chain.NextStep(state);
+    const std::optional<PolicyStep> b = classic.NextStep(state);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->target, b->target);
+      EXPECT_EQ(a->after_idle, b->after_idle);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/chip_power_model.h"
 #include "mem/power_model.h"
 #include "mem/power_policy.h"
 #include "sim/simulator.h"
@@ -15,6 +16,7 @@ class ChipFixture : public ::testing::Test {
  protected:
   Simulator simulator_;
   PowerModel model_;
+  RdramChipModel chip_model_{model_};
   DynamicThresholdPolicy dynamic_policy_;
   AlwaysActivePolicy active_policy_;
 };
@@ -29,17 +31,17 @@ Tick TrackedTime(const ChipStats& stats) {
 }
 
 TEST_F(ChipFixture, StartsInPolicyRestingState) {
-  MemoryChip chip(&simulator_, &model_, &dynamic_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   EXPECT_EQ(chip.power_state(), PowerState::kPowerdown);
   EXPECT_TRUE(chip.InLowPowerForGating());
 
-  MemoryChip awake(&simulator_, &model_, &active_policy_, 1);
+  MemoryChip awake(&simulator_, &chip_model_, &active_policy_, 1);
   EXPECT_EQ(awake.power_state(), PowerState::kActive);
   EXPECT_FALSE(awake.InLowPowerForGating());
 }
 
 TEST_F(ChipFixture, WakeupThenServeTiming) {
-  MemoryChip chip(&simulator_, &model_, &dynamic_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   Tick completed = -1;
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
                            [&](Tick when) { completed = when; }});
@@ -58,7 +60,7 @@ TEST_F(ChipFixture, TryStepDownDepthFollowsPolicyChain) {
   config.standby_to_nap = kSecond;
   config.nap_to_powerdown = kSecond;
   DynamicThresholdPolicy policy(config);
-  MemoryChip chip(&simulator_, &model_, &policy, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
 
   // Wake the chip; after serving it idles in Active.
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, [](Tick) {}});
@@ -83,7 +85,7 @@ TEST_F(ChipFixture, TryStepDownDepthFollowsPolicyChain) {
 }
 
 TEST_F(ChipFixture, ServeFromActiveHasNoWakeDelay) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   Tick completed = -1;
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
                            [&](Tick when) { completed = when; }});
@@ -93,7 +95,7 @@ TEST_F(ChipFixture, ServeFromActiveHasNoWakeDelay) {
 }
 
 TEST_F(ChipFixture, WakeEnergyGoesToTransitionBucket) {
-  MemoryChip chip(&simulator_, &model_, &dynamic_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.RunUntil(6000 * kNanosecond + 4 * 625);
   chip.SyncAccounting();
@@ -106,7 +108,7 @@ TEST_F(ChipFixture, WakeEnergyGoesToTransitionBucket) {
 }
 
 TEST_F(ChipFixture, CpuRequestsHavePriorityOverDma) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   std::vector<int> order;
   // First request starts serving immediately; the next two queue.
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
@@ -120,7 +122,7 @@ TEST_F(ChipFixture, CpuRequestsHavePriorityOverDma) {
 }
 
 TEST_F(ChipFixture, MigrationHasLowestPriority) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   std::vector<int> order;
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
                            [&](Tick) { order.push_back(0); }});
@@ -135,7 +137,7 @@ TEST_F(ChipFixture, MigrationHasLowestPriority) {
 }
 
 TEST_F(ChipFixture, MigrationEnergyGoesToMigrationBucket) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   chip.Enqueue(ChipRequest{RequestKind::kMigration, 8192, {}});
   simulator_.Run();
   chip.SyncAccounting();
@@ -145,9 +147,9 @@ TEST_F(ChipFixture, MigrationEnergyGoesToMigrationBucket) {
 }
 
 TEST_F(ChipFixture, DynamicPolicyStepsDownThroughStates) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   // Use a chip that starts active with a dynamic policy instead:
-  MemoryChip stepping(&simulator_, &model_, &dynamic_policy_, 1);
+  MemoryChip stepping(&simulator_, &chip_model_, &dynamic_policy_, 1);
   // Wake it with one request, then leave it idle.
   stepping.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.RunUntil(100 * kMicrosecond);
@@ -164,7 +166,7 @@ TEST_F(ChipFixture, IdleTimerCancelledByNewRequest) {
   DynamicThresholdConfig config;
   config.active_to_standby = 100 * kNanosecond;
   DynamicThresholdPolicy policy(config);
-  MemoryChip chip(&simulator_, &model_, &policy, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.RunUntil(6000 * kNanosecond + 4 * 625 + 50 * kNanosecond);
   EXPECT_EQ(chip.power_state(), PowerState::kActive);
@@ -177,7 +179,7 @@ TEST_F(ChipFixture, IdleTimerCancelledByNewRequest) {
 }
 
 TEST_F(ChipFixture, InFlightTransferSuppressesStepDown) {
-  MemoryChip chip(&simulator_, &model_, &dynamic_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.Run();
   EXPECT_EQ(chip.power_state(), PowerState::kPowerdown);
@@ -198,7 +200,7 @@ TEST_F(ChipFixture, InFlightTransferSuppressesStepDown) {
 }
 
 TEST_F(ChipFixture, IdleAttributionSwitchesWithTransferRegistration) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   chip.BeginTransfer();
   simulator_.RunUntil(1000);
   chip.EndTransfer();
@@ -210,7 +212,7 @@ TEST_F(ChipFixture, IdleAttributionSwitchesWithTransferRegistration) {
 
 TEST_F(ChipFixture, StaticPolicyDropsImmediately) {
   StaticPolicy policy(PowerState::kNap);
-  MemoryChip chip(&simulator_, &model_, &policy, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
   EXPECT_EQ(chip.power_state(), PowerState::kNap);
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.Run();
@@ -226,7 +228,7 @@ TEST_F(ChipFixture, RequestDuringDownTransitionTriggersRewake) {
   DynamicThresholdConfig config;
   config.active_to_standby = 10 * kNanosecond;
   DynamicThresholdPolicy policy(config);
-  MemoryChip chip(&simulator_, &model_, &policy, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.Run();  // Settles in powerdown eventually; first check timing.
 
@@ -250,7 +252,7 @@ TEST_F(ChipFixture, RequestDuringDownTransitionTriggersRewake) {
 TEST_F(ChipFixture, Figure2aUtilizationPattern) {
   // Fig. 2(a): 8-byte requests arriving every 12 cycles keep the chip
   // serving 4 cycles and idle 8 -- two thirds of the active energy wasted.
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   chip.BeginTransfer();
   const int requests = 64;
   for (int i = 0; i < requests; ++i) {
@@ -270,7 +272,7 @@ TEST_F(ChipFixture, Figure2aUtilizationPattern) {
 }
 
 TEST_F(ChipFixture, AlwaysActivePolicyNeverTransitions) {
-  MemoryChip chip(&simulator_, &model_, &active_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
   simulator_.RunUntil(kMillisecond);
   EXPECT_EQ(chip.power_state(), PowerState::kActive);
@@ -279,7 +281,7 @@ TEST_F(ChipFixture, AlwaysActivePolicyNeverTransitions) {
 }
 
 TEST_F(ChipFixture, SyncAccountingIsIdempotent) {
-  MemoryChip chip(&simulator_, &model_, &dynamic_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   simulator_.RunUntil(kMicrosecond);
   chip.SyncAccounting();
   const double energy = chip.energy().Total();
@@ -288,7 +290,7 @@ TEST_F(ChipFixture, SyncAccountingIsIdempotent) {
 }
 
 TEST_F(ChipFixture, LowPowerResidencyEnergy) {
-  MemoryChip chip(&simulator_, &model_, &dynamic_policy_, 0);
+  MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   simulator_.RunUntil(kMillisecond);
   chip.SyncAccounting();
   // Idle chip in powerdown: 3 mW for 1 ms.
@@ -306,8 +308,9 @@ class ChipTimeConservationTest : public ::testing::TestWithParam<int> {};
 TEST_P(ChipTimeConservationTest, TimeBucketsTileElapsedTime) {
   Simulator simulator;
   PowerModel model;
+  RdramChipModel chip_model{model};
   DynamicThresholdPolicy policy;
-  MemoryChip chip(&simulator, &model, &policy, 0);
+  MemoryChip chip(&simulator, &chip_model, &policy, 0);
   Rng rng(static_cast<std::uint64_t>(GetParam()));
 
   Tick when = 0;

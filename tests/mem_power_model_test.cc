@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "mem/chip_power_model.h"
+
 namespace dmasim {
 namespace {
 
@@ -66,10 +70,13 @@ TEST(PowerModelTest, EnergyJoules) {
 }
 
 TEST(PowerModelTest, NextLowerStateChain) {
-  EXPECT_EQ(NextLowerState(PowerState::kActive), PowerState::kStandby);
-  EXPECT_EQ(NextLowerState(PowerState::kStandby), PowerState::kNap);
-  EXPECT_EQ(NextLowerState(PowerState::kNap), PowerState::kPowerdown);
-  EXPECT_EQ(NextLowerState(PowerState::kPowerdown), PowerState::kPowerdown);
+  // The chain query moved into the chip-model family; the RDRAM member
+  // still walks Table 1's active -> standby -> nap -> powerdown order.
+  const RdramChipModel model{PowerModel{}};
+  EXPECT_EQ(model.NextLowerState(PowerState::kActive), PowerState::kStandby);
+  EXPECT_EQ(model.NextLowerState(PowerState::kStandby), PowerState::kNap);
+  EXPECT_EQ(model.NextLowerState(PowerState::kNap), PowerState::kPowerdown);
+  EXPECT_EQ(model.NextLowerState(PowerState::kPowerdown), std::nullopt);
 }
 
 TEST(PowerModelTest, StateNames) {

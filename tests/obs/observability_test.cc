@@ -346,8 +346,15 @@ TEST_F(ObsReconcileFixture, ResidencyEventsReconcileWithChipAccounting) {
         << "chip " << i;
 
     // And the residency-implied low-power energy matches the accumulator.
+    // States the chip model does not support (the DDR4-only ones on the
+    // default RDRAM model) can hold no residency.
     double low_power_joules = 0.0;
     for (int state = 1; state < kPowerStateCount; ++state) {
+      if (!chip.model().IsSupported(static_cast<PowerState>(state))) {
+        EXPECT_EQ(residency[i][state], 0) << "chip " << i << " state "
+                                          << state;
+        continue;
+      }
       low_power_joules += PowerModel::EnergyJoules(
           chip.model().StatePowerMw(static_cast<PowerState>(state)),
           residency[i][state]);

@@ -42,7 +42,7 @@ int main() {
       }
       policies.AddRow(
           {PolicyKindName(kind),
-           TablePrinter::Num(record->results.energy.Total() * 1e3, 1),
+           TablePrinter::Num(record->results.energy.Total().joules() * 1e3, 1),
            TablePrinter::Percent(
                record->results.EnergySavingsVs(dynamic_base->results))});
     }

@@ -13,7 +13,7 @@ int main() {
       "time while a lone transfer is in flight.");
 
   MemorySystemConfig config;
-  const Tick serve = config.power.ServiceTime(config.chunk_bytes);
+  const Tick serve = config.power.ServiceTime(ByteCount(config.chunk_bytes)).value();
   const Tick slot = config.RequestTime();
   TablePrinter timeline({"quantity", "model value", "paper value"});
   timeline.AddRow({"request service (cycles per 8B-equivalent)",

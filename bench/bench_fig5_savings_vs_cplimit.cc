@@ -66,7 +66,8 @@ int main() {
                             : 0.0)});
     }
     std::cout << "-- " << workload.name << " (baseline "
-              << TablePrinter::Num(base->results.energy.Total() * 1e3, 1)
+              << TablePrinter::Num(base->results.energy.Total().joules() * 1e3,
+                                   1)
               << " mJ, mu(10%) = "
               << TablePrinter::Num(calibration.MuFor(0.10), 1) << ") --\n";
     table.Print(std::cout);

@@ -29,10 +29,11 @@ int main() {
   TablePrinter table(headers);
   auto add = [&](const std::string& name, const SimulationResults& results) {
     std::vector<std::string> row = {
-        name, TablePrinter::Num(results.energy.Total() * 1e3, 2)};
+        name, TablePrinter::Num(results.energy.Total().joules() * 1e3, 2)};
     for (int bucket = 0; bucket < kEnergyBucketCount; ++bucket) {
       row.push_back(TablePrinter::Num(
-          results.energy.Of(static_cast<EnergyBucket>(bucket)) * 1e3, 2));
+          results.energy.Of(static_cast<EnergyBucket>(bucket)).joules() * 1e3,
+          2));
     }
     table.AddRow(std::move(row));
   };
@@ -52,12 +53,13 @@ int main() {
                              base.baseline.energy.Of(
                                  EnergyBucket::kActiveIdleDma))
             << "; migration cost "
-            << TablePrinter::Num(tapl.energy.Of(EnergyBucket::kMigration) * 1e3,
-                                 2)
+            << TablePrinter::Num(
+                   tapl.energy.Of(EnergyBucket::kMigration).joules() * 1e3, 2)
             << " mJ vs idle saving "
             << TablePrinter::Num(
                    (base.baseline.energy.Of(EnergyBucket::kActiveIdleDma) -
-                    tapl.energy.Of(EnergyBucket::kActiveIdleDma)) *
+                    tapl.energy.Of(EnergyBucket::kActiveIdleDma))
+                           .joules() *
                        1e3,
                    2)
             << " mJ\n";

@@ -48,7 +48,7 @@ void BM_ChipServeRequests(benchmark::State& state) {
     AlwaysActivePolicy policy;
     MemoryChip chip(&simulator, &chip_model, &policy, 0);
     for (int i = 0; i < 1000; ++i) {
-      chip.Enqueue(ChipRequest{RequestKind::kDma, 512, {}});
+      chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(512), {}});
     }
     simulator.Run();
     benchmark::DoNotOptimize(chip.stats().dma_requests);

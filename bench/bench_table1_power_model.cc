@@ -30,24 +30,28 @@ int main() {
   table.AddRow({"Standby", mw(model.standby_mw), "-"});
   table.AddRow({"Nap", mw(model.nap_mw), "-"});
   table.AddRow({"Powerdown", mw(model.powerdown_mw), "-"});
-  table.AddRow({"Active -> Standby", mw(model.to_standby.power_mw),
-                cycles(model.to_standby.duration)});
-  table.AddRow({"Active -> Nap", mw(model.to_nap.power_mw),
-                cycles(model.to_nap.duration)});
-  table.AddRow({"Active -> Powerdown", mw(model.to_powerdown.power_mw),
-                cycles(model.to_powerdown.duration)});
-  table.AddRow({"Standby -> Active", mw(model.from_standby.power_mw),
-                ns(model.from_standby.duration)});
-  table.AddRow({"Nap -> Active", mw(model.from_nap.power_mw),
-                ns(model.from_nap.duration)});
-  table.AddRow({"Powerdown -> Active", mw(model.from_powerdown.power_mw),
-                ns(model.from_powerdown.duration)});
+  table.AddRow({"Active -> Standby", mw(model.to_standby.power_mw.milliwatts()),
+                cycles(model.to_standby.duration.value())});
+  table.AddRow({"Active -> Nap", mw(model.to_nap.power_mw.milliwatts()),
+                cycles(model.to_nap.duration.value())});
+  table.AddRow({"Active -> Powerdown",
+                mw(model.to_powerdown.power_mw.milliwatts()),
+                cycles(model.to_powerdown.duration.value())});
+  table.AddRow({"Standby -> Active",
+                mw(model.from_standby.power_mw.milliwatts()),
+                ns(model.from_standby.duration.value())});
+  table.AddRow({"Nap -> Active", mw(model.from_nap.power_mw.milliwatts()),
+                ns(model.from_nap.duration.value())});
+  table.AddRow({"Powerdown -> Active",
+                mw(model.from_powerdown.power_mw.milliwatts()),
+                ns(model.from_powerdown.duration.value())});
   table.Print(std::cout);
 
   std::cout << "\nDerived: memory cycle = " << model.cycle
             << " ps (1600 MHz), peak rate = "
-            << TablePrinter::Num(model.BandwidthBytesPerSecond() / 1e9, 2)
+            << TablePrinter::Num(model.Bandwidth().value() / 1e9, 2)
             << " GB/s, 8-byte request service = "
-            << model.ServiceTime(8) / model.cycle << " cycles\n";
+            << model.ServiceTime(ByteCount(8)).value() / model.cycle
+            << " cycles\n";
   return 0;
 }

@@ -241,7 +241,7 @@ int main(int argc, char** argv) {
             << "local reads: mean response "
             << fleet.client_response.Mean() / kMicrosecond << " us over "
             << fleet.client_response.Count() << " requests\n"
-            << "energy: " << fleet.energy.Total() << " J\n"
+            << "energy: " << fleet.energy.Total().joules() << " J\n"
             << "fingerprint: " << fleet.Fingerprint() << "\n";
   return 0;
 }

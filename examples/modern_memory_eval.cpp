@@ -77,8 +77,9 @@ int main(int argc, char** argv) {
       const int quorum = options.memory.AlignmentQuorum();
       const std::string model_name{ChipModelKindName(kind)};
       table.AddRow({spec.name, model_name,
-                    TablePrinter::Num(baseline.energy.Total() * 1e3, 2),
-                    TablePrinter::Num(ta.energy.Total() * 1e3, 2),
+                    TablePrinter::Num(baseline.energy.Total().joules() * 1e3,
+                                      2),
+                    TablePrinter::Num(ta.energy.Total().joules() * 1e3, 2),
                     TablePrinter::Percent(savings),
                     TablePrinter::Percent(degradation),
                     std::to_string(quorum)});
@@ -86,8 +87,8 @@ int main(int argc, char** argv) {
       Json row = Json::Object();
       row.Set("workload", spec.name);
       row.Set("chip_model", model_name);
-      row.Set("baseline_joules", baseline.energy.Total());
-      row.Set("ta_joules", ta.energy.Total());
+      row.Set("baseline_joules", baseline.energy.Total().joules());
+      row.Set("ta_joules", ta.energy.Total().joules());
       row.Set("energy_savings", savings);
       row.Set("response_degradation", degradation);
       row.Set("alignment_quorum", quorum);

@@ -58,9 +58,10 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"metric", "baseline", "oracle PL", "monitored PL"});
   table.AddRow({"energy (mJ)",
-                TablePrinter::Num(baseline.energy.Total() * 1e3, 2),
-                TablePrinter::Num(oracle.energy.Total() * 1e3, 2),
-                TablePrinter::Num(monitored.energy.Total() * 1e3, 2)});
+                TablePrinter::Num(baseline.energy.Total().joules() * 1e3, 2),
+                TablePrinter::Num(oracle.energy.Total().joules() * 1e3, 2),
+                TablePrinter::Num(monitored.energy.Total().joules() * 1e3,
+                                  2)});
   table.AddRow({"energy savings", "-",
                 TablePrinter::Percent(oracle.EnergySavingsVs(baseline)),
                 TablePrinter::Percent(monitored.EnergySavingsVs(baseline))});

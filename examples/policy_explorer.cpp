@@ -20,7 +20,7 @@ void AddBreakdownRow(TablePrinter& table, const std::string& label,
                      const SimulationResults& baseline) {
   std::vector<std::string> row;
   row.push_back(label);
-  const double total = results.energy.Total();
+  const double total = results.energy.Total().joules();
   row.push_back(TablePrinter::Num(total * 1e3, 3));
   for (int bucket = 0; bucket < kEnergyBucketCount; ++bucket) {
     row.push_back(TablePrinter::Percent(
@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
     opts.policy = kind;
     const SimulationResults results = run(opts);
     policies.AddRow({PolicyKindName(kind),
-                     TablePrinter::Num(results.energy.Total() * 1e3, 3),
+                     TablePrinter::Num(results.energy.Total().joules() * 1e3,
+                                       3),
                      TablePrinter::Percent(results.EnergySavingsVs(baseline))});
   }
   std::cout << '\n';

@@ -35,14 +35,16 @@ int main() {
   // 4. Report.
   TablePrinter table({"metric", "baseline", "DMA-TA-PL"});
   table.AddRow({"total energy (mJ)",
-                TablePrinter::Num(baseline.energy.Total() * 1e3, 3),
-                TablePrinter::Num(dma_aware.energy.Total() * 1e3, 3)});
+                TablePrinter::Num(baseline.energy.Total().joules() * 1e3, 3),
+                TablePrinter::Num(dma_aware.energy.Total().joules() * 1e3,
+                                  3)});
   table.AddRow({"active-idle-DMA energy (mJ)",
                 TablePrinter::Num(
-                    baseline.energy.Of(EnergyBucket::kActiveIdleDma) * 1e3, 3),
+                    baseline.energy.Of(EnergyBucket::kActiveIdleDma).joules() *
+                        1e3, 3),
                 TablePrinter::Num(
-                    dma_aware.energy.Of(EnergyBucket::kActiveIdleDma) * 1e3,
-                    3)});
+                    dma_aware.energy.Of(EnergyBucket::kActiveIdleDma).joules() *
+                        1e3, 3)});
   table.AddRow({"utilization factor",
                 TablePrinter::Num(baseline.utilization_factor, 3),
                 TablePrinter::Num(dma_aware.utilization_factor, 3)});

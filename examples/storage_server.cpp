@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"metric", "baseline", "DMA-TA-PL"});
   table.AddRow({"energy (mJ)",
-                TablePrinter::Num(baseline.energy.Total() * 1e3, 2),
-                TablePrinter::Num(tuned.energy.Total() * 1e3, 2)});
+                TablePrinter::Num(baseline.energy.Total().joules() * 1e3, 2),
+                TablePrinter::Num(tuned.energy.Total().joules() * 1e3, 2)});
   table.AddRow({"energy savings", "-",
                 TablePrinter::Percent(tuned.EnergySavingsVs(baseline))});
   table.AddRow(

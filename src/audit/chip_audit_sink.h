@@ -11,6 +11,7 @@
 #include "mem/power_model.h"
 #include "stats/energy.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -25,11 +26,11 @@ class ChipAuditSink {
                                  bool up, Tick start, Tick end) = 0;
 
   // Chip `chip` integrated `joules` of energy into `bucket` over
-  // `duration` ticks. Called with the exact value the chip adds to its
-  // own breakdown, in the same order, so a sink can maintain a
-  // bit-identical shadow sum.
-  virtual void OnEnergyAccounted(int chip, EnergyBucket bucket, double joules,
-                                 Tick duration) = 0;
+  // `duration`. Called with the exact value the chip adds to its own
+  // breakdown, in the same order, so a sink can maintain a bit-identical
+  // shadow sum.
+  virtual void OnEnergyAccounted(int chip, EnergyBucket bucket,
+                                 JoulesEnergy joules, Ticks duration) = 0;
 };
 
 }  // namespace dmasim

@@ -66,7 +66,8 @@ std::string PowerStateAuditor::Validate(int chip, PowerState from,
                       "reference model has no such wake edge");
     }
     const Tick expected =
-        reference_->TransitionBetween(from, PowerState::kActive).duration;
+        reference_->TransitionBetween(from, PowerState::kActive)
+            .duration.value();
     if (duration != expected) {
       char what[128];
       std::snprintf(what, sizeof(what),
@@ -87,7 +88,8 @@ std::string PowerStateAuditor::Validate(int chip, PowerState from,
       return Describe(chip, from, to, start, end,
                       "reference model has no such step-down edge");
     }
-    const Tick expected = reference_->TransitionBetween(from, to).duration;
+    const Tick expected =
+        reference_->TransitionBetween(from, to).duration.value();
     if (duration != expected) {
       char what[128];
       std::snprintf(what, sizeof(what),

@@ -62,7 +62,8 @@ SimulationAudit::SimulationAudit(Simulator* simulator,
     base_stats_.push_back(chip.stats());
     base_energy_.push_back(chip.energy());
     base_accounted_.push_back(chip.accounted_until());
-    if (chip.energy().Total() > 0.0 || chip.accounted_until() > 0) {
+    if (chip.energy().Total() > JoulesEnergy(0.0) ||
+        chip.accounted_until() > 0) {
       attached_at_zero_ = false;
     }
   }
@@ -96,7 +97,7 @@ void SimulationAudit::OnPowerTransition(int chip, PowerState from,
 }
 
 void SimulationAudit::OnEnergyAccounted(int chip, EnergyBucket bucket,
-                                        double joules, Tick duration) {
+                                        JoulesEnergy joules, Ticks duration) {
   (void)duration;
   shadow_energy_[static_cast<std::size_t>(chip)]
                 [static_cast<std::size_t>(bucket)] += joules;
@@ -116,13 +117,13 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
   const ChipPowerModel& reference = options_.reference_model != nullptr
                                         ? *options_.reference_model
                                         : controller_->chip_model();
-  double transition_power_min = 0.0;
-  double transition_power_max = 0.0;
+  MilliwattPower transition_power_min;
+  MilliwattPower transition_power_max;
   reference.TransitionPowerBounds(&transition_power_min, &transition_power_max);
-  double serving_power_min = 0.0;
-  double serving_power_max = 0.0;
+  MilliwattPower serving_power_min;
+  MilliwattPower serving_power_max;
   reference.ServingPowerBounds(&serving_power_min, &serving_power_max);
-  const double active_mw = reference.StatePowerMw(PowerState::kActive);
+  const MilliwattPower active_mw = reference.StatePowerMw(PowerState::kActive);
 
   for (int i = 0; i < controller_->chip_count(); ++i) {
     const MemoryChip& chip = controller_->chip(i);
@@ -155,18 +156,20 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
     // breakdown bit for bit.
     for (int b = 0; b < kEnergyBucketCount; ++b) {
       const EnergyBucket bucket = static_cast<EnergyBucket>(b);
-      const double shadow = shadow_energy_[static_cast<std::size_t>(i)]
-                                          [static_cast<std::size_t>(b)];
-      const double reported =
+      const JoulesEnergy shadow = shadow_energy_[static_cast<std::size_t>(i)]
+                                                [static_cast<std::size_t>(b)];
+      const JoulesEnergy reported =
           chip.energy().Of(bucket) -
           base_energy_[static_cast<std::size_t>(i)].Of(bucket);
-      const bool equal = attached_at_zero_ ? reported == shadow
-                                           : NearlyEqual(reported, shadow);
+      const bool equal =
+          attached_at_zero_ ? reported == shadow
+                            : NearlyEqual(reported.joules(), shadow.joules());
       if (!equal) {
         *message = Format(
             "chip %d: %s bucket reports %.17g J but the shadow sum is "
             "%.17g J",
-            i, EnergyBucketName(bucket).data(), reported, shadow);
+            i, EnergyBucketName(bucket).data(), reported.joules(),
+            shadow.joules());
         return false;
       }
     }
@@ -180,8 +183,8 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
     struct Expectation {
       EnergyBucket bucket;
       Tick ticks;
-      double power_min_mw;
-      double power_max_mw;
+      MilliwattPower power_min_mw;
+      MilliwattPower power_max_mw;
     };
     const Expectation expectations[] = {
         {EnergyBucket::kActiveServing,
@@ -199,26 +202,27 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
     };
     for (const Expectation& expect : expectations) {
       const double reported =
-          chip.energy().Of(expect.bucket) -
-          base_energy_[static_cast<std::size_t>(i)].Of(expect.bucket);
+          (chip.energy().Of(expect.bucket) -
+           base_energy_[static_cast<std::size_t>(i)].Of(expect.bucket))
+              .joules();
       if (expect.power_min_mw == expect.power_max_mw) {
         const double expected =
-            PowerModel::EnergyJoules(expect.power_min_mw, expect.ticks);
+            EnergyOver(expect.power_min_mw, Ticks(expect.ticks)).joules();
         if (!NearlyEqual(reported, expected)) {
           *message = Format(
               "chip %d: %s bucket holds %.17g J but %lld ticks at %g mW "
               "integrate to %.17g J",
               i, EnergyBucketName(expect.bucket).data(), reported,
-              static_cast<long long>(expect.ticks), expect.power_min_mw,
-              expected);
+              static_cast<long long>(expect.ticks),
+              expect.power_min_mw.milliwatts(), expected);
           return false;
         }
         continue;
       }
       const double bucket_lower =
-          PowerModel::EnergyJoules(expect.power_min_mw, expect.ticks);
+          EnergyOver(expect.power_min_mw, Ticks(expect.ticks)).joules();
       const double bucket_upper =
-          PowerModel::EnergyJoules(expect.power_max_mw, expect.ticks);
+          EnergyOver(expect.power_max_mw, Ticks(expect.ticks)).joules();
       if (reported < bucket_lower * (1.0 - kRelativeTolerance) - 1e-12 ||
           reported > bucket_upper * (1.0 + kRelativeTolerance) + 1e-12) {
         *message = Format(
@@ -233,7 +237,7 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
     // supports, and demand zero residency everywhere else (a tick spent
     // in an unsupported state would prove the chips ran a different
     // model than the audit was told about).
-    double low_power_expected = 0.0;
+    JoulesEnergy low_power_expected;
     for (int s = 0; s < kPowerStateCount; ++s) {
       const PowerState state = static_cast<PowerState>(s);
       const Tick residency = now.low_power[s] - base.low_power[s];
@@ -249,26 +253,28 @@ bool SimulationAudit::CheckEnergyConservation(std::string* message) {
         continue;
       }
       low_power_expected +=
-          PowerModel::EnergyJoules(reference.StatePowerMw(state), residency);
+          EnergyOver(reference.StatePowerMw(state), Ticks(residency));
     }
-    const double low_power_reported =
+    const JoulesEnergy low_power_reported =
         chip.energy().Of(EnergyBucket::kLowPower) -
         base_energy_[static_cast<std::size_t>(i)].Of(EnergyBucket::kLowPower);
-    if (!NearlyEqual(low_power_reported, low_power_expected)) {
+    if (!NearlyEqual(low_power_reported.joules(),
+                     low_power_expected.joules())) {
       *message = Format(
           "chip %d: LowPowerModes bucket holds %.17g J but per-state "
           "residency integrates to %.17g J",
-          i, low_power_reported, low_power_expected);
+          i, low_power_reported.joules(), low_power_expected.joules());
       return false;
     }
     const Tick transition_ticks = now.transition - base.transition;
     const double transition_reported =
-        chip.energy().Of(EnergyBucket::kTransition) -
-        base_energy_[static_cast<std::size_t>(i)].Of(EnergyBucket::kTransition);
+        (chip.energy().Of(EnergyBucket::kTransition) -
+         base_energy_[static_cast<std::size_t>(i)].Of(EnergyBucket::kTransition))
+            .joules();
     const double lower =
-        PowerModel::EnergyJoules(transition_power_min, transition_ticks);
+        EnergyOver(transition_power_min, Ticks(transition_ticks)).joules();
     const double upper =
-        PowerModel::EnergyJoules(transition_power_max, transition_ticks);
+        EnergyOver(transition_power_max, Ticks(transition_ticks)).joules();
     if (transition_reported < lower * (1.0 - kRelativeTolerance) - 1e-12 ||
         transition_reported > upper * (1.0 + kRelativeTolerance) + 1e-12) {
       *message = Format(

@@ -65,8 +65,8 @@ class SimulationAudit : public ChipAuditSink {
   // ChipAuditSink:
   void OnPowerTransition(int chip, PowerState from, PowerState to, bool up,
                          Tick start, Tick end) override;
-  void OnEnergyAccounted(int chip, EnergyBucket bucket, double joules,
-                         Tick duration) override;
+  void OnEnergyAccounted(int chip, EnergyBucket bucket, JoulesEnergy joules,
+                         Ticks duration) override;
 
  private:
   void RegisterStandardInvariants();
@@ -81,7 +81,7 @@ class SimulationAudit : public ChipAuditSink {
 
   // Shadow energy accumulated bucket-by-bucket in the same order as the
   // chips' own breakdowns (bit-identical by construction).
-  std::vector<std::array<double, kEnergyBucketCount>> shadow_energy_;
+  std::vector<std::array<JoulesEnergy, kEnergyBucketCount>> shadow_energy_;
   // Chip state at attach time, so invariants judge only what happened on
   // this audit's watch.
   std::vector<ChipStats> base_stats_;

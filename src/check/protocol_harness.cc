@@ -24,7 +24,7 @@ std::unique_ptr<ChipPowerModel> MakeActingModel(const CheckerConfig& config) {
   PowerModel params;  // Pristine Table 1 defaults.
   if (config.fault == CheckFault::kResyncSkip) {
     // The PR 3 regression: wakes from nap skip the 60 ns resync.
-    params.from_nap.duration = 0;
+    params.from_nap.duration = Ticks(0);
   }
   return MakeChipPowerModel(config.chip_model, params);
 }
@@ -115,9 +115,10 @@ ProtocolHarness::ProtocolHarness(const CheckerConfig& config)
         wake_max, acting_model_
                       ->TransitionBetween(acting_model_->State(i),
                                           PowerState::kActive)
-                      .duration);
+                      .duration.value());
   }
-  const Tick t_cpu = acting_model_->ServiceTime(config.cpu_access_bytes);
+  const Tick t_cpu =
+      acting_model_->ServiceTime(ByteCount(config.cpu_access_bytes)).value();
   const double pending = static_cast<double>(config.max_arrivals);
   slack_floor_ =
       -(static_cast<double>(config.max_epochs) * pending *
@@ -244,7 +245,8 @@ void ProtocolHarness::DoArrive(int bus, int chip) {
 }
 
 void ProtocolHarness::DoCpuAccess(int chip) {
-  const Tick service = acting_model_->ServiceTime(config_.cpu_access_bytes);
+  const Ticks service =
+      acting_model_->ServiceTime(ByteCount(config_.cpu_access_bytes));
   aligner_.OnCpuAccess(chip, service);
   if (aligner_.HasGated(chip)) {
     // The controller's kCpuPriority path: the access is going to wake the
@@ -264,7 +266,7 @@ void ProtocolHarness::DoStepDown(int chip) {
   const PowerState from = fsm.state();
   const Transition& down = fsm.BeginStepDown(step->target, *acting_model_);
   const Tick start = now_;
-  const Tick end = now_ + down.duration;
+  const Tick end = now_ + down.duration.value();
   fsm.CompleteTransition();
   const std::string error =
       power_auditor_.Validate(chip, from, step->target, /*up=*/false, start,
@@ -369,7 +371,7 @@ void ProtocolHarness::WakeChip(int chip) {
   const PowerState from = fsm.state();
   const Transition& up = fsm.BeginWake(*acting_model_);
   const Tick start = now_;
-  const Tick end = now_ + up.duration;
+  const Tick end = now_ + up.duration.value();
   fsm.CompleteTransition();
   const std::string error = power_auditor_.Validate(
       chip, from, PowerState::kActive, /*up=*/true, start, end);

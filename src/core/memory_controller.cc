@@ -136,10 +136,10 @@ void MemoryController::CpuAccess(std::uint64_t logical_page,
   const int chip_index = page_to_chip_[logical_page];
   ++stats_.cpu_accesses;
   if (aligner_->enabled()) {
-    aligner_->OnCpuAccess(chip_index, chip_model_->ServiceTime(bytes));
+    aligner_->OnCpuAccess(chip_index, chip_model_->ServiceTime(ByteCount(bytes)));
   }
   chips_[static_cast<std::size_t>(chip_index)]->Enqueue(
-      ChipRequest{RequestKind::kCpu, bytes, std::move(on_complete)});
+      ChipRequest{RequestKind::kCpu, ByteCount(bytes), std::move(on_complete)});
   // The processor access activates the chip regardless (it has priority),
   // so any gated DMA requests ride along for free: keeping them delayed
   // would only force a second activation later.
@@ -214,7 +214,7 @@ void MemoryController::ForwardChunk(DmaTransfer* transfer,
     chip.BeginTransfer();
   }
   chip.Enqueue(ChipRequest{
-      RequestKind::kDma, chunk_bytes,
+      RequestKind::kDma, ByteCount(chunk_bytes),
       [this, transfer, chunk_bytes, issue_time](Tick completion) {
         OnChunkComplete(transfer, chunk_bytes, issue_time, completion);
       }});
@@ -233,7 +233,7 @@ void MemoryController::ReleaseChip(int chip_index,
 #endif
   MemoryChip& chip = *chips_[static_cast<std::size_t>(chip_index)];
   if (chip.power_state() != PowerState::kActive) {
-    const Tick wake =
+    const Ticks wake =
         chip_model_->TransitionBetween(chip.power_state(), PowerState::kActive)
             .duration;
     aligner_->slack().DebitActivation(wake, static_cast<int>(gated.size()));
@@ -328,7 +328,8 @@ bool MemoryController::TryStartRun(DmaTransfer* transfer, Tick now) {
   while (remaining > 0) {
     const std::int64_t chunk = std::min<std::int64_t>(bus.chunk_bytes(),
                                                       remaining);
-    const Tick completion = issue + chip_model_->ServiceTime(chunk);
+    const Tick completion =
+        issue + chip_model_->ServiceTime(ByteCount(chunk)).value();
     if (completion >= horizon) break;
     run_end = completion;
     ++chunks;
@@ -366,7 +367,8 @@ std::uint64_t MemoryController::AdvanceRunChunks(DmaTransfer* transfer,
     if (issue >= bound) break;
     const std::int64_t chunk = std::min<std::int64_t>(
         bus.chunk_bytes(), transfer->RemainingToIssue());
-    const Tick completion = issue + chip_model_->ServiceTime(chunk);
+    const Tick completion =
+        issue + chip_model_->ServiceTime(ByteCount(chunk)).value();
     bus.AccountCoalescedChunk(transfer, chunk, issue);
     if (aligner_->enabled()) aligner_->slack().CreditArrival();
     ++credits;  // Stands in for the bus Issue event.
@@ -375,13 +377,13 @@ std::uint64_t MemoryController::AdvanceRunChunks(DmaTransfer* transfer,
       // and let the completion fire as an ordinary event.
       chip.ResumeCoalescedService(
           issue,
-          ChipRequest{RequestKind::kDma, chunk,
+          ChipRequest{RequestKind::kDma, ByteCount(chunk),
                       [this, transfer, chunk, issue](Tick done) {
                         OnChunkComplete(transfer, chunk, issue, done);
                       }});
       return credits;
     }
-    chip.AccountCoalescedCycle(issue, completion, chunk);
+    chip.AccountCoalescedCycle(issue, completion, ByteCount(chunk));
     chunk_service_.Add(static_cast<double>(completion - issue));
     transfer->completed_bytes += chunk;
     ++credits;  // Stands in for the chip ServeDone event.
@@ -546,9 +548,9 @@ void MemoryController::RunLayoutInterval() {
       const std::int64_t chunk =
           std::min(config_.chunk_bytes, config_.page_bytes - offset);
       chips_[static_cast<std::size_t>(move.from_chip)]->Enqueue(
-          ChipRequest{RequestKind::kMigration, chunk, {}});
+          ChipRequest{RequestKind::kMigration, ByteCount(chunk), {}});
       chips_[static_cast<std::size_t>(move.to_chip)]->Enqueue(
-          ChipRequest{RequestKind::kMigration, chunk, {}});
+          ChipRequest{RequestKind::kMigration, ByteCount(chunk), {}});
     }
   }
   ++layout_intervals_run_;

@@ -20,6 +20,7 @@
 
 #include "util/check.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -44,21 +45,22 @@ class SlackAccount {
   }
 
   // Epoch boundary: pessimistically charge all pending requests.
-  void DebitEpoch(Tick epoch_length, int pending_requests) {
+  void DebitEpoch(Ticks epoch_length, int pending_requests) {
     DMASIM_EXPECTS(pending_requests >= 0);
-    slack_ -= static_cast<double>(epoch_length) * pending_requests;
+    slack_ -= static_cast<double>(epoch_length.value()) * pending_requests;
   }
 
   // A chip with `pending_requests` gated requests is being activated.
-  void DebitActivation(Tick activation_latency, int pending_requests) {
+  void DebitActivation(Ticks activation_latency, int pending_requests) {
     DMASIM_EXPECTS(pending_requests >= 0);
-    slack_ -= static_cast<double>(activation_latency) * pending_requests;
+    slack_ -=
+        static_cast<double>(activation_latency.value()) * pending_requests;
   }
 
   // A processor access is serviced by a chip with pending gated requests.
-  void DebitCpuService(Tick service_time, int pending_requests) {
+  void DebitCpuService(Ticks service_time, int pending_requests) {
     DMASIM_EXPECTS(pending_requests >= 0);
-    slack_ -= static_cast<double>(service_time) * pending_requests;
+    slack_ -= static_cast<double>(service_time.value()) * pending_requests;
   }
 
   double slack() const { return slack_; }

@@ -188,7 +188,7 @@ std::vector<GatedRequest> TemporalAligner::TakeGated(int chip) {
 }
 
 std::vector<int> TemporalAligner::OnEpoch(Tick now) {
-  slack_.DebitEpoch(config_.epoch_length, total_pending_);
+  slack_.DebitEpoch(Ticks(config_.epoch_length), total_pending_);
   std::vector<int> to_release;
   last_epoch_causes_.clear();
   if (total_pending_ == 0) return to_release;
@@ -227,7 +227,7 @@ std::vector<int> TemporalAligner::OnEpoch(Tick now) {
   return to_release;
 }
 
-void TemporalAligner::OnCpuAccess(int chip, Tick service_time) {
+void TemporalAligner::OnCpuAccess(int chip, Ticks service_time) {
   const int pending = PendingFor(chip);
   if (pending > 0) slack_.DebitCpuService(service_time, pending);
 }

@@ -34,6 +34,7 @@
 #include "io/dma_transfer.h"
 #include "util/check.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -122,7 +123,7 @@ class TemporalAligner {
   std::vector<int> OnEpoch(Tick now);
 
   // A processor access of `service_time` hit `chip`.
-  void OnCpuAccess(int chip, Tick service_time);
+  void OnCpuAccess(int chip, Ticks service_time);
 
   // Statistics.
   std::uint64_t TotalGated() const { return total_gated_; }

@@ -74,9 +74,9 @@ Json SimulationResultsToJson(const SimulationResults& results) {
   for (int i = 0; i < kEnergyBucketCount; ++i) {
     const auto bucket = static_cast<EnergyBucket>(i);
     energy.Set(std::string(EnergyBucketName(bucket)),
-               results.energy.Of(bucket));
+               results.energy.Of(bucket).joules());
   }
-  energy.Set("total_joules", results.energy.Total());
+  energy.Set("total_joules", results.energy.Total().joules());
   json.Set("energy", std::move(energy));
 
   json.Set("utilization_factor", results.utilization_factor);
@@ -263,7 +263,9 @@ void SummaryTableSink::OnSweepComplete(const SweepSummary& summary,
     }
     table.AddRow(
         {record.plan.Label(), RunStatusName(record.status),
-         TablePrinter::Num(record.results.energy.Total() * 1e3, 1),
+         // J -> mJ for the report column only.
+         // unitcheck: allow(unit-literal-conversion)
+         TablePrinter::Num(record.results.energy.Total().joules() * 1e3, 1),
          TablePrinter::Num(record.results.client_response.Mean() /
                                kMicrosecond,
                            1),

@@ -37,7 +37,8 @@ struct RunRecord {
   std::string error;
 
   double mu = 0.0;           // Resolved slack budget (0 for baselines).
-  double wall_seconds = 0.0; // Host wall-clock time for this run.
+  // Host wall-clock measurement, not simulated time: raw by design.
+  double wall_seconds = 0.0;  // unitcheck: allow(raw-unit-decl)
   SimulationResults results; // Valid only when status == kOk.
 
   // Deltas vs the cell baseline (valid when both runs are ok).
@@ -56,7 +57,7 @@ struct SweepSummary {
   int ok = 0;
   int failed = 0;
   int skipped = 0;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;  // unitcheck: allow(raw-unit-decl) host clock
 };
 
 class ResultSink {

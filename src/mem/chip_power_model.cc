@@ -61,7 +61,7 @@ ChipPowerModel::ChipPowerModel(ChipModelKind kind, std::string_view name,
   for (int s = 0; s < kPowerStateCount; ++s) chain_index_[s] = -1;
 }
 
-void ChipPowerModel::AddState(PowerState state, double power_mw) {
+void ChipPowerModel::AddState(PowerState state, MilliwattPower power_mw) {
   const int s = static_cast<int>(state);
   DMASIM_EXPECTS(s >= 0 && s < kPowerStateCount);
   DMASIM_CHECK_MSG(!supported_[s], "state added twice");
@@ -91,8 +91,8 @@ void ChipPowerModel::AddTransition(PowerState from, PowerState to,
   DMASIM_CHECK_MSG(IsSupported(from) && IsSupported(to),
                    "transition endpoint outside this chip model");
   DMASIM_CHECK_MSG(from != to, "self transition");
-  DMASIM_EXPECTS(transition.power_mw >= 0.0);
-  DMASIM_EXPECTS(transition.duration >= 0);
+  DMASIM_EXPECTS(transition.power_mw >= MilliwattPower(0.0));
+  DMASIM_EXPECTS(transition.duration >= Ticks(0));
   const int f = static_cast<int>(from);
   const int t = static_cast<int>(to);
   DMASIM_CHECK_MSG(!legal_[f][t], "transition edge added twice");
@@ -100,21 +100,22 @@ void ChipPowerModel::AddTransition(PowerState from, PowerState to,
   matrix_[f][t] = transition;
 }
 
-void ChipPowerModel::SetServingBounds(double min_mw, double max_mw) {
-  DMASIM_EXPECTS(min_mw > 0.0 && min_mw <= max_mw);
+void ChipPowerModel::SetServingBounds(MilliwattPower min_mw,
+                                      MilliwattPower max_mw) {
+  DMASIM_EXPECTS(min_mw > MilliwattPower(0.0) && min_mw <= max_mw);
   serving_min_mw_ = min_mw;
   serving_max_mw_ = max_mw;
 }
 
-void ChipPowerModel::TransitionPowerBounds(double* min_mw,
-                                           double* max_mw) const {
-  double lo = 0.0;
-  double hi = 0.0;
+void ChipPowerModel::TransitionPowerBounds(MilliwattPower* min_mw,
+                                           MilliwattPower* max_mw) const {
+  MilliwattPower lo;
+  MilliwattPower hi;
   bool any = false;
   for (int f = 0; f < kPowerStateCount; ++f) {
     for (int t = 0; t < kPowerStateCount; ++t) {
       if (!legal_[f][t]) continue;
-      const double mw = matrix_[f][t].power_mw;
+      const MilliwattPower mw = matrix_[f][t].power_mw;
       lo = any ? std::min(lo, mw) : mw;
       hi = any ? std::max(hi, mw) : mw;
       any = true;
@@ -128,10 +129,10 @@ void ChipPowerModel::TransitionPowerBounds(double* min_mw,
 RdramChipModel::RdramChipModel(const PowerModel& params, ChipModelKind kind,
                                std::string_view name)
     : ChipPowerModel(kind, name, params.cycle, params.bytes_per_cycle) {
-  AddState(PowerState::kActive, params.active_mw);
-  AddState(PowerState::kStandby, params.standby_mw);
-  AddState(PowerState::kNap, params.nap_mw);
-  AddState(PowerState::kPowerdown, params.powerdown_mw);
+  AddState(PowerState::kActive, MilliwattPower(params.active_mw));
+  AddState(PowerState::kStandby, MilliwattPower(params.standby_mw));
+  AddState(PowerState::kNap, MilliwattPower(params.nap_mw));
+  AddState(PowerState::kPowerdown, MilliwattPower(params.powerdown_mw));
   constexpr PowerState kChain[] = {PowerState::kActive, PowerState::kStandby,
                                    PowerState::kNap, PowerState::kPowerdown};
   const bool corrected = kind != ChipModelKind::kRdram;
@@ -142,7 +143,8 @@ RdramChipModel::RdramChipModel(const PowerModel& params, ChipModelKind kind,
       // scales chained-edge power by the origin state's envelope.
       Transition down = params.DownTransition(kChain[t]);
       if (corrected && f != 0) {
-        down.power_mw *= params.StatePowerMw(kChain[f]) / params.active_mw;
+        down.power_mw = down.power_mw * (params.StatePowerMw(kChain[f]) /
+                                         MilliwattPower(params.active_mw));
       }
       AddTransition(kChain[f], kChain[t], down);
     }
@@ -159,59 +161,65 @@ Ddr4ChipModel::Ddr4ChipModel(const Ddr4Options& options)
   using PS = PowerState;
   // Power-ordered idle cascade: act standby -> pre standby -> active
   // power-down -> precharge power-down -> self-refresh.
-  AddState(PS::kActive, kDdr4ActiveMw);
-  AddState(PS::kStandby, kDdr4StandbyMw);
-  AddState(PS::kActivePowerdown, kDdr4ActivePowerdownMw);
-  AddState(PS::kPrechargePowerdown, kDdr4PrechargePowerdownMw);
-  AddState(PS::kSelfRefresh, kDdr4SelfRefreshMw);
+  AddState(PS::kActive, MilliwattPower(kDdr4ActiveMw));
+  AddState(PS::kStandby, MilliwattPower(kDdr4StandbyMw));
+  AddState(PS::kActivePowerdown, MilliwattPower(kDdr4ActivePowerdownMw));
+  AddState(PS::kPrechargePowerdown, MilliwattPower(kDdr4PrechargePowerdownMw));
+  AddState(PS::kSelfRefresh, MilliwattPower(kDdr4SelfRefreshMw));
 
   // Entry powers take the midpoint of the endpoint states (the rails
   // ramp between the two envelopes during CKE/precharge sequencing).
-  auto entry = [&](PS from, PS to, Tick duration) {
-    const double mw = 0.5 * (StatePowerMw(from) + StatePowerMw(to));
+  auto entry = [&](PS from, PS to, Ticks duration) {
+    const MilliwattPower mw = 0.5 * (StatePowerMw(from) + StatePowerMw(to));
     AddTransition(from, to, Transition{mw, duration});
   };
   // From act standby: precharge-all, or drop CKE directly.
-  entry(PS::kActive, PS::kStandby, kDdr4Trp);
-  entry(PS::kActive, PS::kActivePowerdown, kDdr4PowerdownEntry);
-  entry(PS::kActive, PS::kPrechargePowerdown, kDdr4Trp + kDdr4PowerdownEntry);
-  entry(PS::kActive, PS::kSelfRefresh, kDdr4Trp + kDdr4SelfRefreshEntry);
+  entry(PS::kActive, PS::kStandby, Ticks(kDdr4Trp));
+  entry(PS::kActive, PS::kActivePowerdown, Ticks(kDdr4PowerdownEntry));
+  entry(PS::kActive, PS::kPrechargePowerdown,
+        Ticks(kDdr4Trp + kDdr4PowerdownEntry));
+  entry(PS::kActive, PS::kSelfRefresh,
+        Ticks(kDdr4Trp + kDdr4SelfRefreshEntry));
   // From pre standby: CKE drop or self-refresh entry.
-  entry(PS::kStandby, PS::kActivePowerdown, kDdr4PowerdownEntry);
-  entry(PS::kStandby, PS::kPrechargePowerdown, kDdr4PowerdownEntry);
-  entry(PS::kStandby, PS::kSelfRefresh, kDdr4SelfRefreshEntry);
+  entry(PS::kStandby, PS::kActivePowerdown, Ticks(kDdr4PowerdownEntry));
+  entry(PS::kStandby, PS::kPrechargePowerdown, Ticks(kDdr4PowerdownEntry));
+  entry(PS::kStandby, PS::kSelfRefresh, Ticks(kDdr4SelfRefreshEntry));
   // Chained deepening requires a CKE pulse (exit + re-enter).
   entry(PS::kActivePowerdown, PS::kPrechargePowerdown,
-        kDdr4Txp + kDdr4PowerdownEntry);
+        Ticks(kDdr4Txp + kDdr4PowerdownEntry));
   entry(PS::kActivePowerdown, PS::kSelfRefresh,
-        kDdr4Txp + kDdr4SelfRefreshEntry);
+        Ticks(kDdr4Txp + kDdr4SelfRefreshEntry));
   entry(PS::kPrechargePowerdown, PS::kSelfRefresh,
-        kDdr4Txp + kDdr4SelfRefreshEntry);
+        Ticks(kDdr4Txp + kDdr4SelfRefreshEntry));
 
   // Wakes back to act standby; exit power holds the active envelope
   // plus the activate burst (self-refresh exit adds the refresh tail).
-  AddTransition(PS::kStandby, PS::kActive, Transition{60.0, kDdr4Trcd});
-  AddTransition(PS::kActivePowerdown, PS::kActive, Transition{60.0, kDdr4Txp});
+  AddTransition(PS::kStandby, PS::kActive,
+                Transition{MilliwattPower(60.0), Ticks(kDdr4Trcd)});
+  AddTransition(PS::kActivePowerdown, PS::kActive,
+                Transition{MilliwattPower(60.0), Ticks(kDdr4Txp)});
   AddTransition(PS::kPrechargePowerdown, PS::kActive,
-                Transition{60.0, kDdr4Txp + kDdr4Trcd});
-  AddTransition(PS::kSelfRefresh, PS::kActive,
-                Transition{90.0, options.self_refresh_exit});
+                Transition{MilliwattPower(60.0), Ticks(kDdr4Txp + kDdr4Trcd)});
+  AddTransition(
+      PS::kSelfRefresh, PS::kActive,
+      Transition{MilliwattPower(90.0), Ticks(options.self_refresh_exit)});
 
-  SetServingBounds(kServingMw, kServingMw);
+  SetServingBounds(MilliwattPower(kServingMw), MilliwattPower(kServingMw));
 }
 
 SectoredChipModel::SectoredChipModel(const PowerModel& params)
     : RdramCorrectedChipModel(params, ChipModelKind::kSectored, "sectored") {
-  const double active = StatePowerMw(PowerState::kActive);
-  SetServingBounds(ServingPowerMw(RequestKind::kDma, kSectorBytes), active);
+  const MilliwattPower active = StatePowerMw(PowerState::kActive);
+  SetServingBounds(ServingPowerMw(RequestKind::kDma, ByteCount(kSectorBytes)),
+                   active);
 }
 
-double SectoredChipModel::ServingPowerMw(RequestKind kind,
-                                         std::int64_t bytes) const {
+MilliwattPower SectoredChipModel::ServingPowerMw(RequestKind kind,
+                                                 ByteCount bytes) const {
   (void)kind;
-  const double active = StatePowerMw(PowerState::kActive);
+  const MilliwattPower active = StatePowerMw(PowerState::kActive);
   const std::int64_t sectors = std::min<std::int64_t>(
-      (bytes + kSectorBytes - 1) / kSectorBytes, kSectorsPerRow);
+      (bytes.count() + kSectorBytes - 1) / kSectorBytes, kSectorsPerRow);
   const double fraction =
       static_cast<double>(sectors) / static_cast<double>(kSectorsPerRow);
   return kStaticShare * active + (1.0 - kStaticShare) * active * fraction;
@@ -253,7 +261,7 @@ std::optional<PolicyStep> ModelChainPolicy::NextStep(PowerState current) const {
   Tick threshold = thresholds_.nap_to_powerdown;
   if (index == 0) threshold = thresholds_.active_to_standby;
   if (index == 1) threshold = thresholds_.standby_to_nap;
-  return PolicyStep{threshold, *next};
+  return PolicyStep{Ticks(threshold), *next};
 }
 
 }  // namespace dmasim

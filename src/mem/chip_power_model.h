@@ -39,6 +39,7 @@
 #include "mem/power_policy.h"
 #include "util/check.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -109,7 +110,7 @@ class ChipPowerModel {
     DMASIM_CHECK_MSG(IsSupported(state), "state outside this chip model");
     return PowerStateName(state);
   }
-  double StatePowerMw(PowerState state) const {
+  MilliwattPower StatePowerMw(PowerState state) const {
     DMASIM_CHECK_MSG(IsSupported(state), "state outside this chip model");
     return state_power_[static_cast<int>(state)];
   }
@@ -133,19 +134,21 @@ class ChipPowerModel {
     return matrix_[static_cast<int>(from)][static_cast<int>(to)];
   }
   // Envelope of all edge powers, for conservation audits.
-  void TransitionPowerBounds(double* min_mw, double* max_mw) const;
+  void TransitionPowerBounds(MilliwattPower* min_mw,
+                             MilliwattPower* max_mw) const;
 
   // --- Activation cost. ---
   // Power drawn while actively moving `bytes` for `kind`. The base
   // family bills the full active power regardless of burst shape.
-  virtual double ServingPowerMw(RequestKind kind, std::int64_t bytes) const {
+  virtual MilliwattPower ServingPowerMw(RequestKind kind,
+                                        ByteCount bytes) const {
     (void)kind;
     (void)bytes;
     return state_power_[static_cast<int>(PowerState::kActive)];
   }
   // Envelope of ServingPowerMw over all requests, for audits. Equal
   // bounds mean serving power is burst-independent (exact audit).
-  void ServingPowerBounds(double* min_mw, double* max_mw) const {
+  void ServingPowerBounds(MilliwattPower* min_mw, MilliwattPower* max_mw) const {
     *min_mw = serving_min_mw_;
     *max_mw = serving_max_mw_;
   }
@@ -154,13 +157,14 @@ class ChipPowerModel {
   Tick cycle() const { return cycle_; }
   double bytes_per_cycle() const { return bytes_per_cycle_; }
   // Time to serve `bytes` at the chip's peak data rate.
-  Tick ServiceTime(std::int64_t bytes) const {
-    DMASIM_EXPECTS(bytes > 0);
-    const double cycles = static_cast<double>(bytes) / bytes_per_cycle_;
-    return static_cast<Tick>(cycles * static_cast<double>(cycle_) + 0.5);
+  Ticks ServiceTime(ByteCount bytes) const {
+    DMASIM_EXPECTS(bytes.count() > 0);
+    const double cycles = static_cast<double>(bytes.count()) / bytes_per_cycle_;
+    return Ticks(
+        static_cast<Tick>(cycles * static_cast<double>(cycle_) + 0.5));
   }
-  double BandwidthBytesPerSecond() const {
-    return bytes_per_cycle_ / TicksToSeconds(cycle_);
+  BytesPerSecond Bandwidth() const {
+    return BytesPerSecond(bytes_per_cycle_ / TicksToSeconds(cycle_));
   }
 
  protected:
@@ -169,10 +173,10 @@ class ChipPowerModel {
 
   // Appends a state to the chain. States must arrive in strictly
   // descending power order and the first must be kActive.
-  void AddState(PowerState state, double power_mw);
+  void AddState(PowerState state, MilliwattPower power);
   // Declares the (from, to) edge legal with descriptor `transition`.
   void AddTransition(PowerState from, PowerState to, Transition transition);
-  void SetServingBounds(double min_mw, double max_mw);
+  void SetServingBounds(MilliwattPower min_mw, MilliwattPower max_mw);
 
  private:
   ChipModelKind kind_;
@@ -183,11 +187,11 @@ class ChipPowerModel {
   PowerState chain_[kPowerStateCount] = {};
   int chain_index_[kPowerStateCount] = {};
   bool supported_[kPowerStateCount] = {};
-  double state_power_[kPowerStateCount] = {};
+  MilliwattPower state_power_[kPowerStateCount] = {};
   bool legal_[kPowerStateCount][kPowerStateCount] = {};
   Transition matrix_[kPowerStateCount][kPowerStateCount] = {};
-  double serving_min_mw_ = 0.0;
-  double serving_max_mw_ = 0.0;
+  MilliwattPower serving_min_mw_;
+  MilliwattPower serving_max_mw_;
 };
 
 // Byte-identical RDRAM Table 1 default. The transition matrix is an
@@ -239,10 +243,11 @@ class Ddr4ChipModel : public ChipPowerModel {
 
   explicit Ddr4ChipModel(const Ddr4Options& options = {});
 
-  double ServingPowerMw(RequestKind kind, std::int64_t bytes) const override {
+  MilliwattPower ServingPowerMw(RequestKind kind,
+                                ByteCount bytes) const override {
     (void)kind;
     (void)bytes;
-    return kServingMw;
+    return MilliwattPower(kServingMw);
   }
 };
 
@@ -258,7 +263,8 @@ class SectoredChipModel : public RdramCorrectedChipModel {
 
   explicit SectoredChipModel(const PowerModel& params);
 
-  double ServingPowerMw(RequestKind kind, std::int64_t bytes) const override;
+  MilliwattPower ServingPowerMw(RequestKind kind,
+                                ByteCount bytes) const override;
 };
 
 // Builds the model `kind` from the RDRAM parameter block (ignored by

@@ -33,19 +33,19 @@ void MemoryChip::AccountTo(Tick when) {
   DMASIM_CHECK_GE(when, accounted_until_);
   const Tick elapsed = when - accounted_until_;
   if (elapsed > 0) {
-    const double joules = PowerModel::EnergyJoules(power_mw_, elapsed);
+    const JoulesEnergy joules = EnergyOver(power_mw_, Ticks(elapsed));
     energy_.Add(bucket_, joules);
     *time_slot_ += elapsed;
 #if DMASIM_AUDIT_LEVEL >= 1
     if (audit_sink_ != nullptr) {
-      audit_sink_->OnEnergyAccounted(id_, bucket_, joules, elapsed);
+      audit_sink_->OnEnergyAccounted(id_, bucket_, joules, Ticks(elapsed));
     }
 #endif
   }
   accounted_until_ = when;
 }
 
-void MemoryChip::SetAccounting(EnergyBucket bucket, double power_mw,
+void MemoryChip::SetAccounting(EnergyBucket bucket, MilliwattPower power_mw,
                                Tick* time_slot) {
   AccountTo(simulator_->Now());
   bucket_ = bucket;
@@ -58,7 +58,7 @@ void MemoryChip::SyncAccounting() {
 }
 
 void MemoryChip::Enqueue(ChipRequest request) {
-  DMASIM_EXPECTS(request.bytes > 0);
+  DMASIM_EXPECTS(request.bytes.count() > 0);
   // Invalidate any pending idle timer: the chip is no longer idle.
   ++timer_generation_;
   if (!serving_ && !fsm_.transitioning() &&
@@ -138,8 +138,7 @@ ChipRequest MemoryChip::PopNextRequest() {
   return request;
 }
 
-void MemoryChip::SwitchToServingAccounting(RequestKind kind,
-                                           std::int64_t bytes) {
+void MemoryChip::SwitchToServingAccounting(RequestKind kind, ByteCount bytes) {
   switch (kind) {
     case RequestKind::kDma:
       bucket_ = EnergyBucket::kActiveServing;
@@ -177,7 +176,7 @@ void MemoryChip::ServeRequest(ChipRequest request) {
     const Tick horizon = simulator_->NextPendingTick();
     std::uint64_t batched = 0;
     while (!request.on_complete && HasQueuedRequest()) {
-      const Tick completion = issue + model_->ServiceTime(request.bytes);
+      const Tick completion = issue + model_->ServiceTime(request.bytes).value();
       if (completion >= horizon) break;
       AccountTo(completion);
       switch (request.kind) {
@@ -200,7 +199,7 @@ void MemoryChip::ServeRequest(ChipRequest request) {
     if (batched > 0) simulator_->CreditExecuted(batched);
   }
 
-  const Tick service = model_->ServiceTime(request.bytes);
+  const Tick service = model_->ServiceTime(request.bytes).value();
   active_request_ = std::move(request);
   simulator_->ScheduleAt(issue + service, [this]() { ServeDone(); });
 }
@@ -234,7 +233,7 @@ void MemoryChip::ServeDone() {
 }
 
 void MemoryChip::AccountCoalescedCycle(Tick issue, Tick completion,
-                                       std::int64_t bytes) {
+                                       ByteCount bytes) {
   DMASIM_CHECK(!serving_ && !fsm_.transitioning());
   DMASIM_CHECK_EQ(fsm_.state(), PowerState::kActive);
   DMASIM_CHECK_EQ(bucket_, EnergyBucket::kActiveIdleDma);
@@ -262,7 +261,7 @@ void MemoryChip::ResumeCoalescedService(Tick issue, ChipRequest request) {
   power_mw_ = model_->ServingPowerMw(RequestKind::kDma, request.bytes);
   time_slot_ = &stats_.dma_serving;
   serving_ = true;
-  const Tick service = model_->ServiceTime(request.bytes);
+  const Tick service = model_->ServiceTime(request.bytes).value();
   active_request_ = std::move(request);
   simulator_->ScheduleAt(issue + service, [this]() { ServeDone(); });
 }

@@ -54,7 +54,7 @@ using ChipCallback = InlineFunction<void(Tick), 32>;
 // byte has been transferred (may be empty).
 struct ChipRequest {
   RequestKind kind = RequestKind::kDma;
-  std::int64_t bytes = 8;
+  ByteCount bytes{8};
   ChipCallback on_complete;
 };
 
@@ -125,7 +125,7 @@ class MemoryChip {
   // idle-DMA at `completion`. Integrates exactly the energy terms the
   // per-chunk execution would have, in the same order. `bytes` is the
   // chunk size (activation-aware models price serving power by burst).
-  void AccountCoalescedCycle(Tick issue, Tick completion, std::int64_t bytes);
+  void AccountCoalescedCycle(Tick issue, Tick completion, ByteCount bytes);
 
   // Reconstructs the chip mid-service: the chunk was issued at `issue`
   // (in the past) and its ServeDone is rescheduled as a real event.
@@ -177,7 +177,7 @@ class MemoryChip {
  private:
   void StartNextService();
   ChipRequest PopNextRequest();
-  void SwitchToServingAccounting(RequestKind kind, std::int64_t bytes);
+  void SwitchToServingAccounting(RequestKind kind, ByteCount bytes);
   void ServeRequest(ChipRequest request);
   void ServeDone();
   void BecomeIdleActive();
@@ -192,7 +192,8 @@ class MemoryChip {
   void AccountTo(Tick when);
   // Switches the energy/time accounting mode, integrating the elapsed
   // interval into the previous mode.
-  void SetAccounting(EnergyBucket bucket, double power_mw, Tick* time_slot);
+  void SetAccounting(EnergyBucket bucket, MilliwattPower power_mw,
+                     Tick* time_slot);
 
   Simulator* simulator_;
   const ChipPowerModel* model_;
@@ -217,7 +218,7 @@ class MemoryChip {
   // Accounting mode.
   Tick accounted_until_ = 0;
   EnergyBucket bucket_ = EnergyBucket::kActiveIdleThreshold;
-  double power_mw_;
+  MilliwattPower power_mw_;
   Tick* time_slot_;
 
   EnergyBreakdown energy_;

@@ -11,6 +11,7 @@
 
 #include "util/check.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -56,43 +57,47 @@ constexpr std::string_view PowerStateName(PowerState state) {
 
 // Power/latency pair describing one power-mode transition.
 struct Transition {
-  double power_mw = 0.0;
-  Tick duration = 0;
+  MilliwattPower power_mw;
+  Ticks duration;
 };
 
 // Chip-level power/timing parameters. Defaults reproduce the paper's
-// Table 1 exactly; a memory cycle is 625 ps (1600 MHz).
+// Table 1 exactly; a memory cycle is 625 ps (1600 MHz). The calibration
+// members stay raw doubles/Ticks literals: this struct IS the audited
+// Table 1 edge where spec numbers enter the typed world.
 struct PowerModel {
   Tick cycle = 625;              // One memory cycle in ticks.
   double bytes_per_cycle = 2.0;  // Peak data rate: 3.2 GB/s.
 
-  double active_mw = 300.0;
-  double standby_mw = 180.0;
-  double nap_mw = 30.0;
-  double powerdown_mw = 3.0;
+  // Table 1 calibration literals: the audited raw edge the typed layer
+  // is built from (unitcheck: allow(raw-unit-decl) on each line).
+  double active_mw = 300.0;     // unitcheck: allow(raw-unit-decl)
+  double standby_mw = 180.0;    // unitcheck: allow(raw-unit-decl)
+  double nap_mw = 30.0;         // unitcheck: allow(raw-unit-decl)
+  double powerdown_mw = 3.0;    // unitcheck: allow(raw-unit-decl)
 
   // Downward transitions (from active; also used as an approximation for
   // chained steps, e.g. standby -> nap, which the spec does not list).
-  Transition to_standby{240.0, 1 * 625};   // 1 memory cycle.
-  Transition to_nap{160.0, 8 * 625};       // 8 memory cycles.
-  Transition to_powerdown{15.0, 8 * 625};  // 8 memory cycles.
+  Transition to_standby{MilliwattPower(240.0), Ticks(1 * 625)};
+  Transition to_nap{MilliwattPower(160.0), Ticks(8 * 625)};
+  Transition to_powerdown{MilliwattPower(15.0), Ticks(8 * 625)};
 
   // Upward transitions back to active ("+" latencies in Table 1).
-  Transition from_standby{240.0, 6 * kNanosecond};
-  Transition from_nap{160.0, 60 * kNanosecond};
-  Transition from_powerdown{15.0, 6000 * kNanosecond};
+  Transition from_standby{MilliwattPower(240.0), Ticks(6 * kNanosecond)};
+  Transition from_nap{MilliwattPower(160.0), Ticks(60 * kNanosecond)};
+  Transition from_powerdown{MilliwattPower(15.0), Ticks(6000 * kNanosecond)};
 
-  // Steady-state power of `state` in milliwatts.
-  double StatePowerMw(PowerState state) const {
+  // Steady-state power of `state`.
+  MilliwattPower StatePowerMw(PowerState state) const {
     switch (state) {
       case PowerState::kActive:
-        return active_mw;
+        return MilliwattPower(active_mw);
       case PowerState::kStandby:
-        return standby_mw;
+        return MilliwattPower(standby_mw);
       case PowerState::kNap:
-        return nap_mw;
+        return MilliwattPower(nap_mw);
       case PowerState::kPowerdown:
-        return powerdown_mw;
+        return MilliwattPower(powerdown_mw);
       case PowerState::kActivePowerdown:
       case PowerState::kPrechargePowerdown:
       case PowerState::kSelfRefresh:
@@ -138,20 +143,15 @@ struct PowerModel {
   }
 
   // Time to serve `bytes` at the chip's peak data rate.
-  Tick ServiceTime(std::int64_t bytes) const {
-    DMASIM_EXPECTS(bytes > 0);
-    const double cycles = static_cast<double>(bytes) / bytes_per_cycle;
-    return static_cast<Tick>(cycles * static_cast<double>(cycle) + 0.5);
+  Ticks ServiceTime(ByteCount bytes) const {
+    DMASIM_EXPECTS(bytes.count() > 0);
+    const double cycles = static_cast<double>(bytes.count()) / bytes_per_cycle;
+    return Ticks(static_cast<Tick>(cycles * static_cast<double>(cycle) + 0.5));
   }
 
-  // Sustained memory bandwidth in bytes/second.
-  double BandwidthBytesPerSecond() const {
-    return bytes_per_cycle / TicksToSeconds(cycle);
-  }
-
-  // Converts a (milliwatt, tick) product to joules.
-  static double EnergyJoules(double power_mw, Tick duration) {
-    return power_mw * 1e-3 * TicksToSeconds(duration);
+  // Sustained memory bandwidth.
+  BytesPerSecond Bandwidth() const {
+    return BytesPerSecond(bytes_per_cycle / TicksToSeconds(cycle));
   }
 };
 

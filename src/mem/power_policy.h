@@ -17,13 +17,14 @@
 
 #include "mem/power_model.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
-// One pending step-down decision: after `after_idle` ticks of idleness in
-// the current state, move to `target`.
+// One pending step-down decision: after `after_idle` of idleness in the
+// current state, move to `target`.
 struct PolicyStep {
-  Tick after_idle = 0;
+  Ticks after_idle;
   PowerState target = PowerState::kStandby;
 };
 
@@ -47,7 +48,7 @@ class StaticPolicy final : public LowPowerPolicy {
   }
 
   std::optional<PolicyStep> NextStep(PowerState current) const override {
-    if (current == PowerState::kActive) return PolicyStep{0, target_};
+    if (current == PowerState::kActive) return PolicyStep{Ticks(0), target_};
     return std::nullopt;
   }
 
@@ -84,11 +85,13 @@ class DynamicThresholdPolicy final : public LowPowerPolicy {
   std::optional<PolicyStep> NextStep(PowerState current) const override {
     switch (current) {
       case PowerState::kActive:
-        return PolicyStep{config_.active_to_standby, PowerState::kStandby};
+        return PolicyStep{Ticks(config_.active_to_standby),
+                          PowerState::kStandby};
       case PowerState::kStandby:
-        return PolicyStep{config_.standby_to_nap, PowerState::kNap};
+        return PolicyStep{Ticks(config_.standby_to_nap), PowerState::kNap};
       case PowerState::kNap:
-        return PolicyStep{config_.nap_to_powerdown, PowerState::kPowerdown};
+        return PolicyStep{Ticks(config_.nap_to_powerdown),
+                          PowerState::kPowerdown};
       case PowerState::kPowerdown:
       case PowerState::kActivePowerdown:
       case PowerState::kPrechargePowerdown:

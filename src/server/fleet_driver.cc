@@ -208,7 +208,8 @@ std::uint64_t FleetResults::Fingerprint() const {
     FnvMixU64(r.executed_events, &hash);
     FnvMixU64(r.stepped_events, &hash);
     for (int bucket = 0; bucket < kEnergyBucketCount; ++bucket) {
-      FnvMixU64(Bits(r.energy.Of(static_cast<EnergyBucket>(bucket))), &hash);
+      FnvMixU64(Bits(r.energy.Of(static_cast<EnergyBucket>(bucket)).joules()),
+                &hash);
     }
     FnvMixU64(r.client_response.Count(), &hash);
     FnvMixU64(Bits(r.client_response.Sum()), &hash);

@@ -180,8 +180,10 @@ void CollectRunResults(Simulator* simulator, MemoryController* controller,
 
 double SimulationResults::EnergySavingsVs(
     const SimulationResults& baseline) const {
-  const double base = baseline.energy.Total();
-  return base > 0.0 ? 1.0 - energy.Total() / base : 0.0;
+  // Audited raw edge: the savings ratio is dimensionless, so the typed
+  // totals drop to raw joules here.
+  const double base = baseline.energy.Total().joules();
+  return base > 0.0 ? 1.0 - energy.Total().joules() / base : 0.0;
 }
 
 double SimulationResults::ResponseDegradationVs(

@@ -31,6 +31,7 @@
 #include "sim/shard_annotations.h"
 #include "util/check.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -60,6 +61,13 @@ class Simulator {
   // Schedules `callback` `delay` ticks from now (delay >= 0).
   void ScheduleAfter(Tick delay, Callback callback) {
     ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  // Typed-duration overload: the calendar itself stays on the raw `Tick`
+  // time base (absolute timestamps are its audited edge), but relative
+  // delays arrive as strong `Ticks` durations from the typed layers.
+  void ScheduleAfter(Ticks delay, Callback callback) {
+    ScheduleAt(now_ + delay.value(), std::move(callback));
   }
 
   // Executes the earliest pending event. Returns false if none remain.

@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "util/check.h"
+#include "util/units.h"
 
 namespace dmasim {
 
@@ -51,28 +52,30 @@ constexpr std::string_view EnergyBucketName(EnergyBucket bucket) {
   return "?";
 }
 
-// Per-bucket energy in joules. Value type; aggregates across chips by +=.
+// Per-bucket energy. Value type; aggregates across chips by +=. Buckets
+// accumulate in bucket-index order, so the Total() summation order is
+// deterministic and the stored doubles are bit-stable across runs.
 class EnergyBreakdown {
  public:
-  void Add(EnergyBucket bucket, double joules) {
-    DMASIM_EXPECTS(joules >= 0.0);
+  void Add(EnergyBucket bucket, JoulesEnergy joules) {
+    DMASIM_EXPECTS(joules >= JoulesEnergy(0.0));
     joules_[static_cast<int>(bucket)] += joules;
   }
 
-  double Of(EnergyBucket bucket) const {
+  JoulesEnergy Of(EnergyBucket bucket) const {
     return joules_[static_cast<int>(bucket)];
   }
 
-  double Total() const {
-    double total = 0.0;
-    for (double j : joules_) total += j;
+  JoulesEnergy Total() const {
+    JoulesEnergy total;
+    for (JoulesEnergy j : joules_) total += j;
     return total;
   }
 
   // Fraction of total energy in `bucket`; 0 for an empty breakdown.
   double Fraction(EnergyBucket bucket) const {
-    const double total = Total();
-    return total > 0.0 ? Of(bucket) / total : 0.0;
+    const JoulesEnergy total = Total();
+    return total > JoulesEnergy(0.0) ? Of(bucket) / total : 0.0;
   }
 
   EnergyBreakdown& operator+=(const EnergyBreakdown& other) {
@@ -83,7 +86,7 @@ class EnergyBreakdown {
   }
 
  private:
-  std::array<double, kEnergyBucketCount> joules_ = {};
+  std::array<JoulesEnergy, kEnergyBucketCount> joules_ = {};
 };
 
 inline EnergyBreakdown operator+(EnergyBreakdown a, const EnergyBreakdown& b) {

@@ -24,9 +24,11 @@ constexpr double TicksToSeconds(Tick t) {
   return static_cast<double>(t) * 1e-12;
 }
 
-// Converts seconds to the nearest tick.
+// Converts seconds to the nearest tick, rounding half away from zero.
+// Symmetric in sign: -1.5 ps rounds to -2 ticks, not -1 (a bare `+ 0.5`
+// would round negative inputs toward +inf).
 constexpr Tick SecondsToTicks(double seconds) {
-  return static_cast<Tick>(seconds * 1e12 + 0.5);
+  return static_cast<Tick>(seconds * 1e12 + (seconds >= 0.0 ? 0.5 : -0.5));
 }
 
 // Converts a byte count and a bandwidth in bytes/second to a duration.

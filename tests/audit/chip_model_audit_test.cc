@@ -41,7 +41,7 @@ TEST(ChipModelAuditTest, EveryFamilyMemberPassesLevel2Clean) {
         RunWorkload(ShortWorkload(), AuditedOptions(kind));
     EXPECT_GT(results.audit_checks, 0u);
     EXPECT_EQ(results.audit_failures, 0u);
-    EXPECT_GT(results.energy.Total(), 0.0);
+    EXPECT_GT(results.energy.Total().joules(), 0.0);
   }
 }
 

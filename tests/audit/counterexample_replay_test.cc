@@ -72,7 +72,7 @@ MemorySystemConfig MapConfig(const check::CheckerConfig& cc, bool faulted) {
     // check::CheckFault::kResyncSkip in the full simulator: the chips run
     // a model whose nap wake takes zero time while the auditor judges
     // against the pristine Table 1 reference.
-    config.power.from_nap.duration = 0;
+    config.power.from_nap.duration = Ticks(0);
   }
   return config;
 }

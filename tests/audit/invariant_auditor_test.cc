@@ -91,12 +91,12 @@ TEST(PowerStateAuditorTest, LegalTransitionsPass) {
 
   // Step down active -> nap, exactly the modeled latency.
   EXPECT_EQ(auditor.Validate(0, PowerState::kActive, PowerState::kNap,
-                             /*up=*/false, 1000, 1000 + model.to_nap.duration),
+                             /*up=*/false, 1000, 1000 + model.to_nap.duration.value()),
             "");
   // Wake nap -> active, exactly the modeled resync delay.
   EXPECT_EQ(auditor.Validate(0, PowerState::kNap, PowerState::kActive,
                              /*up=*/true, 50000,
-                             50000 + model.from_nap.duration),
+                             50000 + model.from_nap.duration.value()),
             "");
   EXPECT_EQ(auditor.transitions_checked(), 2u);
 }
@@ -119,7 +119,7 @@ TEST(PowerStateAuditorTest, UpwardTransitionMustTargetActive) {
   PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kPowerdown);
   EXPECT_NE(auditor.Validate(0, PowerState::kPowerdown, PowerState::kNap,
-                             /*up=*/true, 0, model.from_powerdown.duration),
+                             /*up=*/true, 0, model.from_powerdown.duration.value()),
             "");
 }
 
@@ -129,7 +129,7 @@ TEST(PowerStateAuditorTest, DownwardTransitionMustLowerTheState) {
   PowerStateAuditor auditor(&chip_model, 1);
   auditor.Seed(0, PowerState::kNap);
   EXPECT_NE(auditor.Validate(0, PowerState::kNap, PowerState::kStandby,
-                             /*up=*/false, 0, model.to_standby.duration),
+                             /*up=*/false, 0, model.to_standby.duration.value()),
             "");
 }
 
@@ -141,7 +141,7 @@ TEST(PowerStateAuditorTest, StateDiscontinuityIsFlagged) {
   // The chip was last seen active, so a transition claiming to start from
   // nap is a teleport.
   EXPECT_NE(auditor.Validate(0, PowerState::kNap, PowerState::kActive,
-                             /*up=*/true, 0, model.from_nap.duration),
+                             /*up=*/true, 0, model.from_nap.duration.value()),
             "");
 }
 

@@ -125,7 +125,7 @@ TEST(SimulationAuditTest, SeededResyncFaultIsCaught) {
   static const RdramChipModel kReference{PowerModel{}};
   SimulationOptions options = AuditedOptions();
   options.policy = PolicyKind::kStaticNap;  // Guarantees nap/wake cycles.
-  options.memory.power.from_nap.duration = 0;
+  options.memory.power.from_nap.duration = Ticks(0);
   options.audit_reference_model = &kReference;
 
   const SimulationResults results =
@@ -139,7 +139,7 @@ TEST(SimulationAuditDeathTest, SeededFaultAbortsInAbortMode) {
   options.audit_level = 2;
   options.audit_abort = true;
   options.policy = PolicyKind::kStaticNap;
-  options.memory.power.from_nap.duration = 0;
+  options.memory.power.from_nap.duration = Ticks(0);
   options.audit_reference_model = &kReference;
 
   EXPECT_DEATH(RunWorkload(ShortWorkload(10 * kMillisecond), options),

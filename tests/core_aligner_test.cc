@@ -152,11 +152,11 @@ TEST(TemporalAlignerTest, CpuAccessDebitsSlack) {
   const double before = aligner.slack().slack();
   DmaTransfer transfer = MakeTransfer(1, 0);
   aligner.Gate(2, &transfer, 512, 0);  // No extra credit: `before` holds.
-  aligner.OnCpuAccess(2, /*service_time=*/2000);
+  aligner.OnCpuAccess(2, /*service_time=*/Ticks(2000));
   EXPECT_DOUBLE_EQ(aligner.slack().slack(), before - 2000.0);
   // CPU access to a chip without gated requests changes nothing.
   const double after = aligner.slack().slack();
-  aligner.OnCpuAccess(3, 2000);
+  aligner.OnCpuAccess(3, Ticks(2000));
   EXPECT_DOUBLE_EQ(aligner.slack().slack(), after);
 }
 

@@ -80,7 +80,7 @@ TEST_F(ControllerFixture, SingleTransferCompletesWithBusPacing) {
   // 16 chunks paced at one bus slot each; the last chunk is issued at
   // 15 * slot and completes after its memory service time.
   const Tick slot = controller_->bus(0).SlotTime();
-  const Tick service = config_.power.ServiceTime(512);
+  const Tick service = config_.power.ServiceTime(ByteCount(512)).value();
   EXPECT_EQ(completed, 15 * slot + service);
   EXPECT_EQ(controller_->stats().transfers_completed, 1u);
   EXPECT_EQ(controller_->InFlightTransfers(), 0u);
@@ -146,7 +146,7 @@ TEST_F(ControllerFixture, DeadlineReleasesLoneGatedTransfer) {
   // mu * T * 16 chunks.
   const Tick budget = static_cast<Tick>(5.0 * config.RequestTime() * 16);
   const Tick unmanaged = 15 * controller_->bus(0).SlotTime() +
-                         config.power.ServiceTime(512);
+                         config.power.ServiceTime(ByteCount(512)).value();
   EXPECT_LE(completed,
             budget + unmanaged + 6100 * kNanosecond /* wake */ +
                 config.dma.ta.epoch_length);
@@ -195,8 +195,8 @@ TEST_F(ControllerFixture, CpuAccessServedWithPriorityAndCounted) {
   EXPECT_GT(cpu_done, 0);
   EXPECT_EQ(controller_->stats().cpu_accesses, 1u);
   // CPU access may wait at most one chunk service before being served.
-  EXPECT_LE(cpu_done, config_.power.ServiceTime(512) +
-                          config_.power.ServiceTime(64));
+  EXPECT_LE(cpu_done, config_.power.ServiceTime(ByteCount(512)).value() +
+                          config_.power.ServiceTime(ByteCount(64)).value());
 }
 
 TEST_F(ControllerFixture, CpuAccessReleasesGatedChip) {
@@ -233,7 +233,7 @@ TEST_F(ControllerFixture, MigrationMovesPageAndChargesEnergy) {
   EXPECT_GT(controller_->stats().migrations, 0u);
   EXPECT_EQ(controller_->ChipOf(5), 0);  // Moved to the hot chip.
   EnergyBreakdown energy = controller_->CollectEnergy();
-  EXPECT_GT(energy.Of(EnergyBucket::kMigration), 0.0);
+  EXPECT_GT(energy.Of(EnergyBucket::kMigration).joules(), 0.0);
 }
 
 TEST_F(ControllerFixture, TransfersFollowMigratedPages) {
@@ -272,8 +272,10 @@ TEST_F(ControllerFixture, EnergyAggregatesAcrossChips) {
   simulator_.RunUntil(kMillisecond);
   const EnergyBreakdown energy = controller_->CollectEnergy();
   // Four idle chips in powerdown for 1 ms.
-  EXPECT_NEAR(energy.Total(), 4.0 * PowerModel::EnergyJoules(3.0, kMillisecond),
-              1e-9);
+  EXPECT_NEAR(
+      energy.Total().joules(),
+      4.0 * EnergyOver(MilliwattPower(3.0), Ticks(kMillisecond)).joules(),
+      1e-9);
 }
 
 TEST_F(ControllerFixture, ChunkServiceTimeTracked) {
@@ -283,7 +285,7 @@ TEST_F(ControllerFixture, ChunkServiceTimeTracked) {
   EXPECT_EQ(controller_->ChunkServiceTime().Count(), 16u);
   // Each chunk: issued, then served within one memory service time.
   EXPECT_NEAR(controller_->ChunkServiceTime().Mean(),
-              static_cast<double>(config_.power.ServiceTime(512)), 1.0);
+              static_cast<double>(config_.power.ServiceTime(ByteCount(512)).value()), 1.0);
 }
 
 }  // namespace

@@ -29,28 +29,28 @@ TEST(SlackAccountTest, ArrivalCreditsMuT) {
 TEST(SlackAccountTest, EpochDebitScalesWithPending) {
   SlackAccount slack(1.0, 100, 1000);
   for (int i = 0; i < 10; ++i) slack.CreditArrival();  // 1000.
-  slack.DebitEpoch(/*epoch_length=*/50, /*pending_requests=*/4);
+  slack.DebitEpoch(/*epoch_length=*/Ticks(50), /*pending_requests=*/4);
   EXPECT_DOUBLE_EQ(slack.slack(), 1000.0 - 200.0);
 }
 
 TEST(SlackAccountTest, ActivationDebit) {
   SlackAccount slack(1.0, 100, 1000);
   for (int i = 0; i < 10; ++i) slack.CreditArrival();
-  slack.DebitActivation(/*activation_latency=*/300, /*pending_requests=*/2);
+  slack.DebitActivation(/*activation_latency=*/Ticks(300), /*pending_requests=*/2);
   EXPECT_DOUBLE_EQ(slack.slack(), 1000.0 - 600.0);
 }
 
 TEST(SlackAccountTest, CpuServiceDebit) {
   SlackAccount slack(1.0, 100, 1000);
   for (int i = 0; i < 10; ++i) slack.CreditArrival();
-  slack.DebitCpuService(/*service_time=*/20, /*pending_requests=*/3);
+  slack.DebitCpuService(/*service_time=*/Ticks(20), /*pending_requests=*/3);
   EXPECT_DOUBLE_EQ(slack.slack(), 1000.0 - 60.0);
 }
 
 TEST(SlackAccountTest, CanGoNegative) {
   SlackAccount slack(1.0, 100, 1000);
   slack.CreditArrival();
-  slack.DebitEpoch(1000, 5);
+  slack.DebitEpoch(Ticks(1000), 5);
   EXPECT_LT(slack.slack(), 0.0);
   EXPECT_TRUE(slack.Exhausted());
 }
@@ -82,7 +82,7 @@ TEST(SlackAccountTest, ExactDebitToZeroCrossesTheExhaustionBoundary) {
   SlackAccount slack(1.0, 100, 1000);
   slack.CreditArrival();  // Balance: 100.
   EXPECT_FALSE(slack.Exhausted());
-  slack.DebitEpoch(/*epoch_length=*/100, /*pending_requests=*/1);
+  slack.DebitEpoch(/*epoch_length=*/Ticks(100), /*pending_requests=*/1);
   EXPECT_DOUBLE_EQ(slack.slack(), 0.0);
   EXPECT_TRUE(slack.Exhausted());
 }
@@ -93,9 +93,9 @@ TEST(SlackAccountTest, OverdrawAccumulatesAndCreditsRecover) {
   // and climb back out credit by credit instead of clamping at zero.
   SlackAccount slack(1.0, 100, 1000);
   slack.CreditArrival();  // Balance: 100.
-  slack.DebitActivation(/*activation_latency=*/70, /*pending_requests=*/3);
+  slack.DebitActivation(/*activation_latency=*/Ticks(70), /*pending_requests=*/3);
   EXPECT_DOUBLE_EQ(slack.slack(), -110.0);
-  slack.DebitCpuService(/*service_time=*/20, /*pending_requests=*/2);
+  slack.DebitCpuService(/*service_time=*/Ticks(20), /*pending_requests=*/2);
   EXPECT_DOUBLE_EQ(slack.slack(), -150.0);
   slack.CreditArrival();
   EXPECT_DOUBLE_EQ(slack.slack(), -50.0);
@@ -136,7 +136,7 @@ TEST(SlackAccountTest, HugeOverdrawStaysFiniteNearTheTickLimit) {
   // release valve (Exhausted) still fires.
   const Tick huge_epoch = Tick{1} << 60;
   SlackAccount slack(1.0, 100, 1000);
-  slack.DebitEpoch(huge_epoch, /*pending_requests=*/10000);
+  slack.DebitEpoch(Ticks(huge_epoch), /*pending_requests=*/10000);
   EXPECT_TRUE(std::isfinite(slack.slack()));
   EXPECT_LT(slack.slack(), 0.0);
   EXPECT_TRUE(slack.Exhausted());

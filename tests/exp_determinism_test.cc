@@ -63,7 +63,7 @@ TEST(DeterminismTest, RepeatedRunIsBitIdentical) {
   const SimulationResults first = RunWorkload(spec, options);
   const SimulationResults second = RunWorkload(spec, options);
   ExpectIdenticalResults(first, second);
-  EXPECT_GT(first.energy.Total(), 0.0);
+  EXPECT_GT(first.energy.Total().joules(), 0.0);
   EXPECT_GT(first.executed_events, 0u);
 }
 

@@ -52,9 +52,9 @@ TEST(EnergyConsistencyTest, TotalEqualsSumOfBuckets) {
       RunWorkload(TestSpec(), SimulationOptions{});
   double sum = 0.0;
   for (int bucket = 0; bucket < kEnergyBucketCount; ++bucket) {
-    sum += results.energy.Of(static_cast<EnergyBucket>(bucket));
+    sum += results.energy.Of(static_cast<EnergyBucket>(bucket)).joules();
   }
-  EXPECT_NEAR(results.energy.Total(), sum, 1e-12);
+  EXPECT_NEAR(results.energy.Total().joules(), sum, 1e-12);
 }
 
 TEST(EnergyConsistencyTest, IdleSystemEnergyIsPurePowerdown) {
@@ -64,9 +64,10 @@ TEST(EnergyConsistencyTest, IdleSystemEnergyIsPurePowerdown) {
   const SimulationResults results =
       RunTrace(empty, 0.0, 10 * kMillisecond, options, "idle");
   const double expected =
-      32.0 * PowerModel::EnergyJoules(3.0, 10 * kMillisecond +
-                                               options.drain);
-  EXPECT_NEAR(results.energy.Total(), expected, expected * 1e-9);
+      32.0 * EnergyOver(MilliwattPower(3.0),
+                        Ticks(10 * kMillisecond + options.drain))
+                 .joules();
+  EXPECT_NEAR(results.energy.Total().joules(), expected, expected * 1e-9);
   EXPECT_DOUBLE_EQ(results.energy.Fraction(EnergyBucket::kLowPower), 1.0);
 }
 

@@ -34,7 +34,7 @@ TEST(IntegrationTest, RunsAreDeterministic) {
   SimulationOptions options;
   const SimulationResults a = RunWorkload(spec, options);
   const SimulationResults b = RunWorkload(spec, options);
-  EXPECT_DOUBLE_EQ(a.energy.Total(), b.energy.Total());
+  EXPECT_DOUBLE_EQ(a.energy.Total().joules(), b.energy.Total().joules());
   EXPECT_DOUBLE_EQ(a.client_response.Mean(), b.client_response.Mean());
   EXPECT_EQ(a.controller.transfers_completed, b.controller.transfers_completed);
   EXPECT_EQ(a.executed_events, b.executed_events);

@@ -45,10 +45,10 @@ void ExpectWellFormed(const ChipPowerModel& model) {
   }
   EXPECT_EQ(model.NextLowerState(model.DeepestState()), std::nullopt);
 
-  double tr_min = 0.0;
-  double tr_max = 0.0;
+  MilliwattPower tr_min;
+  MilliwattPower tr_max;
   model.TransitionPowerBounds(&tr_min, &tr_max);
-  EXPECT_GE(tr_min, 0.0);
+  EXPECT_GE(tr_min, MilliwattPower(0.0));
   EXPECT_LE(tr_min, tr_max);
   for (int f = 0; f < kPowerStateCount; ++f) {
     for (int t = 0; t < kPowerStateCount; ++t) {
@@ -58,19 +58,19 @@ void ExpectWellFormed(const ChipPowerModel& model) {
       const Transition& edge = model.TransitionBetween(from, to);
       EXPECT_GE(edge.power_mw, tr_min);
       EXPECT_LE(edge.power_mw, tr_max);
-      EXPECT_GE(edge.duration, 0);
+      EXPECT_GE(edge.duration, Ticks(0));
     }
   }
 
-  double serve_min = 0.0;
-  double serve_max = 0.0;
+  MilliwattPower serve_min;
+  MilliwattPower serve_max;
   model.ServingPowerBounds(&serve_min, &serve_max);
-  EXPECT_GT(serve_min, 0.0);
+  EXPECT_GT(serve_min, MilliwattPower(0.0));
   EXPECT_LE(serve_min, serve_max);
   for (std::int64_t bytes : {1, 8, 64, 512, 8192}) {
     for (RequestKind kind :
          {RequestKind::kDma, RequestKind::kCpu, RequestKind::kMigration}) {
-      const double mw = model.ServingPowerMw(kind, bytes);
+      const MilliwattPower mw = model.ServingPowerMw(kind, ByteCount(bytes));
       EXPECT_GE(mw, serve_min) << "bytes " << bytes;
       EXPECT_LE(mw, serve_max) << "bytes " << bytes;
     }
@@ -99,23 +99,27 @@ TEST(ChipPowerModelTest, RdramMatchesTable1Exactly) {
   const RdramChipModel model{params};
   EXPECT_EQ(model.kind(), ChipModelKind::kRdram);
   EXPECT_EQ(model.StateCount(), 4);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive), 300.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby), 180.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kNap), 30.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPowerdown), 3.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive).milliwatts(), 300.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby).milliwatts(),
+                   180.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kNap).milliwatts(), 30.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPowerdown).milliwatts(),
+                   3.0);
   EXPECT_FALSE(model.IsSupported(PowerState::kActivePowerdown));
   EXPECT_FALSE(model.IsSupported(PowerState::kPrechargePowerdown));
   EXPECT_FALSE(model.IsSupported(PowerState::kSelfRefresh));
 
   // Identical timing: the exact same double arithmetic as PowerModel.
   EXPECT_EQ(model.cycle(), params.cycle);
-  EXPECT_EQ(model.ServiceTime(8), params.ServiceTime(8));
-  EXPECT_EQ(model.ServiceTime(512), params.ServiceTime(512));
-  EXPECT_EQ(model.ServiceTime(8192), params.ServiceTime(8192));
-  EXPECT_DOUBLE_EQ(model.BandwidthBytesPerSecond(),
-                   params.BandwidthBytesPerSecond());
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 8),
-                   params.active_mw);
+  EXPECT_EQ(model.ServiceTime(ByteCount(8)), params.ServiceTime(ByteCount(8)));
+  EXPECT_EQ(model.ServiceTime(ByteCount(512)),
+            params.ServiceTime(ByteCount(512)));
+  EXPECT_EQ(model.ServiceTime(ByteCount(8192)),
+            params.ServiceTime(ByteCount(8192)));
+  EXPECT_DOUBLE_EQ(model.Bandwidth().value(), params.Bandwidth().value());
+  EXPECT_DOUBLE_EQ(
+      model.ServingPowerMw(RequestKind::kDma, ByteCount(8)).milliwatts(),
+      params.active_mw);
 }
 
 TEST(ChipPowerModelTest, RdramCompatMatrixBillsEveryDownEdgeFromActive) {
@@ -130,7 +134,8 @@ TEST(ChipPowerModelTest, RdramCompatMatrixBillsEveryDownEdgeFromActive) {
     for (int t = f + 1; t < 4; ++t) {
       const Transition& edge = model.TransitionBetween(kChain[f], kChain[t]);
       const Transition& table1 = params.DownTransition(kChain[t]);
-      EXPECT_DOUBLE_EQ(edge.power_mw, table1.power_mw);
+      EXPECT_DOUBLE_EQ(edge.power_mw.milliwatts(),
+                       table1.power_mw.milliwatts());
       EXPECT_EQ(edge.duration, table1.duration);
     }
   }
@@ -138,7 +143,7 @@ TEST(ChipPowerModelTest, RdramCompatMatrixBillsEveryDownEdgeFromActive) {
     const Transition& edge =
         model.TransitionBetween(kChain[f], PowerState::kActive);
     const Transition& table1 = params.UpTransition(kChain[f]);
-    EXPECT_DOUBLE_EQ(edge.power_mw, table1.power_mw);
+    EXPECT_DOUBLE_EQ(edge.power_mw.milliwatts(), table1.power_mw.milliwatts());
     EXPECT_EQ(edge.duration, table1.duration);
   }
   // No lateral or upward shortcuts exist.
@@ -153,24 +158,25 @@ TEST(ChipPowerModelTest, CorrectedScalesChainedEdgesByOriginEnvelope) {
   const PowerModel params;
   const RdramCorrectedChipModel model{params};
   // From-active edges are untouched -- Table 1 measures those directly.
-  EXPECT_DOUBLE_EQ(
-      model.TransitionBetween(PowerState::kActive, PowerState::kNap).power_mw,
-      160.0);
+  EXPECT_DOUBLE_EQ(model.TransitionBetween(PowerState::kActive, PowerState::kNap)
+                       .power_mw.milliwatts(),
+                   160.0);
   // Chained edges scale by StatePowerMw(origin) / active_mw:
   //   standby -> nap:        160 mW * 180/300 = 96 mW
   //   standby -> powerdown:   15 mW * 180/300 =  9 mW
   //   nap -> powerdown:       15 mW *  30/300 =  1.5 mW
-  EXPECT_DOUBLE_EQ(
-      model.TransitionBetween(PowerState::kStandby, PowerState::kNap).power_mw,
-      96.0);
+  EXPECT_DOUBLE_EQ(model.TransitionBetween(PowerState::kStandby,
+                                           PowerState::kNap)
+                       .power_mw.milliwatts(),
+                   96.0);
   EXPECT_DOUBLE_EQ(model
                        .TransitionBetween(PowerState::kStandby,
                                           PowerState::kPowerdown)
-                       .power_mw,
+                       .power_mw.milliwatts(),
                    9.0);
   EXPECT_DOUBLE_EQ(
       model.TransitionBetween(PowerState::kNap, PowerState::kPowerdown)
-          .power_mw,
+          .power_mw.milliwatts(),
       1.5);
   // Durations are unchanged: Table 1 lists no chained latencies.
   EXPECT_EQ(
@@ -192,8 +198,8 @@ TEST(ChipPowerModelTest, CorrectedVsCompatDeltaIsPinned) {
       corrected.TransitionBetween(PowerState::kStandby, PowerState::kNap);
   ASSERT_EQ(old_edge.duration, new_edge.duration);
   const double delta_joules =
-      PowerModel::EnergyJoules(old_edge.power_mw, old_edge.duration) -
-      PowerModel::EnergyJoules(new_edge.power_mw, new_edge.duration);
+      EnergyOver(old_edge.power_mw, old_edge.duration).joules() -
+      EnergyOver(new_edge.power_mw, new_edge.duration).joules();
   // 64 mW over 8 * 625 ps = 3.2e-10 J.
   EXPECT_NEAR(delta_joules, 3.2e-10, 1e-16);
 }
@@ -205,36 +211,39 @@ TEST(ChipPowerModelTest, Ddr4CalibrationPins) {
   EXPECT_EQ(model.kind(), ChipModelKind::kDdr4);
   EXPECT_EQ(model.StateCount(), 5);
   // IDD * 1.2 V for a DDR4-2400 x16 die.
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive), 56.4);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby), 44.4);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActivePowerdown), 38.4);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPrechargePowerdown), 30.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kSelfRefresh), 24.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive).milliwatts(), 56.4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby).milliwatts(), 44.4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActivePowerdown)
+                       .milliwatts(), 38.4);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPrechargePowerdown)
+                       .milliwatts(), 30.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kSelfRefresh).milliwatts(),
+                   24.0);
   EXPECT_FALSE(model.IsSupported(PowerState::kNap));
   EXPECT_FALSE(model.IsSupported(PowerState::kPowerdown));
 
   // 833 ps clock moving 4 bytes: 4.8 GB/s peak.
   EXPECT_EQ(model.cycle(), 833);
-  EXPECT_NEAR(model.BandwidthBytesPerSecond(), 4.8e9, 2e7);
+  EXPECT_NEAR(model.Bandwidth().value(), 4.8e9, 2e7);
 
   // Exit latencies: tXP = 6 ns, tXP + tRCD = 20 ns, tXS = 270 ns.
   EXPECT_EQ(model.TransitionBetween(PowerState::kActivePowerdown,
                                     PowerState::kActive)
                 .duration,
-            6 * kNanosecond);
+            Ticks(6 * kNanosecond));
   EXPECT_EQ(model.TransitionBetween(PowerState::kPrechargePowerdown,
                                     PowerState::kActive)
                 .duration,
-            20 * kNanosecond);
+            Ticks(20 * kNanosecond));
   EXPECT_EQ(
       model.TransitionBetween(PowerState::kSelfRefresh, PowerState::kActive)
           .duration,
-      270 * kNanosecond);
+      Ticks(270 * kNanosecond));
   // Entry powers are endpoint midpoints (rails ramp between envelopes).
   EXPECT_DOUBLE_EQ(model
                        .TransitionBetween(PowerState::kStandby,
                                           PowerState::kSelfRefresh)
-                       .power_mw,
+                       .power_mw.milliwatts(),
                    0.5 * (44.4 + 24.0));
 }
 
@@ -245,22 +254,23 @@ TEST(ChipPowerModelTest, Ddr4FaultInjectionHookSkipsSelfRefreshExit) {
   EXPECT_EQ(
       faulty.TransitionBetween(PowerState::kSelfRefresh, PowerState::kActive)
           .duration,
-      0);
+      Ticks(0));
 }
 
 TEST(ChipPowerModelTest, Ddr4ServingEnvelopeExceedsActiveStandby) {
   // Serving bills the read-burst envelope, not the standby current --
   // this is the member that exercises the serving != active audit path.
   const Ddr4ChipModel model;
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 512),
-                   Ddr4ChipModel::kServingMw);
+  EXPECT_DOUBLE_EQ(
+      model.ServingPowerMw(RequestKind::kDma, ByteCount(512)).milliwatts(),
+      Ddr4ChipModel::kServingMw);
   EXPECT_GT(Ddr4ChipModel::kServingMw,
-            model.StatePowerMw(PowerState::kActive));
-  double lo = 0.0;
-  double hi = 0.0;
+            model.StatePowerMw(PowerState::kActive).milliwatts());
+  MilliwattPower lo;
+  MilliwattPower hi;
   model.ServingPowerBounds(&lo, &hi);
-  EXPECT_DOUBLE_EQ(lo, Ddr4ChipModel::kServingMw);
-  EXPECT_DOUBLE_EQ(hi, Ddr4ChipModel::kServingMw);
+  EXPECT_DOUBLE_EQ(lo.milliwatts(), Ddr4ChipModel::kServingMw);
+  EXPECT_DOUBLE_EQ(hi.milliwatts(), Ddr4ChipModel::kServingMw);
 }
 
 // --- Sectored member: fine-grained activation billing. ---
@@ -271,25 +281,36 @@ TEST(ChipPowerModelTest, SectoredBillsOnlyTouchedSectors) {
   const double active = params.active_mw;
   // 40% static periphery + 60% scaled by activated sectors out of 8.
   // One 64-byte sector: 0.4*300 + 0.6*300/8 = 142.5 mW.
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kCpu, 64), 142.5);
-  // An 8-byte burst still activates one full sector.
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 8), 142.5);
-  // Half the row: 0.4*300 + 0.6*300*4/8 = 210 mW.
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 256), 210.0);
-  // A full 512-byte row (or more) costs exactly the active power.
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 512), active);
-  EXPECT_DOUBLE_EQ(model.ServingPowerMw(RequestKind::kDma, 8192), active);
-
-  double lo = 0.0;
-  double hi = 0.0;
-  model.ServingPowerBounds(&lo, &hi);
-  EXPECT_DOUBLE_EQ(lo, 142.5);
-  EXPECT_DOUBLE_EQ(hi, active);
-  // Timing and the idle matrix ride on the corrected RDRAM member.
-  EXPECT_EQ(model.ServiceTime(8), params.ServiceTime(8));
   EXPECT_DOUBLE_EQ(
-      model.TransitionBetween(PowerState::kStandby, PowerState::kNap).power_mw,
-      96.0);
+      model.ServingPowerMw(RequestKind::kCpu, ByteCount(64)).milliwatts(),
+      142.5);
+  // An 8-byte burst still activates one full sector.
+  EXPECT_DOUBLE_EQ(
+      model.ServingPowerMw(RequestKind::kDma, ByteCount(8)).milliwatts(),
+      142.5);
+  // Half the row: 0.4*300 + 0.6*300*4/8 = 210 mW.
+  EXPECT_DOUBLE_EQ(
+      model.ServingPowerMw(RequestKind::kDma, ByteCount(256)).milliwatts(),
+      210.0);
+  // A full 512-byte row (or more) costs exactly the active power.
+  EXPECT_DOUBLE_EQ(
+      model.ServingPowerMw(RequestKind::kDma, ByteCount(512)).milliwatts(),
+      active);
+  EXPECT_DOUBLE_EQ(
+      model.ServingPowerMw(RequestKind::kDma, ByteCount(8192)).milliwatts(),
+      active);
+
+  MilliwattPower lo;
+  MilliwattPower hi;
+  model.ServingPowerBounds(&lo, &hi);
+  EXPECT_DOUBLE_EQ(lo.milliwatts(), 142.5);
+  EXPECT_DOUBLE_EQ(hi.milliwatts(), active);
+  // Timing and the idle matrix ride on the corrected RDRAM member.
+  EXPECT_EQ(model.ServiceTime(ByteCount(8)), params.ServiceTime(ByteCount(8)));
+  EXPECT_DOUBLE_EQ(model.TransitionBetween(PowerState::kStandby,
+                                           PowerState::kNap)
+                       .power_mw.milliwatts(),
+                   96.0);
 }
 
 // --- Timing seam used by MemorySystemConfig::MemoryBandwidth(). ---
@@ -317,19 +338,19 @@ TEST(ChipPowerModelTest, ModelChainPolicyWalksDdr4Cascade) {
   const std::optional<PolicyStep> first = policy.NextStep(PowerState::kActive);
   ASSERT_TRUE(first.has_value());
   EXPECT_EQ(first->target, PowerState::kStandby);
-  EXPECT_EQ(first->after_idle, thresholds.active_to_standby);
+  EXPECT_EQ(first->after_idle, Ticks(thresholds.active_to_standby));
 
   const std::optional<PolicyStep> second =
       policy.NextStep(PowerState::kStandby);
   ASSERT_TRUE(second.has_value());
   EXPECT_EQ(second->target, PowerState::kActivePowerdown);
-  EXPECT_EQ(second->after_idle, thresholds.standby_to_nap);
+  EXPECT_EQ(second->after_idle, Ticks(thresholds.standby_to_nap));
 
   const std::optional<PolicyStep> third =
       policy.NextStep(PowerState::kActivePowerdown);
   ASSERT_TRUE(third.has_value());
   EXPECT_EQ(third->target, PowerState::kPrechargePowerdown);
-  EXPECT_EQ(third->after_idle, thresholds.nap_to_powerdown);
+  EXPECT_EQ(third->after_idle, Ticks(thresholds.nap_to_powerdown));
 
   const std::optional<PolicyStep> fourth =
       policy.NextStep(PowerState::kPrechargePowerdown);

@@ -43,7 +43,7 @@ TEST_F(ChipFixture, StartsInPolicyRestingState) {
 TEST_F(ChipFixture, WakeupThenServeTiming) {
   MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   Tick completed = -1;
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8),
                            [&](Tick when) { completed = when; }});
   simulator_.RunUntil(10 * kMicrosecond);
   // Powerdown -> active costs 6000 ns; serving 8 bytes costs 4 cycles.
@@ -63,20 +63,21 @@ TEST_F(ChipFixture, TryStepDownDepthFollowsPolicyChain) {
   MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
 
   // Wake the chip; after serving it idles in Active.
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, [](Tick) {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), [](Tick) {}});
   simulator_.RunUntil(10 * kMicrosecond);
   ASSERT_EQ(chip.power_state(), PowerState::kActive);
 
   // Depth 2 skips Standby: Active -> Nap in a single transition.
   ASSERT_TRUE(chip.TryStepDown(2));
   simulator_.RunUntil(simulator_.Now() +
-                      model_.DownTransition(PowerState::kNap).duration);
+                      model_.DownTransition(PowerState::kNap).duration.value());
   EXPECT_EQ(chip.power_state(), PowerState::kNap);
 
   // Over-deep requests clamp at the chain's end (Nap -> Powerdown).
   ASSERT_TRUE(chip.TryStepDown(5));
-  simulator_.RunUntil(simulator_.Now() +
-                      model_.DownTransition(PowerState::kPowerdown).duration);
+  simulator_.RunUntil(
+      simulator_.Now() +
+      model_.DownTransition(PowerState::kPowerdown).duration.value());
   EXPECT_EQ(chip.power_state(), PowerState::kPowerdown);
   EXPECT_EQ(chip.stats().step_downs, 2u);
 
@@ -87,7 +88,7 @@ TEST_F(ChipFixture, TryStepDownDepthFollowsPolicyChain) {
 TEST_F(ChipFixture, ServeFromActiveHasNoWakeDelay) {
   MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   Tick completed = -1;
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8),
                            [&](Tick when) { completed = when; }});
   simulator_.Run();
   EXPECT_EQ(completed, 4 * 625);
@@ -96,26 +97,29 @@ TEST_F(ChipFixture, ServeFromActiveHasNoWakeDelay) {
 
 TEST_F(ChipFixture, WakeEnergyGoesToTransitionBucket) {
   MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.RunUntil(6000 * kNanosecond + 4 * 625);
   chip.SyncAccounting();
   // Transition: 15 mW for 6000 ns.
-  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kTransition),
-              PowerModel::EnergyJoules(15.0, 6000 * kNanosecond), 1e-15);
+  EXPECT_NEAR(
+      chip.energy().Of(EnergyBucket::kTransition).joules(),
+      EnergyOver(MilliwattPower(15.0), Ticks(6000 * kNanosecond)).joules(),
+      1e-15);
   // Serving: 300 mW for 4 cycles.
-  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kActiveServing),
-              PowerModel::EnergyJoules(300.0, 4 * 625), 1e-15);
+  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kActiveServing).joules(),
+              EnergyOver(MilliwattPower(300.0), Ticks(4 * 625)).joules(),
+              1e-15);
 }
 
 TEST_F(ChipFixture, CpuRequestsHavePriorityOverDma) {
   MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   std::vector<int> order;
   // First request starts serving immediately; the next two queue.
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8),
                            [&](Tick) { order.push_back(0); }});
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8),
                            [&](Tick) { order.push_back(1); }});
-  chip.Enqueue(ChipRequest{RequestKind::kCpu, 64,
+  chip.Enqueue(ChipRequest{RequestKind::kCpu, ByteCount(64),
                            [&](Tick) { order.push_back(2); }});
   simulator_.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
@@ -124,13 +128,13 @@ TEST_F(ChipFixture, CpuRequestsHavePriorityOverDma) {
 TEST_F(ChipFixture, MigrationHasLowestPriority) {
   MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
   std::vector<int> order;
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8),
                            [&](Tick) { order.push_back(0); }});
-  chip.Enqueue(ChipRequest{RequestKind::kMigration, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kMigration, ByteCount(8),
                            [&](Tick) { order.push_back(1); }});
-  chip.Enqueue(ChipRequest{RequestKind::kCpu, 64,
+  chip.Enqueue(ChipRequest{RequestKind::kCpu, ByteCount(64),
                            [&](Tick) { order.push_back(2); }});
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8,
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8),
                            [&](Tick) { order.push_back(3); }});
   simulator_.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 1}));
@@ -138,11 +142,12 @@ TEST_F(ChipFixture, MigrationHasLowestPriority) {
 
 TEST_F(ChipFixture, MigrationEnergyGoesToMigrationBucket) {
   MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
-  chip.Enqueue(ChipRequest{RequestKind::kMigration, 8192, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kMigration, ByteCount(8192), {}});
   simulator_.Run();
   chip.SyncAccounting();
-  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kMigration),
-              PowerModel::EnergyJoules(300.0, 4096 * 625), 1e-15);
+  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kMigration).joules(),
+              EnergyOver(MilliwattPower(300.0), Ticks(4096 * 625)).joules(),
+              1e-15);
   EXPECT_EQ(chip.stats().migration_requests, 1u);
 }
 
@@ -151,7 +156,7 @@ TEST_F(ChipFixture, DynamicPolicyStepsDownThroughStates) {
   // Use a chip that starts active with a dynamic policy instead:
   MemoryChip stepping(&simulator_, &chip_model_, &dynamic_policy_, 1);
   // Wake it with one request, then leave it idle.
-  stepping.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  stepping.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.RunUntil(100 * kMicrosecond);
   EXPECT_EQ(stepping.power_state(), PowerState::kPowerdown);
   // active -> standby -> nap -> powerdown: three step-downs.
@@ -167,11 +172,11 @@ TEST_F(ChipFixture, IdleTimerCancelledByNewRequest) {
   config.active_to_standby = 100 * kNanosecond;
   DynamicThresholdPolicy policy(config);
   MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.RunUntil(6000 * kNanosecond + 4 * 625 + 50 * kNanosecond);
   EXPECT_EQ(chip.power_state(), PowerState::kActive);
   // A new request arrives before the 100 ns idle threshold expires.
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.RunUntil(simulator_.Now() + 60 * kNanosecond);
   // The stale timer must not have fired mid-service.
   EXPECT_EQ(chip.power_state(), PowerState::kActive);
@@ -180,14 +185,14 @@ TEST_F(ChipFixture, IdleTimerCancelledByNewRequest) {
 
 TEST_F(ChipFixture, InFlightTransferSuppressesStepDown) {
   MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.Run();
   EXPECT_EQ(chip.power_state(), PowerState::kPowerdown);
 
   // With an in-flight transfer registered, idle-active time accrues to
   // ActiveIdleDma and the chip does not step down.
   chip.BeginTransfer();
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.RunUntil(simulator_.Now() + 100 * kMicrosecond);
   EXPECT_EQ(chip.power_state(), PowerState::kActive);
   chip.SyncAccounting();
@@ -214,7 +219,7 @@ TEST_F(ChipFixture, StaticPolicyDropsImmediately) {
   StaticPolicy policy(PowerState::kNap);
   MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
   EXPECT_EQ(chip.power_state(), PowerState::kNap);
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.Run();
   // Wakes (60 ns), serves, and immediately transitions back to nap.
   EXPECT_EQ(chip.power_state(), PowerState::kNap);
@@ -229,19 +234,19 @@ TEST_F(ChipFixture, RequestDuringDownTransitionTriggersRewake) {
   config.active_to_standby = 10 * kNanosecond;
   DynamicThresholdPolicy policy(config);
   MemoryChip chip(&simulator_, &chip_model_, &policy, 0);
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.Run();  // Settles in powerdown eventually; first check timing.
 
   // Re-wake and catch it mid "active -> standby" transition (1 cycle).
   Tick completed = -1;
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   // After serving (4 cycles) + threshold (16 cycles) the 1-cycle down
   // transition begins. Schedule a request inside that window.
   const Tick service_done = simulator_.Now();
   simulator_.ScheduleAt(service_done + 4 * 625 + 10 * kNanosecond + 300,
                         [&]() {
                           chip.Enqueue(ChipRequest{
-                              RequestKind::kDma, 8,
+                              RequestKind::kDma, ByteCount(8),
                               [&](Tick when) { completed = when; }});
                         });
   simulator_.Run();
@@ -257,7 +262,7 @@ TEST_F(ChipFixture, Figure2aUtilizationPattern) {
   const int requests = 64;
   for (int i = 0; i < requests; ++i) {
     simulator_.ScheduleAt(static_cast<Tick>(i) * 12 * 625, [&]() {
-      chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+      chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
     });
   }
   simulator_.RunUntil(requests * 12 * 625);
@@ -273,7 +278,7 @@ TEST_F(ChipFixture, Figure2aUtilizationPattern) {
 
 TEST_F(ChipFixture, AlwaysActivePolicyNeverTransitions) {
   MemoryChip chip(&simulator_, &chip_model_, &active_policy_, 0);
-  chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+  chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
   simulator_.RunUntil(kMillisecond);
   EXPECT_EQ(chip.power_state(), PowerState::kActive);
   EXPECT_EQ(chip.stats().step_downs, 0u);
@@ -284,9 +289,9 @@ TEST_F(ChipFixture, SyncAccountingIsIdempotent) {
   MemoryChip chip(&simulator_, &chip_model_, &dynamic_policy_, 0);
   simulator_.RunUntil(kMicrosecond);
   chip.SyncAccounting();
-  const double energy = chip.energy().Total();
+  const double energy = chip.energy().Total().joules();
   chip.SyncAccounting();
-  EXPECT_DOUBLE_EQ(chip.energy().Total(), energy);
+  EXPECT_DOUBLE_EQ(chip.energy().Total().joules(), energy);
 }
 
 TEST_F(ChipFixture, LowPowerResidencyEnergy) {
@@ -294,10 +299,11 @@ TEST_F(ChipFixture, LowPowerResidencyEnergy) {
   simulator_.RunUntil(kMillisecond);
   chip.SyncAccounting();
   // Idle chip in powerdown: 3 mW for 1 ms.
-  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kLowPower),
-              PowerModel::EnergyJoules(3.0, kMillisecond), 1e-12);
-  EXPECT_DOUBLE_EQ(chip.energy().Total(),
-                   chip.energy().Of(EnergyBucket::kLowPower));
+  EXPECT_NEAR(chip.energy().Of(EnergyBucket::kLowPower).joules(),
+              EnergyOver(MilliwattPower(3.0), Ticks(kMillisecond)).joules(),
+              1e-12);
+  EXPECT_DOUBLE_EQ(chip.energy().Total().joules(),
+                   chip.energy().Of(EnergyBucket::kLowPower).joules());
 }
 
 // Property: across a randomized request schedule, the chip's tracked time
@@ -321,13 +327,13 @@ TEST_P(ChipTimeConservationTest, TimeBucketsTileElapsedTime) {
     simulator.ScheduleAt(when, [&chip, &transfers_open, action]() {
       switch (action) {
         case 0:
-          chip.Enqueue(ChipRequest{RequestKind::kDma, 8, {}});
+          chip.Enqueue(ChipRequest{RequestKind::kDma, ByteCount(8), {}});
           break;
         case 1:
-          chip.Enqueue(ChipRequest{RequestKind::kCpu, 64, {}});
+          chip.Enqueue(ChipRequest{RequestKind::kCpu, ByteCount(64), {}});
           break;
         case 2:
-          chip.Enqueue(ChipRequest{RequestKind::kMigration, 512, {}});
+          chip.Enqueue(ChipRequest{RequestKind::kMigration, ByteCount(512), {}});
           break;
         case 3:
           chip.BeginTransfer();
@@ -346,7 +352,7 @@ TEST_P(ChipTimeConservationTest, TimeBucketsTileElapsedTime) {
   chip.SyncAccounting();
 
   EXPECT_EQ(TrackedTime(chip.stats()), simulator.Now());
-  EXPECT_GT(chip.energy().Total(), 0.0);
+  EXPECT_GT(chip.energy().Total().joules(), 0.0);
   // Served-request counters are consistent.
   EXPECT_EQ(chip.QueuedRequests(), 0u);
 }

@@ -6,37 +6,46 @@
 #include <optional>
 
 #include "mem/chip_power_model.h"
+#include "util/units.h"
 
 namespace dmasim {
 namespace {
 
 TEST(PowerModelTest, Table1StatePowers) {
   const PowerModel model;
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive), 300.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby), 180.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kNap), 30.0);
-  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPowerdown), 3.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kActive).milliwatts(), 300.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kStandby).milliwatts(),
+                   180.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kNap).milliwatts(), 30.0);
+  EXPECT_DOUBLE_EQ(model.StatePowerMw(PowerState::kPowerdown).milliwatts(),
+                   3.0);
 }
 
 TEST(PowerModelTest, Table1DownTransitions) {
   const PowerModel model;
-  EXPECT_DOUBLE_EQ(model.DownTransition(PowerState::kStandby).power_mw, 240.0);
-  EXPECT_EQ(model.DownTransition(PowerState::kStandby).duration, 625);
-  EXPECT_DOUBLE_EQ(model.DownTransition(PowerState::kNap).power_mw, 160.0);
-  EXPECT_EQ(model.DownTransition(PowerState::kNap).duration, 8 * 625);
-  EXPECT_DOUBLE_EQ(model.DownTransition(PowerState::kPowerdown).power_mw,
-                   15.0);
-  EXPECT_EQ(model.DownTransition(PowerState::kPowerdown).duration, 8 * 625);
+  EXPECT_DOUBLE_EQ(
+      model.DownTransition(PowerState::kStandby).power_mw.milliwatts(), 240.0);
+  EXPECT_EQ(model.DownTransition(PowerState::kStandby).duration, Ticks(625));
+  EXPECT_DOUBLE_EQ(
+      model.DownTransition(PowerState::kNap).power_mw.milliwatts(), 160.0);
+  EXPECT_EQ(model.DownTransition(PowerState::kNap).duration, Ticks(8 * 625));
+  EXPECT_DOUBLE_EQ(
+      model.DownTransition(PowerState::kPowerdown).power_mw.milliwatts(),
+      15.0);
+  EXPECT_EQ(model.DownTransition(PowerState::kPowerdown).duration,
+            Ticks(8 * 625));
 }
 
 TEST(PowerModelTest, Table1UpTransitions) {
   const PowerModel model;
   EXPECT_EQ(model.UpTransition(PowerState::kStandby).duration,
-            6 * kNanosecond);
-  EXPECT_EQ(model.UpTransition(PowerState::kNap).duration, 60 * kNanosecond);
+            Ticks(6 * kNanosecond));
+  EXPECT_EQ(model.UpTransition(PowerState::kNap).duration,
+            Ticks(60 * kNanosecond));
   EXPECT_EQ(model.UpTransition(PowerState::kPowerdown).duration,
-            6000 * kNanosecond);
-  EXPECT_DOUBLE_EQ(model.UpTransition(PowerState::kPowerdown).power_mw, 15.0);
+            Ticks(6000 * kNanosecond));
+  EXPECT_DOUBLE_EQ(
+      model.UpTransition(PowerState::kPowerdown).power_mw.milliwatts(), 15.0);
 }
 
 TEST(PowerModelTest, MemoryCycleIs625Picoseconds) {
@@ -48,25 +57,27 @@ TEST(PowerModelTest, MemoryCycleIs625Picoseconds) {
 TEST(PowerModelTest, EightBytesServedInFourCycles) {
   // Fig. 2(a): an 8-byte DMA-memory request occupies 4 memory cycles.
   const PowerModel model;
-  EXPECT_EQ(model.ServiceTime(8), 4 * 625);
+  EXPECT_EQ(model.ServiceTime(ByteCount(8)), Ticks(4 * 625));
 }
 
 TEST(PowerModelTest, CacheLineServedIn32Cycles) {
   const PowerModel model;
-  EXPECT_EQ(model.ServiceTime(64), 32 * 625);
+  EXPECT_EQ(model.ServiceTime(ByteCount(64)), Ticks(32 * 625));
 }
 
 TEST(PowerModelTest, PeakBandwidthIs3Point2GBps) {
   const PowerModel model;
-  EXPECT_NEAR(model.BandwidthBytesPerSecond(), 3.2e9, 1e6);
+  EXPECT_NEAR(model.Bandwidth().value(), 3.2e9, 1e6);
 }
 
-TEST(PowerModelTest, EnergyJoules) {
+TEST(PowerModelTest, EnergyOverMatchesTable1Arithmetic) {
   // 300 mW for 1 second = 0.3 J.
-  EXPECT_NEAR(PowerModel::EnergyJoules(300.0, kSecond), 0.3, 1e-12);
+  EXPECT_NEAR(EnergyOver(MilliwattPower(300.0), Ticks(kSecond)).joules(), 0.3,
+              1e-12);
   // 3 mW for 1 ms = 3 uJ.
-  EXPECT_NEAR(PowerModel::EnergyJoules(3.0, kMillisecond), 3e-6, 1e-15);
-  EXPECT_DOUBLE_EQ(PowerModel::EnergyJoules(300.0, 0), 0.0);
+  EXPECT_NEAR(EnergyOver(MilliwattPower(3.0), Ticks(kMillisecond)).joules(),
+              3e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(EnergyOver(MilliwattPower(300.0), Ticks(0)).joules(), 0.0);
 }
 
 TEST(PowerModelTest, NextLowerStateChain) {
@@ -88,8 +99,9 @@ TEST(PowerModelTest, StateNames) {
 
 TEST(PowerModelTest, ServiceTimeScalesLinearly) {
   const PowerModel model;
-  EXPECT_EQ(model.ServiceTime(512), 64 * model.ServiceTime(8));
-  EXPECT_EQ(model.ServiceTime(8192), 4096 * model.cycle);
+  EXPECT_EQ(model.ServiceTime(ByteCount(512)),
+            64 * model.ServiceTime(ByteCount(8)));
+  EXPECT_EQ(model.ServiceTime(ByteCount(8192)), Ticks(4096 * model.cycle));
 }
 
 TEST(TimeHelpersTest, UnitConversions) {

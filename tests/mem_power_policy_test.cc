@@ -12,7 +12,7 @@ TEST(StaticPolicyTest, DropsStraightToTarget) {
   const StaticPolicy policy(PowerState::kNap);
   const auto step = policy.NextStep(PowerState::kActive);
   ASSERT_TRUE(step.has_value());
-  EXPECT_EQ(step->after_idle, 0);
+  EXPECT_EQ(step->after_idle, Ticks(0));
   EXPECT_EQ(step->target, PowerState::kNap);
 }
 
@@ -48,15 +48,15 @@ TEST(DynamicPolicyTest, UsesConfiguredThresholds) {
   config.standby_to_nap = 222;
   config.nap_to_powerdown = 333;
   const DynamicThresholdPolicy policy(config);
-  EXPECT_EQ(policy.NextStep(PowerState::kActive)->after_idle, 111);
-  EXPECT_EQ(policy.NextStep(PowerState::kStandby)->after_idle, 222);
-  EXPECT_EQ(policy.NextStep(PowerState::kNap)->after_idle, 333);
+  EXPECT_EQ(policy.NextStep(PowerState::kActive)->after_idle, Ticks(111));
+  EXPECT_EQ(policy.NextStep(PowerState::kStandby)->after_idle, Ticks(222));
+  EXPECT_EQ(policy.NextStep(PowerState::kNap)->after_idle, Ticks(333));
 }
 
 TEST(DynamicPolicyTest, DefaultActiveThresholdMatchesPaperRange) {
   // "the best setting ... is usually around 20-30 memory cycles".
   const DynamicThresholdPolicy policy;
-  const Tick threshold = policy.NextStep(PowerState::kActive)->after_idle;
+  const Tick threshold = policy.NextStep(PowerState::kActive)->after_idle.value();
   EXPECT_GE(threshold, 20 * 625);
   EXPECT_LE(threshold, 30 * 625);
 }

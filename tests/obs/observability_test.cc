@@ -355,11 +355,13 @@ TEST_F(ObsReconcileFixture, ResidencyEventsReconcileWithChipAccounting) {
                                           << state;
         continue;
       }
-      low_power_joules += PowerModel::EnergyJoules(
-          chip.model().StatePowerMw(static_cast<PowerState>(state)),
-          residency[i][state]);
+      low_power_joules +=
+          EnergyOver(chip.model().StatePowerMw(static_cast<PowerState>(state)),
+                     Ticks(residency[i][state]))
+              .joules();
     }
-    EXPECT_NEAR(low_power_joules, chip.energy().Of(EnergyBucket::kLowPower),
+    EXPECT_NEAR(low_power_joules,
+                chip.energy().Of(EnergyBucket::kLowPower).joules(),
                 1e-9 * (low_power_joules + 1.0))
         << "chip " << i;
   }

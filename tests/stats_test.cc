@@ -130,31 +130,31 @@ TEST(HistogramTest, QuantileUnaffectedByNonFiniteMix) {
 
 TEST(EnergyBreakdownTest, StartsEmpty) {
   EnergyBreakdown energy;
-  EXPECT_DOUBLE_EQ(energy.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(energy.Total().joules(), 0.0);
   EXPECT_DOUBLE_EQ(energy.Fraction(EnergyBucket::kActiveServing), 0.0);
 }
 
 TEST(EnergyBreakdownTest, AddAndTotal) {
   EnergyBreakdown energy;
-  energy.Add(EnergyBucket::kActiveServing, 1.0);
-  energy.Add(EnergyBucket::kActiveIdleDma, 2.0);
-  energy.Add(EnergyBucket::kLowPower, 1.0);
-  EXPECT_DOUBLE_EQ(energy.Total(), 4.0);
-  EXPECT_DOUBLE_EQ(energy.Of(EnergyBucket::kActiveIdleDma), 2.0);
+  energy.Add(EnergyBucket::kActiveServing, JoulesEnergy(1.0));
+  energy.Add(EnergyBucket::kActiveIdleDma, JoulesEnergy(2.0));
+  energy.Add(EnergyBucket::kLowPower, JoulesEnergy(1.0));
+  EXPECT_DOUBLE_EQ(energy.Total().joules(), 4.0);
+  EXPECT_DOUBLE_EQ(energy.Of(EnergyBucket::kActiveIdleDma).joules(), 2.0);
   EXPECT_DOUBLE_EQ(energy.Fraction(EnergyBucket::kActiveIdleDma), 0.5);
 }
 
 TEST(EnergyBreakdownTest, Accumulates) {
   EnergyBreakdown a;
-  a.Add(EnergyBucket::kTransition, 1.0);
+  a.Add(EnergyBucket::kTransition, JoulesEnergy(1.0));
   EnergyBreakdown b;
-  b.Add(EnergyBucket::kTransition, 2.0);
-  b.Add(EnergyBucket::kMigration, 3.0);
+  b.Add(EnergyBucket::kTransition, JoulesEnergy(2.0));
+  b.Add(EnergyBucket::kMigration, JoulesEnergy(3.0));
   a += b;
-  EXPECT_DOUBLE_EQ(a.Of(EnergyBucket::kTransition), 3.0);
-  EXPECT_DOUBLE_EQ(a.Of(EnergyBucket::kMigration), 3.0);
+  EXPECT_DOUBLE_EQ(a.Of(EnergyBucket::kTransition).joules(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Of(EnergyBucket::kMigration).joules(), 3.0);
   const EnergyBreakdown c = a + b;
-  EXPECT_DOUBLE_EQ(c.Of(EnergyBucket::kTransition), 5.0);
+  EXPECT_DOUBLE_EQ(c.Of(EnergyBucket::kTransition).joules(), 5.0);
 }
 
 TEST(EnergyBreakdownTest, BucketNames) {

@@ -1,0 +1,200 @@
+// Tests for the unit-safe quantity types (util/units.h) and the
+// conversion boundaries they route through (util/time.h): rounding
+// symmetry, precision at large tick values, round-trip pins, and the
+// bit-stability of energy accumulation order.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+#include "stats/energy.h"
+
+namespace dmasim {
+namespace {
+
+// --- SecondsToTicks rounding (regression for the +0.5 bug) --------------
+
+TEST(SecondsToTicksTest, RoundsHalfAwayFromZero) {
+  // 1.5 ps and -1.5 ps must round symmetrically: a bare `+ 0.5` would
+  // send -1.5 ps to -1 (toward +inf) instead of -2.
+  EXPECT_EQ(SecondsToTicks(1.5e-12), 2);
+  EXPECT_EQ(SecondsToTicks(-1.5e-12), -2);
+  EXPECT_EQ(SecondsToTicks(2.5e-12), 3);
+  EXPECT_EQ(SecondsToTicks(-2.5e-12), -3);
+}
+
+TEST(SecondsToTicksTest, NearestForNonHalfway) {
+  EXPECT_EQ(SecondsToTicks(1.4e-12), 1);
+  EXPECT_EQ(SecondsToTicks(-1.4e-12), -1);
+  EXPECT_EQ(SecondsToTicks(1.6e-12), 2);
+  EXPECT_EQ(SecondsToTicks(-1.6e-12), -2);
+  EXPECT_EQ(SecondsToTicks(0.4e-12), 0);
+  EXPECT_EQ(SecondsToTicks(-0.4e-12), 0);
+  EXPECT_EQ(SecondsToTicks(0.0), 0);
+}
+
+TEST(SecondsToTicksTest, NegationIsExactlySymmetric) {
+  for (double seconds : {1e-12, 7.3e-9, 0.25e-6, 1.0e-3, 0.5, 3.7}) {
+    EXPECT_EQ(SecondsToTicks(-seconds), -SecondsToTicks(seconds))
+        << "asymmetric rounding at " << seconds << " s";
+  }
+}
+
+// --- Round-trip pins -----------------------------------------------------
+
+TEST(ConversionRoundTripTest, TicksSurviveTheSecondsDetour) {
+  // Every exact-tick duration below 2^53 ps survives Ticks -> Seconds ->
+  // Ticks bit-exactly: the double mantissa holds the integer exactly and
+  // the rounding is round-half-away. One hour is 3.6e15 ps, well inside.
+  const Tick kHour = 3600 * kSecond;
+  for (Tick t : {Tick{0}, Tick{1}, Tick{625}, kMicrosecond, kMillisecond,
+                 kSecond, kHour, 24 * kHour, (Tick{1} << 52)}) {
+    EXPECT_EQ(SecondsToTicks(TicksToSeconds(t)), t) << "at " << t << " ps";
+    EXPECT_EQ(TicksOf(SecondsOf(Ticks(t))).value(), t);
+  }
+}
+
+TEST(ConversionRoundTripTest, TypedConversionsMatchRawHelpers) {
+  // The named conversions are thin forwards: bit-identical to the
+  // util/time.h helpers they wrap.
+  const Tick t = 123456789;
+  EXPECT_EQ(SecondsOf(Ticks(t)).value(), TicksToSeconds(t));
+  EXPECT_EQ(TicksOf(Seconds(0.125)).value(), SecondsToTicks(0.125));
+  EXPECT_EQ(TransferDuration(ByteCount(8192), BytesPerSecond(3.2e9)).value(),
+            TransferTime(8192, 3.2e9));
+}
+
+// --- TransferTime / EnergyOver precision at large magnitudes ------------
+
+TEST(TransferPrecisionTest, HourScaleTransfersStayExact) {
+  // A transfer long enough to span hours of simulated time: 11.52 TB at
+  // 3.2 GB/s is exactly 3600 s = 3.6e15 ps. The division is exact in
+  // double (both operands are powers of 10 times small integers), and
+  // the result is far inside the 2^53 exact-integer range.
+  const std::int64_t bytes = 11'520'000'000'000;
+  EXPECT_EQ(TransferTime(bytes, 3.2e9), 3600 * kSecond);
+  EXPECT_EQ(TransferDuration(ByteCount(bytes), BytesPerSecond(3.2e9)),
+            Ticks(3600 * kSecond));
+}
+
+TEST(TransferPrecisionTest, DayScaleTransferIsWithinOneTick)
+{
+  // 24 hours = 8.64e16 ps exceeds 2^53, so the double result may round
+  // in its last mantissa bit -- the conversion must still land within
+  // the representational granularity (16 ps at this magnitude).
+  const std::int64_t bytes = 24 * 11'520'000'000'000;
+  const Tick expected = 24 * 3600 * kSecond;
+  const Tick actual = TransferTime(bytes, 3.2e9);
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(expected), 16.0);
+}
+
+TEST(EnergyPrecisionTest, EnergyOverMatchesTheHistoricalFormula) {
+  // EnergyOver must compute exactly mw * 1e-3 * TicksToSeconds(t) -- the
+  // same op order the accounting always used -- so every pinned artifact
+  // keeps its bytes.
+  for (double mw : {3.0, 30.0, 180.0, 300.0}) {
+    for (Tick t : {Tick{625}, kMicrosecond, kSecond, 3600 * kSecond}) {
+      EXPECT_EQ(EnergyOver(MilliwattPower(mw), Ticks(t)).joules(),
+                mw * 1e-3 * TicksToSeconds(t));
+    }
+  }
+}
+
+TEST(EnergyPrecisionTest, HourScaleIntegrationIsExact) {
+  // 300 mW over one hour is 1080 J: every factor is a small decimal, so
+  // the product is exact in double.
+  EXPECT_EQ(EnergyOver(MilliwattPower(300.0), Ticks(3600 * kSecond)).joules(),
+            1080.0);
+  // A powerdown chip (3 mW) over a day: 0.003 W * 86400 s = 259.2 J.
+  EXPECT_EQ(
+      EnergyOver(MilliwattPower(3.0), Ticks(24 * 3600 * kSecond)).joules(),
+      259.2);
+}
+
+// --- EnergyBreakdown accumulation-order stability ------------------------
+
+TEST(EnergyBreakdownOrderTest, TotalIsBitStableAcrossAddOrder) {
+  // Add order across *buckets* must not matter: each bucket accumulates
+  // independently and Total() sums in fixed bucket-index order.
+  EnergyBreakdown forward;
+  EnergyBreakdown backward;
+  const double values[kEnergyBucketCount] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  for (int i = 0; i < kEnergyBucketCount; ++i) {
+    forward.Add(static_cast<EnergyBucket>(i), JoulesEnergy(values[i]));
+  }
+  for (int i = kEnergyBucketCount - 1; i >= 0; --i) {
+    backward.Add(static_cast<EnergyBucket>(i), JoulesEnergy(values[i]));
+  }
+  EXPECT_EQ(forward.Total(), backward.Total());  // Bit-exact, not NEAR.
+}
+
+TEST(EnergyBreakdownOrderTest, TotalMatchesManualBucketOrderSum) {
+  // Total() is pinned to bucket-index order; a reimplementation must
+  // reproduce it bit-for-bit (the fleet fingerprint hashes these bits).
+  EnergyBreakdown energy;
+  energy.Add(EnergyBucket::kActiveServing, JoulesEnergy(1.0 / 3.0));
+  energy.Add(EnergyBucket::kTransition, JoulesEnergy(2.0 / 7.0));
+  energy.Add(EnergyBucket::kLowPower, JoulesEnergy(5.0 / 11.0));
+  double manual = 0.0;
+  for (int i = 0; i < kEnergyBucketCount; ++i) {
+    manual += energy.Of(static_cast<EnergyBucket>(i)).joules();
+  }
+  EXPECT_EQ(energy.Total().joules(), manual);
+}
+
+TEST(EnergyBreakdownOrderTest, AggregationOrderAcrossChipsIsPreserved) {
+  // Chip aggregation (operator+=) adds per-bucket, so summing chips in
+  // a fixed order is bit-stable regardless of how the per-chip values
+  // were themselves accumulated.
+  EnergyBreakdown a;
+  a.Add(EnergyBucket::kActiveServing, JoulesEnergy(0.1));
+  EnergyBreakdown b;
+  b.Add(EnergyBucket::kActiveServing, JoulesEnergy(0.2));
+  EnergyBreakdown c;
+  c.Add(EnergyBucket::kActiveServing, JoulesEnergy(0.7));
+  EnergyBreakdown once = a;
+  once += b;
+  once += c;
+  EnergyBreakdown again = a;
+  again += b;
+  again += c;
+  EXPECT_EQ(once.Total(), again.Total());
+  EXPECT_EQ(once.Total().joules(), (0.1 + 0.2) + 0.7);
+}
+
+// --- Strong-type semantics ----------------------------------------------
+
+TEST(UnitTypesTest, SameDimensionArithmeticStaysTyped) {
+  EXPECT_EQ(Ticks(100) + Ticks(25), Ticks(125));
+  EXPECT_EQ(Ticks(100) - Ticks(25), Ticks(75));
+  EXPECT_EQ(3 * Ticks(100), Ticks(300));
+  EXPECT_EQ(JoulesEnergy(1.5) + JoulesEnergy(0.5), JoulesEnergy(2.0));
+  EXPECT_EQ(MilliwattPower(300.0) - MilliwattPower(180.0),
+            MilliwattPower(120.0));
+  EXPECT_EQ(ByteCount(512) * 16, ByteCount(8192));
+}
+
+TEST(UnitTypesTest, RatiosAreDimensionless) {
+  const double savings = 1.0 - JoulesEnergy(60.0) / JoulesEnergy(100.0);
+  EXPECT_DOUBLE_EQ(savings, 0.4);
+  EXPECT_DOUBLE_EQ(MilliwattPower(30.0) / MilliwattPower(300.0), 0.1);
+}
+
+TEST(UnitTypesTest, NoImplicitCrossUnitConversion) {
+  // Compile-time contract, pinned here as well as in the header so the
+  // test suite fails loudly if the static_asserts are ever removed.
+  static_assert(!std::is_convertible_v<double, JoulesEnergy>);
+  static_assert(!std::is_convertible_v<MilliwattPower, JoulesEnergy>);
+  static_assert(!std::is_convertible_v<Tick, Ticks>);
+  static_assert(!std::is_convertible_v<Ticks, Seconds>);
+  static_assert(sizeof(Ticks) == sizeof(Tick));
+  static_assert(sizeof(JoulesEnergy) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<Ticks>);
+  static_assert(std::is_trivially_copyable_v<JoulesEnergy>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dmasim

@@ -18,7 +18,11 @@ rests on, which generic linters cannot know about:
                       results silently stop being deterministic.
   float-energy        Energy accounting uses double + integer ticks
                       everywhere; a single float truncation breaks the
-                      auditor's bit-exact shadow accounting.
+                      auditor's bit-exact shadow accounting. Also flags
+                      a conditional whose arms mix dimensions (an
+                      energy value vs a power value): both are raw
+                      doubles, so the mix compiles clean and corrupts
+                      the accounting by a factor of the elapsed time.
   counter-narrowing   No static_cast of tick/energy expressions to an
                       integer type narrower than 64 bits in the hot-path
                       directories: ticks are int64 picoseconds, so a
@@ -77,6 +81,15 @@ PLACEMENT_NEW_RE = re.compile(r"::\s*new\s*\(")
 MAKE_HEAP_RE = re.compile(r"\bstd\s*::\s*make_(?:unique|shared)\b")
 C_ALLOC_RE = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
 FLOAT_RE = re.compile(r"\bfloat\b")
+# A conditional whose arms mix unit dimensions: one arm an energy value
+# (joules), the other a power value (milliwatts). Both arms are raw
+# doubles, so `cond ? joules : mw` compiles clean and corrupts the
+# energy accounting by a factor of the elapsed time; the bare `float`
+# keyword check cannot see it. Arm spans are heuristic (single line, up
+# to the next `;`/`,`/`)`), which covers the repo's expression style.
+TERNARY_ARMS_RE = re.compile(r"\?\s*([^:?]+?)\s*:\s*([^;,)]+)")
+ENERGY_ARM_RE = re.compile(r"\b\w*(?:joules?|_j)\b")
+POWER_ARM_RE = re.compile(r"\b\w*(?:_mw|milliwatts?)\b")
 UNORDERED_DECL_RE = re.compile(
     r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<.*?>\s+(\w+)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(\w+)\s*\)")
@@ -283,6 +296,20 @@ def check_file(rel_path: str, text: str) -> List[Finding]:
             report(index, "float-energy",
                    "float arithmetic; energy accounting is double + "
                    "integer ticks end to end")
+        for match in TERNARY_ARMS_RE.finditer(line):
+            arm_a, arm_b = match.group(1), match.group(2)
+            a_energy = bool(ENERGY_ARM_RE.search(arm_a))
+            b_energy = bool(ENERGY_ARM_RE.search(arm_b))
+            a_power = bool(POWER_ARM_RE.search(arm_a))
+            b_power = bool(POWER_ARM_RE.search(arm_b))
+            if ((a_energy and not a_power and b_power and not b_energy)
+                    or (b_energy and not b_power
+                        and a_power and not a_energy)):
+                report(index, "float-energy",
+                       "conditional mixes an energy arm with a power "
+                       "arm; both are raw doubles so the dimension slip "
+                       "compiles clean -- convert with EnergyOver "
+                       "(util/units.h) first")
         for match in UNORDERED_DECL_RE.finditer(line):
             unordered_names.add(match.group(1))
         for match in RANGE_FOR_RE.finditer(line):

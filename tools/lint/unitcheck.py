@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Unit-dimension static analysis for the quantity types (DESIGN.md §17).
+
+src/util/units.h gives every dimensioned quantity the simulator trades
+in — picosecond durations, milliwatt powers, joule energies, byte
+counts, byte/s rates — a zero-overhead strong type, and confines the
+cross-dimension math to four named conversions (EnergyOver, SecondsOf,
+TicksOf, TransferDuration). The compiler enforces the types where they
+are *used*; this pass enforces that the hot layers keep *using* them
+instead of quietly reverting to bare `double`s:
+
+  raw-unit-param          A function parameter of raw `double` (or raw
+                          `Tick`) whose name carries a unit suffix
+                          (`_mw`, `joules`, `_watts`, `_seconds`,
+                          `duration`, `latency`) in scope. The name
+                          says the value is dimensioned, so the
+                          signature must say it too: take
+                          MilliwattPower / JoulesEnergy / Seconds /
+                          Ticks and the mixup becomes a compile error.
+  raw-unit-decl           A `double` variable or member declaration
+                          named like an energy or power quantity.
+                          Accumulating joules in a bare double skips
+                          the dimension check on every `+=` that feeds
+                          it. Audited raw edges (the Table 1
+                          calibration literals, JSON serialization)
+                          carry explicit waivers.
+  unit-literal-conversion Multiplicative use of a unit conversion
+                          factor (1e-3 mW->W, 1e3 J->mJ, 1e12 /
+                          1e-12 s<->ps) outside src/util/units.h and
+                          src/util/time.h. Inline factors re-derive
+                          what the named conversions already pin
+                          bit-for-bit; a transposed exponent here is
+                          exactly the bug class the types exist to
+                          kill. Additive epsilons (`x + 1e-12`) and
+                          comparison tolerances do not match: only a
+                          factor adjacent to `*` or `/` is flagged.
+
+Known limitations (deliberate -- the pass is line-based, not a parser):
+a parameter list spanning lines is inspected line by line, so a unit
+name on a continuation line is still caught but its enclosing function
+is not identified; template arguments containing commas can make a
+member declaration look like a parameter (none in scope today).
+
+Waivers: `// unitcheck: allow(<rule>)` on the finding line or the line
+before; the dmasim-lint spelling `// dmasim-lint: allow(<rule>)` is
+accepted too so one comment can waive both passes at a shared edge.
+
+Exit status: 0 clean, 1 findings, 2 bad invocation / self-test failure.
+`--self-test` runs the pass over tools/lint/fixtures/unitcheck and
+verifies every `// expect-unitcheck: rule` annotation (and nothing
+else) is produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import dmasim_lint  # noqa: E402  (shared comment/string stripper)
+
+# Layers migrated onto the quantity types. Relative-path prefixes,
+# POSIX separators. src/util, src/io, and src/trace stay out of scope:
+# units.h/time.h define the conversions, and the I/O + trace-parsing
+# edges are raw by design (documented in DESIGN.md §17).
+SCOPE_PREFIXES = ("src/mem/", "src/core/", "src/sim/", "src/stats/",
+                  "src/audit/", "src/mon/", "src/server/", "src/exp/")
+
+# Files allowed to spell conversion factors: they *define* the
+# conversions everything else must route through.
+CONVERSION_HOME = ("src/util/units.h", "src/util/time.h")
+
+SUPPRESS_RE = re.compile(
+    r"//.*?(?:unitcheck|dmasim-lint):\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect-unitcheck:\s*([a-z-]+)")
+
+# A unit-suffixed name: the repo's conventions for dimensioned doubles
+# (Table 1 uses *_mw; energies are *joules* / *_j; report edges use
+# *_seconds / *_watts).
+UNIT_NAME = r"\w*(?:_mw|_milliwatts?|joules?|_j|_watts?|_seconds?)\b"
+DURATION_NAME = r"\w*(?:duration|latency)\w*"
+
+# A raw-double parameter with a unit-suffixed name: `(double x_mw,` /
+# `, double joules)` / `(double total_joules = 0.0)`.
+RAW_DOUBLE_PARAM_RE = re.compile(
+    rf"[(,]\s*(?:const\s+)?double\s+({UNIT_NAME})\s*[,)=]")
+# A raw-Tick parameter named as a duration: absolute timestamps stay
+# `Tick` (names like now/when/deadline/at), but a `Tick duration` or
+# `Tick wake_latency` is a span and must be `Ticks`.
+RAW_TICK_PARAM_RE = re.compile(
+    rf"[(,]\s*(?:const\s+)?Tick\s+({DURATION_NAME})\s*[,)=]")
+
+# A `double` variable/member declaration named like an energy or power
+# quantity. Parameters are the other rule's job: a declaration line
+# starts at the line head (optional const/static), ends in `;` or `=`.
+RAW_UNIT_DECL_RE = re.compile(
+    rf"^\s*(?:static\s+|constexpr\s+|const\s+)*double\s+"
+    rf"({UNIT_NAME})\s*(?:=|;|\{{)")
+
+# A unit conversion factor used multiplicatively. 1e-3 (mW->W),
+# 1e3 (J->mJ, GB->B prefixes), 1e12/1e-12 (s<->ps). Adjacency to * or /
+# distinguishes a conversion from an additive epsilon or tolerance.
+CONVERSION_FACTOR = r"1(?:\.0*)?[eE][-+]?(?:3|12)\b"
+CONVERSION_MUL_RE = re.compile(
+    rf"[*/]\s*{CONVERSION_FACTOR}|{CONVERSION_FACTOR}\s*[*/]")
+
+
+class Finding(NamedTuple):
+    path: str  # Relative to the scanned root, POSIX separators.
+    line: int  # 1-based.
+    rule: str
+    message: str
+
+
+def suppressions_for(raw_lines: List[str]) -> List[Set[str]]:
+    """Rules waived per line: an allow() covers its own and the next line."""
+    waived: List[Set[str]] = [set() for _ in raw_lines]
+    for index, line in enumerate(raw_lines):
+        for match in SUPPRESS_RE.finditer(line):
+            waived[index].add(match.group(1))
+            if index + 1 < len(raw_lines):
+                waived[index + 1].add(match.group(1))
+    return waived
+
+
+def check_file(rel_path: str, text: str) -> List[Finding]:
+    raw_lines = text.splitlines()
+    code_lines = dmasim_lint.strip_comments_and_strings(text).splitlines()
+    waived = suppressions_for(raw_lines)
+    findings: List[Finding] = []
+
+    def report(line_index: int, rule: str, message: str) -> None:
+        if rule not in waived[line_index]:
+            findings.append(Finding(rel_path, line_index + 1, rule, message))
+
+    for index, line in enumerate(code_lines):
+        for match in RAW_DOUBLE_PARAM_RE.finditer(line):
+            report(index, "raw-unit-param",
+                   f"raw double parameter '{match.group(1)}' carries a "
+                   f"unit in its name; take MilliwattPower / "
+                   f"JoulesEnergy / Seconds (util/units.h) so a "
+                   f"dimension mixup fails to compile")
+        for match in RAW_TICK_PARAM_RE.finditer(line):
+            report(index, "raw-unit-param",
+                   f"raw Tick parameter '{match.group(1)}' is a "
+                   f"duration; take Ticks (util/units.h) -- absolute "
+                   f"calendar timestamps are the only raw-Tick edge")
+        for match in RAW_UNIT_DECL_RE.finditer(line):
+            report(index, "raw-unit-decl",
+                   f"raw double '{match.group(1)}' holds a dimensioned "
+                   f"quantity; declare it JoulesEnergy / MilliwattPower "
+                   f"(util/units.h), or waive an audited raw edge")
+        if CONVERSION_MUL_RE.search(line):
+            report(index, "unit-literal-conversion",
+                   "inline unit conversion factor; route through the "
+                   "named conversions in util/units.h (EnergyOver, "
+                   "SecondsOf, TicksOf, TransferDuration) so the "
+                   "double-precision result stays pinned in one place")
+
+    return findings
+
+
+def in_scope(rel_path: str) -> bool:
+    return (rel_path.endswith((".h", ".cc"))
+            and rel_path not in CONVERSION_HOME
+            and any(rel_path.startswith(p) for p in SCOPE_PREFIXES))
+
+
+def scan(root: pathlib.Path) -> List[Finding]:
+    findings: List[Finding] = []
+    seen = False
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        if not in_scope(rel):
+            continue
+        seen = True
+        findings.extend(check_file(rel, path.read_text(encoding="utf-8")))
+    if not seen:
+        raise SystemExit(f"unitcheck: nothing in scope under {root}")
+    return findings
+
+
+def print_findings(findings: Iterable[Finding], fmt: str = "text") -> None:
+    for f in findings:
+        if fmt == "github":
+            print(f"::error file={f.path},line={f.line},"
+                  f"title=unitcheck [{f.rule}]::{f.message}")
+        else:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+
+def self_test(fixtures_root: pathlib.Path) -> int:
+    """Every `// expect-unitcheck: rule` must match exactly one finding."""
+    expected: Set[Tuple[str, int, str]] = set()
+    for path in sorted(fixtures_root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(fixtures_root).as_posix()
+        if not in_scope(rel):
+            continue
+        for index, line in enumerate(path.read_text().splitlines()):
+            for match in EXPECT_RE.finditer(line):
+                expected.add((rel, index + 1, match.group(1)))
+
+    actual = {(f.path, f.line, f.rule) for f in scan(fixtures_root)}
+    missing = expected - actual
+    surplus = actual - expected
+    for rel, line, rule in sorted(missing):
+        print(f"self-test: {rel}:{line}: expected [{rule}], not reported")
+    for rel, line, rule in sorted(surplus):
+        print(f"self-test: {rel}:{line}: unexpected [{rule}]")
+    if missing or surplus:
+        return 2
+    print(f"self-test: ok ({len(expected)} expected findings, "
+          f"all reported, no extras)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2],
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against "
+                             "tools/lint/fixtures/unitcheck")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format; 'github' emits "
+                             "::error workflow commands that annotate PRs")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(pathlib.Path(__file__).resolve().parent /
+                         "fixtures" / "unitcheck")
+
+    findings = scan(args.root)
+    print_findings(findings, args.format)
+    if findings:
+        print(f"unitcheck: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
